@@ -1,0 +1,31 @@
+"""Ablation (Section 4.2.1) — downward binning vs the upward Datafly baseline.
+
+The paper argues its downward, subtree-level binning (enabled by off-line
+usage metrics) retains more information than classical upward full-domain
+generalization.  The benchmark measures both on the same workload.
+"""
+
+from conftest import run_once
+
+from repro.experiments.ablations import run_binning_strategy_ablation
+
+K_VALUES = (10, 45, 100)
+
+
+def test_downward_vs_datafly_binning(benchmark, bench_config):
+    rows = run_once(benchmark, run_binning_strategy_ablation, bench_config, k_values=K_VALUES)
+
+    benchmark.extra_info["series"] = [
+        {
+            "k": row.k,
+            "downward_information_loss": round(row.downward_information_loss, 4),
+            "datafly_information_loss": round(row.datafly_information_loss, 4),
+            "datafly_steps": row.datafly_steps,
+        }
+        for row in rows
+    ]
+
+    for row in rows:
+        assert row.downward_information_loss <= row.datafly_information_loss + 1e-9
+    # At moderate k the gap is large (full-domain recoding is very coarse).
+    assert rows[0].datafly_information_loss > 2 * max(rows[0].downward_information_loss, 0.01)

@@ -1,0 +1,28 @@
+"""Ablation (Section 5.2/5.3) — generalization attack vs both watermarking schemes.
+
+The claim that motivates the hierarchical design: generalising the table one
+level up the DHT — which the usage-metrics gap allows without the secret key —
+destroys the single-level scheme's mark but not the hierarchical scheme's.
+"""
+
+from conftest import run_once
+
+from repro.experiments.ablations import run_generalization_attack_ablation
+
+
+def test_generalization_attack_hierarchical_vs_single_level(benchmark, bench_config):
+    rows = run_once(benchmark, run_generalization_attack_ablation, bench_config, levels=(1, 2))
+
+    benchmark.extra_info["series"] = [
+        {
+            "levels": row.levels,
+            "hierarchical_mark_loss": round(row.hierarchical_mark_loss, 3),
+            "single_level_mark_loss": round(row.single_level_mark_loss, 3),
+        }
+        for row in rows
+    ]
+
+    for row in rows:
+        assert row.hierarchical_mark_loss <= 0.1
+        assert row.single_level_mark_loss >= 0.2
+        assert row.single_level_mark_loss > row.hierarchical_mark_loss

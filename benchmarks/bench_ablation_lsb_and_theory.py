@@ -1,0 +1,48 @@
+"""Ablations — LSB-baseline fragility (Section 2) and Lemmas 1–2 (Section 6).
+
+Two smaller checks that back claims made outside the numbered figures:
+
+* Agrawal–Kiernan style LSB watermarking collapses to chance under trivial
+  bit flipping, while the hierarchical scheme shrugs off its cheapest attack
+  (the generalization attack) — the paper's justification for permutation-
+  based embedding.
+* The closed-form interference probabilities of Lemmas 1 and 2 match a
+  Monte-Carlo simulation of the embedding primitive.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments.ablations import run_lsb_ablation, run_seamlessness_theory_check
+
+
+def test_lsb_baseline_fragility(benchmark, bench_config):
+    row = run_once(benchmark, run_lsb_ablation, bench_config)
+
+    benchmark.extra_info["series"] = {
+        "lsb_match_rate_clean": round(row.lsb_match_rate_clean, 3),
+        "lsb_match_rate_after_flip": round(row.lsb_match_rate_after_flip, 3),
+        "lsb_survives_flip": row.lsb_survives_flip,
+        "hierarchical_loss_after_generalization": round(row.hierarchical_loss_after_generalization, 3),
+    }
+
+    assert row.lsb_match_rate_clean > 0.95
+    assert not row.lsb_survives_flip
+    assert row.hierarchical_loss_after_generalization <= 0.1
+
+
+def test_seamlessness_lemmas_match_simulation(benchmark):
+    point = run_once(
+        benchmark, run_seamlessness_theory_check, group_sizes=(4, 3, 5), n_k=4, trials=50_000, seed=0
+    )
+
+    benchmark.extra_info["series"] = {
+        "pr_minus_theory": round(point.pr_minus_theory, 5),
+        "pr_minus_simulated": round(point.pr_minus_simulated, 5),
+        "pr_plus_theory": round(point.pr_plus_theory, 5),
+        "pr_plus_simulated": round(point.pr_plus_simulated, 5),
+    }
+
+    assert point.pr_minus_theory == pytest.approx(point.pr_plus_theory)
+    assert point.pr_minus_simulated == pytest.approx(point.pr_minus_theory, abs=0.005)
+    assert point.pr_plus_simulated == pytest.approx(point.pr_plus_theory, abs=0.005)

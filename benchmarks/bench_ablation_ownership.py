@@ -1,0 +1,30 @@
+"""Ablation (Section 5.4) — rightful-ownership disputes under Attacks 1 and 2.
+
+The dispute protocol built on the encrypted identifying column must rule for
+the true owner in both the additive (bogus mark on top) and subtractive
+(bogus original) attacks.
+"""
+
+from conftest import run_once
+
+from repro.experiments.ablations import run_ownership_ablation
+
+
+def test_ownership_disputes_resolve_for_the_owner(benchmark, bench_config):
+    rows = run_once(benchmark, run_ownership_ablation, bench_config)
+
+    benchmark.extra_info["series"] = [
+        {
+            "attack": row.attack,
+            "owner_valid": row.owner_valid,
+            "attacker_valid": row.attacker_valid,
+            "winner": row.winner,
+        }
+        for row in rows
+    ]
+
+    assert len(rows) == 2
+    for row in rows:
+        assert row.owner_valid
+        assert not row.attacker_valid
+        assert row.winner == "hospital"

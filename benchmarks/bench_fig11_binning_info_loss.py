@@ -1,0 +1,33 @@
+"""Figure 11 — k versus information loss, mono- vs multi-attribute binning.
+
+Paper shape to reproduce: multi-attribute binning loses far more information
+than mono-attribute binning at every k, and both curves rise with k before
+saturating.
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig11 import run_fig11
+
+K_VALUES = (2, 10, 50, 150, 350)
+
+
+def test_fig11_k_vs_information_loss(benchmark, bench_config):
+    points = run_once(benchmark, run_fig11, bench_config, K_VALUES)
+
+    benchmark.extra_info["series"] = [
+        {
+            "k": point.k,
+            "mono_information_loss": round(point.mono_information_loss, 4),
+            "multi_information_loss": round(point.multi_information_loss, 4),
+        }
+        for point in points
+    ]
+
+    # Shape assertions (not absolute numbers): multi >= mono everywhere, and
+    # both curves are (weakly) increasing in k.
+    for point in points:
+        assert point.multi_information_loss >= point.mono_information_loss
+    mono = [point.mono_information_loss for point in points]
+    assert mono[0] <= mono[-1] + 1e-9
+    assert points[-1].multi_information_loss > 0.5

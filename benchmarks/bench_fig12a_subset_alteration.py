@@ -1,0 +1,31 @@
+"""Figure 12(a) — mark loss under the Subset Alteration attack.
+
+Paper shape to reproduce: the mark degrades gracefully as more tuples are
+altered (well below total loss even at 70-80 % alteration), and a smaller η
+(more embedded tuples) is at least as resilient as a larger one.
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig12 import run_fig12a
+
+ETAS = (50, 100)
+FRACTIONS = (0.0, 0.2, 0.4, 0.6, 0.8)
+
+
+def test_fig12a_subset_alteration(benchmark, bench_config):
+    points = run_once(benchmark, run_fig12a, bench_config, etas=ETAS, fractions=FRACTIONS)
+
+    benchmark.extra_info["series"] = [
+        {"eta": point.eta, "fraction": point.fraction, "mark_loss": round(point.mark_loss, 3)}
+        for point in points
+    ]
+
+    for eta in ETAS:
+        curve = [point for point in points if point.eta == eta]
+        clean = next(point for point in curve if point.fraction == 0.0)
+        heaviest = max(curve, key=lambda point: point.fraction)
+        assert clean.mark_loss == 0.0
+        assert heaviest.mark_loss >= clean.mark_loss
+        # Robustness: even at 80 % alteration a majority of the mark survives.
+        assert heaviest.mark_loss < 0.5

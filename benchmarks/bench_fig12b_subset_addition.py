@@ -1,0 +1,28 @@
+"""Figure 12(b) — mark loss under the Subset Addition attack.
+
+Paper shape to reproduce: bogus tuples cause little damage until their volume
+rivals the original data, because their spurious votes lose the majority vote.
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig12 import run_fig12b
+
+ETAS = (50, 100)
+FRACTIONS = (0.0, 0.2, 0.4, 0.6, 0.8)
+
+
+def test_fig12b_subset_addition(benchmark, bench_config):
+    points = run_once(benchmark, run_fig12b, bench_config, etas=ETAS, fractions=FRACTIONS)
+
+    benchmark.extra_info["series"] = [
+        {"eta": point.eta, "fraction": point.fraction, "mark_loss": round(point.mark_loss, 3)}
+        for point in points
+    ]
+
+    for eta in ETAS:
+        curve = [point for point in points if point.eta == eta]
+        clean = next(point for point in curve if point.fraction == 0.0)
+        assert clean.mark_loss == 0.0
+        # Addition never erases existing bits, so the loss stays moderate.
+        assert all(point.mark_loss <= 0.45 for point in curve)

@@ -1,0 +1,29 @@
+"""Figure 12(c) — mark loss under the Subset Deletion attack.
+
+Paper shape to reproduce: mark loss grows roughly with the deleted share but
+remains bounded; range deletes over the (encrypted) identifier behave like
+random deletions.
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig12 import run_fig12c
+
+ETAS = (50, 100)
+FRACTIONS = (0.0, 0.2, 0.4, 0.6, 0.8)
+
+
+def test_fig12c_subset_deletion(benchmark, bench_config):
+    points = run_once(benchmark, run_fig12c, bench_config, etas=ETAS, fractions=FRACTIONS)
+
+    benchmark.extra_info["series"] = [
+        {"eta": point.eta, "fraction": point.fraction, "mark_loss": round(point.mark_loss, 3)}
+        for point in points
+    ]
+
+    for eta in ETAS:
+        curve = sorted((point for point in points if point.eta == eta), key=lambda p: p.fraction)
+        assert curve[0].mark_loss == 0.0
+        # Deleting tuples only removes votes; the mark degrades but gradually.
+        assert all(point.mark_loss <= 0.4 for point in curve)
+        assert curve[-1].mark_loss >= curve[0].mark_loss

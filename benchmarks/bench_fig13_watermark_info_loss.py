@@ -1,0 +1,29 @@
+"""Figure 13 — information loss caused by watermarking versus η.
+
+Paper shape to reproduce: the loss is minor (single-digit percent) and shrinks
+as η grows, because fewer tuples are selected for embedding.
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig13 import run_fig13
+
+ETAS = (50, 100, 200)
+
+
+def test_fig13_watermark_information_loss(benchmark, bench_config):
+    points = run_once(benchmark, run_fig13, bench_config, etas=ETAS)
+
+    benchmark.extra_info["series"] = [
+        {
+            "eta": point.eta,
+            "information_loss": round(point.information_loss, 5),
+            "cells_changed": point.cells_changed,
+        }
+        for point in points
+    ]
+
+    assert all(0.0 <= point.information_loss < 0.1 for point in points)
+    by_eta = {point.eta: point for point in points}
+    assert by_eta[50].cells_changed > by_eta[200].cells_changed
+    assert by_eta[50].information_loss >= by_eta[200].information_loss

@@ -1,0 +1,34 @@
+"""Figure 14 — effect of watermarking on the bins established by binning.
+
+Paper shape to reproduce: for every attribute and every k, many bins change
+size under watermarking but none drops below k (the last column of the
+figure's table is all zeros).
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig14 import run_fig14
+
+K_VALUES = (10, 20, 45)
+
+
+def test_fig14_watermarking_effect_on_binning(benchmark, bench_config):
+    reports = run_once(benchmark, run_fig14, bench_config, k_values=K_VALUES)
+
+    benchmark.extra_info["series"] = [
+        {
+            "k": report.k,
+            "rows": [
+                {"column": column, "total_bins": total, "bins_changed": changed, "bins_below_k": below}
+                for column, total, changed, below in report.as_rows()
+            ],
+        }
+        for report in reports
+    ]
+
+    assert [report.k for report in reports] == list(K_VALUES)
+    for report in reports:
+        # Watermarking touches bins...
+        assert sum(column.bins_changed for column in report.columns) > 0
+        # ...but never breaks the k-anonymity binning established.
+        assert not report.any_bin_below_k

@@ -1,0 +1,43 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper's evaluation by
+calling the corresponding driver in :mod:`repro.experiments`.  The drivers run
+on a table whose size is controlled by the ``REPRO_BENCH_SIZE`` environment
+variable (default 2 500 rows, which keeps the whole suite to a couple of
+minutes; set it to 20000 to match the paper exactly).
+
+The measured quantity is the wall-clock time of the full experiment; the
+reproduced data series (the numbers the paper plots) are attached to each
+benchmark via ``benchmark.extra_info`` so they appear in the JSON/console
+report next to the timings.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+
+DEFAULT_BENCH_SIZE = 2_500
+
+
+def bench_table_size() -> int:
+    return int(os.environ.get("REPRO_BENCH_SIZE", DEFAULT_BENCH_SIZE))
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    """The experiment configuration shared by every benchmark."""
+    return ExperimentConfig(table_size=bench_table_size(), seed=2005, k=20, eta=50)
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment driver exactly once under the benchmark timer.
+
+    The drivers are full experiments (seconds each), so the usual
+    multi-round calibration of pytest-benchmark is unnecessary and would
+    multiply the suite's runtime.
+    """
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0)

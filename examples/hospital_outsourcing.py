@@ -1,0 +1,122 @@
+"""Hospital → research institute outsourcing scenario.
+
+A hospital must hand its clinical records to a research institute for a drug
+study (the motivating scenario of the paper's introduction).  Before the data
+leave the hospital they are
+
+1. binned so that no quasi-identifier combination singles out fewer than k
+   patients, with the SSN column replaced by its encryption (traceability for
+   the hospital, anonymity for everyone else), and
+2. watermarked so that the hospital can later prove the data came from it.
+
+The script walks through the whole flow, prints what the researcher sees,
+checks the privacy guarantee, quantifies the information loss, and exports the
+outsourced table to CSV.
+
+Run with::
+
+    python examples/hospital_outsourcing.py
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+from repro import (
+    KAnonymitySpec,
+    ProtectionFramework,
+    UsageMetrics,
+    generate_medical_table,
+    seamlessness_report,
+    standard_ontology,
+    watermarking_information_loss,
+)
+from repro.binning.kanonymity import EnforcementMode
+
+K = 25
+ETA = 75
+
+
+def main() -> None:
+    print("=" * 70)
+    print("Step 0 — the hospital's raw extract")
+    print("=" * 70)
+    table = generate_medical_table(size=8_000, seed=7)
+    print(f"{len(table)} clinical records; example rows:")
+    for row in list(table)[:3]:
+        print(f"  {row}")
+
+    print()
+    print("=" * 70)
+    print(f"Step 1 — protection (k = {K}, eta = {ETA})")
+    print("=" * 70)
+    trees = dict(standard_ontology().items())
+    framework = ProtectionFramework(
+        trees,
+        UsageMetrics.uniform_depth(trees, depth=1),
+        KAnonymitySpec(k=K, mode=EnforcementMode.MONO, epsilon=8),
+        encryption_key="st-elsewhere-identifier-key",
+        watermark_secret="st-elsewhere-watermark-key",
+        eta=ETA,
+        mark_length=20,
+    )
+    protected = framework.protect(table)
+    binned, watermarked = protected.binned, protected.watermarked
+
+    print("what the research institute receives:")
+    for row in list(watermarked.table)[:3]:
+        print(f"  {row}")
+
+    print()
+    print("per-column binning information loss (Equations 1-3):")
+    for column, loss in sorted(protected.binning_result.information_losses.items()):
+        print(f"  {column:>14}: {loss:6.1%}")
+    print(f"  {'normalized':>14}: {protected.binning_result.normalized_information_loss:6.1%}")
+
+    extra = watermarking_information_loss(binned, watermarked)
+    print(f"additional loss caused by watermarking: {extra['__normalized__']:.2%}")
+
+    print()
+    print("=" * 70)
+    print("Step 2 — privacy check on the outsourced table")
+    print("=" * 70)
+    for column in watermarked.quasi_columns:
+        sizes = watermarked.bin_sizes(column)
+        print(
+            f"  {column:>14}: {len(sizes):>3} bins, smallest bin {min(sizes.values()):>4} records "
+            f"(k = {K}: {'OK' if min(sizes.values()) >= K else 'VIOLATED'})"
+        )
+    report = seamlessness_report(binned, watermarked)
+    print(
+        f"  watermarking changed {sum(c.bins_changed for c in report.columns)} bins "
+        f"and pushed {sum(c.bins_below_k for c in report.columns)} below k"
+    )
+
+    print()
+    print("=" * 70)
+    print("Step 3 — traceability for the hospital")
+    print("=" * 70)
+    from repro.crypto.cipher import FieldEncryptor
+
+    encryptor = FieldEncryptor("st-elsewhere-identifier-key")
+    token = watermarked.table[0]["ssn"]
+    print(f"  outsourced identifier token : {token}")
+    print(f"  hospital-side decryption    : {encryptor.decrypt(token)}")
+    print(f"  original SSN                : {table[0]['ssn']}")
+
+    print()
+    print("=" * 70)
+    print("Step 4 — hand-over")
+    print("=" * 70)
+    out_path = os.path.join(tempfile.gettempdir(), "outsourced_medical_data.csv")
+    export = watermarked.table.copy()
+    for row in export:
+        row["age"] = str(row["age"])  # intervals serialise as "[25,30)"
+    export.to_csv(out_path)
+    print(f"  outsourced table written to {out_path}")
+    print(f"  mark retained by the hospital: {protected.mark} (plus the secret keys)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Quickstart: protect a medical table and verify the mark in ~40 lines.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    KAnonymitySpec,
+    ProtectionFramework,
+    UsageMetrics,
+    generate_medical_table,
+    mark_loss,
+    standard_ontology,
+)
+from repro.binning.kanonymity import EnforcementMode
+
+
+def main() -> None:
+    # 1. The hospital's raw table: R(ssn, age, zip_code, doctor, symptom, prescription).
+    table = generate_medical_table(size=5_000, seed=42)
+    print(f"raw table: {len(table)} rows, columns {table.schema.column_names}")
+    print(f"  first row: {table[0]}")
+
+    # 2. Configure the protection framework (Figure 2 of the paper):
+    #    domain hierarchy trees, usage metrics, k-anonymity spec, secrets.
+    trees = dict(standard_ontology().items())
+    framework = ProtectionFramework(
+        trees,
+        UsageMetrics.uniform_depth(trees, depth=1),   # maximal generalization nodes
+        KAnonymitySpec(k=20, mode=EnforcementMode.MONO, epsilon=5),
+        encryption_key="hospital-encryption-secret",
+        watermark_secret="hospital-watermark-secret",
+        eta=75,            # on average 1 tuple in 75 carries a mark bit
+        mark_length=20,    # the paper's 20-bit mark
+    )
+
+    # 3. Protect: bin (k-anonymity + encrypted identifiers), then watermark.
+    protected = framework.protect(table)
+    print(f"\noutsourced table: {len(protected.outsourced_table)} rows")
+    print(f"  first row: {protected.outsourced_table[0]}")
+    print(f"  binning information loss: {protected.binning_result.normalized_information_loss:.1%}")
+    print(f"  cells changed by watermarking: {protected.embedding_report.cells_changed}")
+
+    # 4. Later: verify ownership of a table found in the wild.
+    detection = framework.detect(protected.watermarked)
+    loss = mark_loss(protected.mark, detection.mark)
+    print(f"\nembedded mark : {protected.mark}")
+    print(f"detected mark : {detection.mark}")
+    print(f"mark loss     : {loss:.0%}  ->  {'ownership established' if loss == 0 else 'degraded'}")
+
+
+if __name__ == "__main__":
+    main()

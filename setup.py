@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The offline environment ships setuptools without the ``wheel`` package, so
+PEP 517 editable installs fail with ``invalid command 'bdist_wheel'``.  This
+shim lets ``pip install -e . --no-build-isolation --no-use-pep517`` (and plain
+``pip install -e .`` on modern toolchains) fall back to the legacy
+``setup.py develop`` path.  All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

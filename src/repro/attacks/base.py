@@ -1,0 +1,31 @@
+"""Shared plumbing for attack simulators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.binning.binner import BinnedTable
+
+__all__ = ["AttackResult"]
+
+
+@dataclass(frozen=True)
+class AttackResult:
+    """A mutated copy of the attacked table plus attack bookkeeping.
+
+    Attributes
+    ----------
+    attacked:
+        The table after the attack (the input table is never modified).
+    rows_touched:
+        Number of rows the attack altered, added or removed.
+    description:
+        Human-readable summary used in experiment logs.
+    details:
+        Attack-specific extras (e.g. the deleted identifier ranges).
+    """
+
+    attacked: BinnedTable
+    rows_touched: int
+    description: str
+    details: dict[str, object] = field(default_factory=dict)

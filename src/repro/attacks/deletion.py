@@ -1,0 +1,111 @@
+"""Subset Deletion attack (Section 7.2, Figure 12c).
+
+The attacker drops a share of the tuples to remove the mark bits they carry.
+The paper deletes by identifier ranges::
+
+    DELETE FROM R WHERE SSN > lval AND SSN < uval
+
+and repeats the clause until the intended share is gone; because the stored
+identifiers are encrypted, a lexicographic range over them is effectively a
+pseudo-random subset of the original records.  Both that range mode and a
+plain random-subset mode are provided.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.attacks.base import AttackResult
+from repro.binning.binner import BinnedTable
+from repro.crypto.prng import DeterministicPRNG
+from repro.relational.query import in_range
+
+__all__ = ["DeletionMode", "SubsetDeletionAttack"]
+
+
+class DeletionMode(enum.Enum):
+    """How the deleted subset is chosen."""
+
+    IDENT_RANGES = "ident_ranges"
+    RANDOM = "random"
+
+
+class SubsetDeletionAttack:
+    """Delete a fraction of the tuples."""
+
+    def __init__(
+        self,
+        fraction: float,
+        *,
+        seed: object = 0,
+        mode: DeletionMode = DeletionMode.IDENT_RANGES,
+        n_ranges: int = 8,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        fraction:
+            Fraction of the tuples to delete (the x-axis of Figure 12c).
+        seed:
+            Seed of the attacker's randomness.
+        mode:
+            ``IDENT_RANGES`` reproduces the paper's SQL range deletes over the
+            identifying column; ``RANDOM`` deletes a uniform random subset.
+        n_ranges:
+            Number of successive range deletes used in ``IDENT_RANGES`` mode.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must lie in [0, 1]")
+        if n_ranges < 1:
+            raise ValueError("n_ranges must be at least 1")
+        self.fraction = fraction
+        self.seed = seed
+        self.mode = mode
+        self.n_ranges = n_ranges
+
+    def run(self, binned: BinnedTable) -> AttackResult:
+        attacked = binned.copy()
+        n_rows = len(attacked.table)
+        target = int(round(n_rows * self.fraction))
+        if target == 0 or n_rows == 0:
+            return AttackResult(attacked, 0, "subset deletion of 0% of the tuples")
+
+        if self.mode is DeletionMode.RANDOM:
+            rng = DeterministicPRNG(("subset-deletion-random", self.seed, self.fraction))
+            indices = rng.sample(range(n_rows), target)
+            deleted = attacked.table.delete_indices(indices)
+            return AttackResult(
+                attacked=attacked,
+                rows_touched=deleted,
+                description=f"random deletion of {self.fraction:.0%} of the tuples",
+                details={"deleted": deleted},
+            )
+
+        # Identifier-range mode: delete n_ranges consecutive slices of the
+        # identifier order, totalling the requested share.
+        ident_column = attacked.identifying_columns[0]
+        ordered = sorted(str(row[ident_column]) for row in attacked.table)
+        rng = DeterministicPRNG(("subset-deletion-ranges", self.seed, self.fraction))
+        per_range = max(1, target // self.n_ranges)
+        ranges: list[tuple[str, str]] = []
+        deleted_total = 0
+        attempts = 0
+        while deleted_total < target and attempts < self.n_ranges * 4:
+            attempts += 1
+            remaining = [str(row[ident_column]) for row in attacked.table]
+            if len(remaining) <= per_range:
+                break
+            remaining.sort()
+            start = rng.randint(0, len(remaining) - per_range - 1)
+            lval, uval = remaining[start], remaining[min(start + per_range + 1, len(remaining) - 1)]
+            ranges.append((lval, uval))
+            deleted_total += attacked.table.delete_where(in_range(ident_column, lval, uval))
+        return AttackResult(
+            attacked=attacked,
+            rows_touched=deleted_total,
+            description=(
+                f"range deletion of {deleted_total} tuples (~{self.fraction:.0%}) over "
+                f"{len(ranges)} identifier ranges"
+            ),
+            details={"ranges": ranges, "deleted": deleted_total},
+        )

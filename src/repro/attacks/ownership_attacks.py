@@ -1,0 +1,121 @@
+"""Rightful-ownership attacks (Section 5.4, Figure 10).
+
+These attacks do not try to remove the owner's mark; they try to make the
+attacker's ownership claim look as good as the owner's.
+
+* **Attack 1 (additive)** — the attacker embeds their *own* bogus mark, under
+  their own key, into the owner's watermarked table.  Both marks are now
+  detectable, so both parties can point at "their" mark.  The dispute is
+  resolved by the statistic check: the attacker cannot decrypt the identifying
+  columns and therefore cannot present a statistic ``v`` that the
+  recomputation from the disputed table confirms.
+
+* **Attack 2 (subtractive)** — the attacker fabricates a bogus "original"
+  ``Da`` such that embedding a bogus mark into it yields the disputed table.
+  With marks restricted to ``F(v)`` of the clear-text identifier statistic,
+  the attacker would have to find data whose statistic maps through the
+  one-way function onto bits already present in the table — which they cannot.
+
+Both classes produce the attacker-side artefacts (attacked table where
+relevant, and the :class:`~repro.watermarking.ownership.OwnershipClaim` the
+attacker would bring to court) so that examples and tests can run a full
+dispute and check that the registry rules for the true owner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.attacks.base import AttackResult
+from repro.binning.binner import BinnedTable
+from repro.crypto.prng import DeterministicPRNG
+from repro.watermarking.hierarchical import HierarchicalWatermarker
+from repro.watermarking.keys import WatermarkKey
+from repro.watermarking.mark import Mark
+from repro.watermarking.ownership import OwnershipClaim
+
+__all__ = ["AdditiveMarkAttack", "SubtractiveMarkAttack", "OwnershipAttackResult"]
+
+
+@dataclass(frozen=True)
+class OwnershipAttackResult:
+    """The attacked table (if any) plus the attacker's courtroom claim."""
+
+    attack: AttackResult
+    attacker_claim: OwnershipClaim
+    attacker_mark: Mark
+    attacker_key: WatermarkKey
+
+
+class AdditiveMarkAttack:
+    """Attack 1: embed a bogus mark on top of the owner's watermarked table."""
+
+    def __init__(self, *, attacker: str = "attacker", seed: object = 0, eta: int = 50, copies: int = 4) -> None:
+        self.attacker = attacker
+        self.seed = seed
+        self.eta = eta
+        self.copies = copies
+
+    def run(self, watermarked: BinnedTable, mark_length: int = 20) -> OwnershipAttackResult:
+        rng = DeterministicPRNG(("additive-mark-attack", self.seed))
+        attacker_key = WatermarkKey.from_secret(f"attacker-secret-{rng.randint(0, 2**32)}", self.eta)
+        # The attacker cannot decrypt the identifiers, so the best they can do
+        # is invent a statistic and derive "their" mark from it, mimicking the
+        # owner's procedure.
+        fake_statistic = float(rng.randint(10_000_000, 999_999_999))
+        attacker_mark = Mark.from_statistic(fake_statistic, mark_length, precision=1e6)
+        embedder = HierarchicalWatermarker(attacker_key, copies=self.copies)
+        report = embedder.embed(watermarked, attacker_mark)
+        claim = OwnershipClaim(
+            claimant=self.attacker,
+            registered_statistic=fake_statistic,
+            mark=attacker_mark,
+            watermark_key=attacker_key,
+            encryption_key=f"attacker-guess-{self.seed}",
+            copies=self.copies,
+        )
+        attack = AttackResult(
+            attacked=report.watermarked,
+            rows_touched=report.tuples_selected,
+            description="additive bogus-mark attack (Attack 1)",
+            details={"cells_changed": report.cells_changed},
+        )
+        return OwnershipAttackResult(attack, claim, attacker_mark, attacker_key)
+
+
+class SubtractiveMarkAttack:
+    """Attack 2: fabricate a bogus "original" from the owner's watermarked table."""
+
+    def __init__(self, *, attacker: str = "attacker", seed: object = 0, eta: int = 50, copies: int = 4) -> None:
+        self.attacker = attacker
+        self.seed = seed
+        self.eta = eta
+        self.copies = copies
+
+    def run(self, watermarked: BinnedTable, mark_length: int = 20) -> OwnershipAttackResult:
+        rng = DeterministicPRNG(("subtractive-mark-attack", self.seed))
+        attacker_key = WatermarkKey.from_secret(f"attacker-secret-{rng.randint(0, 2**32)}", self.eta)
+        # The attacker "extracts" a mark of their choosing: they embed the
+        # complement of what they intend to claim, producing a bogus original
+        # Da such that Da (+)_ka Wa reproduces (approximately) the disputed
+        # table.  They still have to tie Wa to a statistic they cannot verify.
+        fake_statistic = float(rng.randint(10_000_000, 999_999_999))
+        attacker_mark = Mark.from_statistic(fake_statistic, mark_length, precision=1e6)
+        complement = Mark.from_bits(1 - bit for bit in attacker_mark)
+        embedder = HierarchicalWatermarker(attacker_key, copies=self.copies)
+        bogus_original_report = embedder.embed(watermarked, complement)
+        claim = OwnershipClaim(
+            claimant=self.attacker,
+            registered_statistic=fake_statistic,
+            mark=attacker_mark,
+            watermark_key=attacker_key,
+            encryption_key=f"attacker-guess-{self.seed}",
+            copies=self.copies,
+        )
+        attack = AttackResult(
+            attacked=bogus_original_report.watermarked,
+            rows_touched=bogus_original_report.tuples_selected,
+            description="subtractive bogus-original attack (Attack 2)",
+            details={"cells_changed": bogus_original_report.cells_changed},
+        )
+        return OwnershipAttackResult(attack, claim, attacker_mark, attacker_key)

@@ -1,0 +1,51 @@
+"""Binning: k-anonymity through downward generalization (Section 4).
+
+The binning agent transforms the table to be outsourced so that no search over
+the quasi-identifying columns can be narrowed down to fewer than *k*
+individuals.  Its pieces:
+
+* :mod:`repro.binning.generalization` — valid generalizations (cuts of a DHT)
+  and their application to values, rows and tables,
+* :mod:`repro.binning.kanonymity` — the k-anonymity specification, bin-size
+  computation and checks,
+* :mod:`repro.binning.mono` — mono-attribute downward binning (Figure 5),
+* :mod:`repro.binning.multi` — multi-attribute binning (Figure 7),
+* :mod:`repro.binning.binner` — the complete binning agent (Figure 8):
+  encrypt identifying columns, generalise quasi-identifying ones,
+* :mod:`repro.binning.baseline_datafly` — an upward full-domain generalization
+  baseline (Datafly / Samarati–Sweeney style) used for comparison with the
+  paper's downward approach.
+"""
+
+from repro.binning.errors import BinningError, NotBinnableError
+from repro.binning.generalization import Generalization, MultiColumnGeneralization
+from repro.binning.kanonymity import (
+    ColumnIndex,
+    KAnonymitySpec,
+    bin_sizes,
+    is_k_anonymous,
+    joint_bin_sizes,
+)
+from repro.binning.mono import gen_min_nodes
+from repro.binning.multi import allowable_generalizations, gen_ultimate_nodes
+from repro.binning.binner import BinnedTable, BinningAgent, BinningResult
+from repro.binning.baseline_datafly import DataflyBinner
+
+__all__ = [
+    "BinningError",
+    "NotBinnableError",
+    "Generalization",
+    "MultiColumnGeneralization",
+    "KAnonymitySpec",
+    "ColumnIndex",
+    "bin_sizes",
+    "joint_bin_sizes",
+    "is_k_anonymous",
+    "gen_min_nodes",
+    "allowable_generalizations",
+    "gen_ultimate_nodes",
+    "BinningAgent",
+    "BinningResult",
+    "BinnedTable",
+    "DataflyBinner",
+]

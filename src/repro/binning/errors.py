@@ -1,0 +1,25 @@
+"""Exceptions raised by the binning algorithms."""
+
+from __future__ import annotations
+
+__all__ = ["BinningError", "NotBinnableError"]
+
+
+class BinningError(Exception):
+    """Base class for binning failures."""
+
+
+class NotBinnableError(BinningError):
+    """The data cannot satisfy the k-anonymity specification.
+
+    Raised when even the coarsest generalization permitted by the usage
+    metrics (the maximal generalization nodes) leaves some bin smaller than
+    *k*.  The paper assumes "the data are binnable" (Section 4.1); this error
+    is how the implementation reports that the assumption does not hold for a
+    given table, k and usage metrics.
+    """
+
+    def __init__(self, message: str, *, column: str | None = None, k: int | None = None) -> None:
+        super().__init__(message)
+        self.column = column
+        self.k = k

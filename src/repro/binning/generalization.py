@@ -1,0 +1,199 @@
+"""Valid generalizations and their application to values, rows and tables.
+
+A *generalization* of a column is a set of nodes of its domain hierarchy tree
+such that the path from every leaf to the root crosses exactly one of them
+(Section 4 of the paper).  Applying it replaces every raw value by the value
+of the node covering its leaf.  :class:`Generalization` wraps a single
+column's cut, :class:`MultiColumnGeneralization` bundles one generalization
+per quasi-identifying column — the object the binning agent ultimately applies
+to the table (the ``ultigen`` of Figure 8).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.dht.node import DHTNode
+from repro.dht.tree import DomainHierarchyTree
+from repro.metrics.information_loss import column_information_loss, specificity_loss
+
+__all__ = ["Generalization", "MultiColumnGeneralization"]
+
+
+class Generalization:
+    """A valid generalization (cut) of one column's domain hierarchy tree."""
+
+    def __init__(self, tree: DomainHierarchyTree, nodes: Iterable[DHTNode]) -> None:
+        node_list = sorted(set(nodes), key=lambda node: node.sort_key)
+        if not tree.is_valid_cut(node_list):
+            raise ValueError(
+                f"nodes {[node.name for node in node_list]} are not a valid generalization "
+                f"of attribute {tree.attribute!r}"
+            )
+        self._tree = tree
+        self._nodes = tuple(node_list)
+        self._leaf_to_node = tree.cut_mapping(self._nodes)
+
+    # ------------------------------------------------------------ constructors
+    @classmethod
+    def identity(cls, tree: DomainHierarchyTree) -> "Generalization":
+        """The finest generalization: every leaf kept as-is."""
+        return cls(tree, tree.leaf_cut())
+
+    @classmethod
+    def to_root(cls, tree: DomainHierarchyTree) -> "Generalization":
+        """The coarsest generalization: everything replaced by the root value."""
+        return cls(tree, tree.root_cut())
+
+    @classmethod
+    def from_node_names(cls, tree: DomainHierarchyTree, names: Iterable[str]) -> "Generalization":
+        """Build from node names (useful for configuration files and tests)."""
+        return cls(tree, [tree.node(name) for name in names])
+
+    # ------------------------------------------------------------- properties
+    @property
+    def tree(self) -> DomainHierarchyTree:
+        return self._tree
+
+    @property
+    def attribute(self) -> str:
+        return self._tree.attribute
+
+    @property
+    def nodes(self) -> tuple[DHTNode, ...]:
+        """The generalization nodes, in stable sorted order."""
+        return self._nodes
+
+    @property
+    def node_names(self) -> tuple[str, ...]:
+        return tuple(node.name for node in self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Generalization):
+            return NotImplemented
+        return self._tree is other._tree and self._nodes == other._nodes
+
+    def __hash__(self) -> int:
+        return hash((id(self._tree), self._nodes))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Generalization({self.attribute!r}, {len(self._nodes)} nodes)"
+
+    # ------------------------------------------------------------ application
+    def node_for_leaf(self, leaf: DHTNode) -> DHTNode:
+        """The generalization node covering *leaf*."""
+        try:
+            return self._leaf_to_node[leaf]
+        except KeyError:
+            raise ValueError(f"{leaf.name!r} is not a leaf of attribute {self.attribute!r}") from None
+
+    def node_for_raw(self, raw_value: object) -> DHTNode:
+        """The generalization node covering a raw column value."""
+        return self.node_for_leaf(self._tree.leaf_for_raw(raw_value))
+
+    def generalize(self, raw_value: object) -> object:
+        """Replace a raw value by its generalized value (``Bin`` of Figure 8)."""
+        return self.node_for_raw(raw_value).value
+
+    # ----------------------------------------------------------------- orders
+    def is_refinement_of(self, other: "Generalization") -> bool:
+        """Whether this cut lies at or below *other* (is at least as specific)."""
+        if self._tree is not other._tree:
+            raise ValueError("generalizations describe different trees")
+        other_set = set(other.nodes)
+        return all(
+            any(step in other_set for step in node.ancestors(include_self=True)) for node in self._nodes
+        )
+
+    # ----------------------------------------------------------------- metrics
+    def specificity_loss(self) -> float:
+        """Specificity loss ``(N - Ng) / N`` of Section 4.2.2."""
+        return specificity_loss(self._tree, self._nodes)
+
+    def information_loss(self, counts: Mapping[DHTNode, int]) -> float:
+        """Information loss per Equation (1) or (2), given per-leaf counts."""
+        return column_information_loss(self._tree, self._nodes, counts)
+
+
+class MultiColumnGeneralization:
+    """One generalization per quasi-identifying column (the table-level cut)."""
+
+    def __init__(self, generalizations: Mapping[str, Generalization]) -> None:
+        if not generalizations:
+            raise ValueError("at least one column generalization is required")
+        for column, generalization in generalizations.items():
+            if generalization.attribute != column:
+                raise ValueError(
+                    f"generalization registered under {column!r} describes attribute "
+                    f"{generalization.attribute!r}"
+                )
+        self._generalizations = dict(generalizations)
+
+    # ------------------------------------------------------------- properties
+    @property
+    def columns(self) -> list[str]:
+        return list(self._generalizations)
+
+    def __getitem__(self, column: str) -> Generalization:
+        try:
+            return self._generalizations[column]
+        except KeyError:
+            raise KeyError(f"no generalization for column {column!r}") from None
+
+    def __contains__(self, column: object) -> bool:
+        return column in self._generalizations
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._generalizations)
+
+    def items(self):
+        return self._generalizations.items()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MultiColumnGeneralization):
+            return NotImplemented
+        return self._generalizations == other._generalizations
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        sizes = {column: len(gen) for column, gen in self._generalizations.items()}
+        return f"MultiColumnGeneralization({sizes})"
+
+    # ------------------------------------------------------------ application
+    def generalize_row(self, row: Mapping[str, object]) -> dict[str, object]:
+        """Generalized values of the covered columns for one row."""
+        return {column: gen.generalize(row[column]) for column, gen in self._generalizations.items()}
+
+    def node_names(self) -> dict[str, tuple[str, ...]]:
+        """Node names per column (serialisable description of the cut)."""
+        return {column: gen.node_names for column, gen in self._generalizations.items()}
+
+    # ----------------------------------------------------------------- metrics
+    def specificity_losses(self) -> dict[str, float]:
+        return {column: gen.specificity_loss() for column, gen in self._generalizations.items()}
+
+    def total_specificity_loss(self) -> float:
+        """Sum of per-column specificity losses (the multi-attribute ranking key)."""
+        return sum(self.specificity_losses().values())
+
+    def information_losses(self, counts_by_column: Mapping[str, Mapping[DHTNode, int]]) -> dict[str, float]:
+        return {
+            column: gen.information_loss(counts_by_column[column])
+            for column, gen in self._generalizations.items()
+        }
+
+    # -------------------------------------------------------------- refinement
+    def with_replaced(self, column: str, generalization: Generalization) -> "MultiColumnGeneralization":
+        """A copy where *column*'s generalization is replaced."""
+        updated = dict(self._generalizations)
+        if column not in updated:
+            raise KeyError(f"no generalization for column {column!r}")
+        updated[column] = generalization
+        return MultiColumnGeneralization(updated)
+
+    @classmethod
+    def identity(cls, trees: Mapping[str, DomainHierarchyTree], columns: Sequence[str]) -> "MultiColumnGeneralization":
+        """The finest multi-column generalization over the given columns."""
+        return cls({column: Generalization.identity(trees[column]) for column in columns})

@@ -1,0 +1,120 @@
+"""Mono-attribute downward binning (Figure 5 of the paper).
+
+For a single attribute, binning starts from the maximal generalization nodes
+and walks *down* the domain hierarchy tree, looking for the lowest valid
+generalization whose every node still covers at least ``k`` records — the
+*minimal generalization nodes*.  The downward direction is possible because
+the usage metrics were enforced off-line (the maximal frontier is known in
+advance) and gives the efficiency advantage discussed in Section 4.2.1 over
+approaches that bin upward from the leaves.
+
+The rationale for a minimal node is the paper's simple one: a node is minimal
+when it satisfies k-anonymity itself but at least one of its children does
+not.  (The "more aggressive strategy" sketched in Section 4.2.1 would descend
+into the satisfying children and merge the rest; that requires bins that are
+not valid generalizations of the DHT, so it is intentionally not implemented —
+see DESIGN.md.)
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.binning.errors import NotBinnableError
+from repro.dht.node import DHTNode
+from repro.dht.tree import DomainHierarchyTree
+
+__all__ = ["num_tuples_under", "gen_min_nodes"]
+
+
+def num_tuples_under(node: DHTNode, counts: Mapping[DHTNode, int]) -> int:
+    """``NumTuple`` of Figure 5: rows whose value falls under *node*'s subtree."""
+    return sum(counts.get(leaf, 0) for leaf in node.leaves())
+
+
+def _sub_gmn(
+    tree: DomainHierarchyTree,
+    node: DHTNode,
+    counts: Mapping[DHTNode, int],
+    k: int,
+) -> list[DHTNode] | None:
+    """``SubGMN`` of Figure 5.
+
+    Returns the minimal generalization nodes of the subtree rooted at *node*,
+    or ``None`` when the subtree covers fewer than ``k`` rows (the caller must
+    then keep a higher node).
+    """
+    if num_tuples_under(node, counts) < k:
+        return None
+    # "forany node nd in Children(str.root): if NumTuple(SubTree(nd)) < k:
+    #  return {str.root}" — if any child falls short, this node is minimal.
+    children = tree.children(node)
+    if not children:
+        return [node]
+    if any(num_tuples_under(child, counts) < k for child in children):
+        return [node]
+    result: list[DHTNode] = []
+    for child in children:
+        sub = _sub_gmn(tree, child, counts, k)
+        # Every child satisfies k individually at this point, so the
+        # recursion cannot come back empty.
+        assert sub is not None
+        result.extend(sub)
+    return result
+
+
+def gen_min_nodes(
+    tree: DomainHierarchyTree,
+    maximal_nodes: Sequence[DHTNode],
+    counts: Mapping[DHTNode, int],
+    k: int,
+) -> list[DHTNode]:
+    """``GenMinNd`` of Figure 5: the minimal generalization nodes of one column.
+
+    Parameters
+    ----------
+    tree:
+        The column's domain hierarchy tree.
+    maximal_nodes:
+        The maximal generalization nodes from the usage metrics; binning
+        starts here and only ever descends, so the metrics are observed by
+        construction.
+    counts:
+        Rows per leaf (``ColumnIndex.leaf_counts`` or
+        :func:`repro.metrics.information_loss.leaf_counts`).
+    k:
+        The (effective) anonymity parameter.
+
+    Raises
+    ------
+    NotBinnableError
+        If some maximal generalization node covers fewer than ``k`` rows but
+        more than zero — the data cannot meet the specification within the
+        usage metrics.  Maximal nodes covering *no* rows are simply kept
+        (empty bins are vacuously k-anonymous).
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    if not tree.is_valid_cut(maximal_nodes):
+        raise ValueError(
+            f"maximal generalization nodes are not a valid generalization of {tree.attribute!r}"
+        )
+    minimal: list[DHTNode] = []
+    for node in maximal_nodes:
+        covered = num_tuples_under(node, counts)
+        if covered == 0:
+            # No data below this part of the domain; keep the maximal node so
+            # the result stays a valid generalization.
+            minimal.append(node)
+            continue
+        sub = _sub_gmn(tree, node, counts, k)
+        if sub is None:
+            raise NotBinnableError(
+                f"attribute {tree.attribute!r}: maximal generalization node {node.name!r} covers "
+                f"{covered} < k={k} rows; the data cannot satisfy the specification within the "
+                f"usage metrics",
+                column=tree.attribute,
+                k=k,
+            )
+        minimal.extend(sub)
+    return sorted(minimal, key=lambda node: node.sort_key)

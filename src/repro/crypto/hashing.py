@@ -1,0 +1,143 @@
+"""Keyed hashing and the one-way mark-derivation function.
+
+The watermarking algorithm (Figure 9 of the paper) uses a keyed cryptographic
+hash ``H`` in three places:
+
+* tuple selection: a tuple ``t`` is selected for embedding when
+  ``H(t.ident, k1) mod eta == 0`` (Equation 5),
+* the permutation index at each level: ``H(t.ident, k2) mod |S|``,
+* the position of the bit inside the replicated mark:
+  ``H(t.ident, k2) mod |wmd|``.
+
+The paper suggests MD5 or SHA1; we use HMAC-SHA-256 which has the same
+interface and strictly better properties.  All helpers return non-negative
+integers so that ``mod`` arithmetic matches the pseudo-code directly.
+
+The rightful-ownership solution (Section 5.4) additionally needs a one-way
+function ``F`` mapping a statistic of the clear-text identifying column to the
+mark bits; :func:`mark_from_statistic` provides it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import math
+
+__all__ = [
+    "keyed_hash_bytes",
+    "keyed_hash",
+    "derive_subkey",
+    "one_way_bits",
+    "mark_from_statistic",
+]
+
+
+def _to_bytes(value: object) -> bytes:
+    """Canonically serialise *value* for hashing.
+
+    Accepts the value kinds that appear in tables: ``bytes``, ``str``, ``int``,
+    ``float`` and ``None``.  Tuples and lists are serialised element-wise with
+    an unambiguous length-prefixed framing so that, e.g., ``("ab", "c")`` and
+    ``("a", "bc")`` hash differently.
+    """
+    if isinstance(value, bytes):
+        return b"B" + value
+    if isinstance(value, str):
+        return b"S" + value.encode("utf-8")
+    if isinstance(value, bool):
+        return b"L1" if value else b"L0"
+    if isinstance(value, int):
+        return b"I" + str(value).encode("ascii")
+    if isinstance(value, float):
+        # repr() keeps full precision and is stable across platforms for
+        # the values we use.
+        return b"F" + repr(value).encode("ascii")
+    if value is None:
+        return b"N"
+    if isinstance(value, (tuple, list)):
+        parts = [b"T", str(len(value)).encode("ascii")]
+        for item in value:
+            encoded = _to_bytes(item)
+            parts.append(str(len(encoded)).encode("ascii"))
+            parts.append(b":")
+            parts.append(encoded)
+        return b"".join(parts)
+    raise TypeError(f"cannot hash value of type {type(value).__name__!r}")
+
+
+def _key_bytes(key: object) -> bytes:
+    if isinstance(key, bytes):
+        return key
+    if isinstance(key, str):
+        return key.encode("utf-8")
+    if isinstance(key, int):
+        return str(key).encode("ascii")
+    raise TypeError(f"unsupported key type {type(key).__name__!r}")
+
+
+def keyed_hash_bytes(value: object, key: object) -> bytes:
+    """Return the 32-byte HMAC-SHA-256 digest of *value* under *key*."""
+    return hmac.new(_key_bytes(key), _to_bytes(value), hashlib.sha256).digest()
+
+
+def keyed_hash(value: object, key: object) -> int:
+    """Return ``H(value, key)`` as a non-negative integer.
+
+    This is the ``H()`` of the paper: a keyed cryptographic hash whose output
+    is used with modular arithmetic.  The digest is interpreted as a big-endian
+    unsigned integer.
+    """
+    return int.from_bytes(keyed_hash_bytes(value, key), "big")
+
+
+def derive_subkey(key: object, label: str) -> bytes:
+    """Derive an independent sub-key from *key* for the given *label*.
+
+    The paper stresses that distinct keys ``k1`` and ``k2`` must be used for
+    the selection hash and the permutation hash so that the two computations
+    are uncorrelated.  When a caller only supplies a single master secret this
+    helper expands it into independent sub-keys.
+    """
+    return hmac.new(_key_bytes(key), b"subkey:" + label.encode("utf-8"), hashlib.sha256).digest()
+
+
+def one_way_bits(value: object, n_bits: int, *, salt: bytes = b"repro-mark") -> list[int]:
+    """One-way function ``F`` mapping *value* to ``n_bits`` mark bits.
+
+    Used by the rightful-ownership protocol (Section 5.4): the owner's mark is
+    ``F(v)`` where ``v`` is a statistic of the clear-text identifying column.
+    The function must be one-way so that an attacker cannot fabricate a bogus
+    "original" whose statistic maps to a mark already present in the data.
+    """
+    if n_bits <= 0:
+        raise ValueError("n_bits must be positive")
+    bits: list[int] = []
+    counter = 0
+    while len(bits) < n_bits:
+        digest = hashlib.sha256(salt + b"|" + str(counter).encode() + b"|" + _to_bytes(value)).digest()
+        for byte in digest:
+            for shift in range(8):
+                bits.append((byte >> shift) & 1)
+                if len(bits) == n_bits:
+                    return bits
+        counter += 1
+    return bits
+
+
+def mark_from_statistic(statistic: float, n_bits: int, *, precision: float = 1.0) -> list[int]:
+    """Derive a mark from a numeric *statistic* of the clear-text identifiers.
+
+    The statistic (e.g. the mean of the clear-text SSNs) is quantised to the
+    given *precision* before hashing so that the owner, who recomputes it from
+    a possibly attacked table, lands on the same mark as long as the
+    recomputed value is within ``precision`` of the registered one (the
+    ``|v - v'| < tau`` test of Section 5.4 is performed separately by
+    :class:`repro.watermarking.ownership.OwnershipRegistry`).
+    """
+    if precision <= 0:
+        raise ValueError("precision must be positive")
+    if math.isnan(statistic) or math.isinf(statistic):
+        raise ValueError("statistic must be a finite number")
+    quantised = int(round(statistic / precision))
+    return one_way_bits(("mark-statistic", quantised), n_bits)

@@ -1,0 +1,43 @@
+"""Domain hierarchy trees (DHTs).
+
+A domain hierarchy tree arranges the domain of an attribute from the most
+specific descriptions (the leaves) to the most general one (the root), as in
+Figure 1 of the paper.  Generalisation replaces a leaf value by the value of
+one of its ancestors; a *valid generalization* is a set of nodes such that the
+path from every leaf to the root crosses exactly one of them (Section 4).
+
+Numeric attributes are handled by first partitioning the domain into disjoint
+intervals and pairwise combining the intervals into a binary tree (Figure 3);
+from then on they behave exactly like categorical attributes.
+
+The package provides the tree data structure, builders for both categorical
+and numeric domains, and the cut-enumeration utilities used by multi-attribute
+binning.
+"""
+
+from repro.dht.node import DHTNode, Interval
+from repro.dht.tree import DomainHierarchyTree
+from repro.dht.builders import (
+    binary_numeric_tree,
+    from_leaf_groups,
+    from_nested_mapping,
+)
+from repro.dht.cuts import (
+    count_cuts_between,
+    enumerate_cuts,
+    enumerate_cuts_between,
+    is_frontier_at_or_above,
+)
+
+__all__ = [
+    "DHTNode",
+    "Interval",
+    "DomainHierarchyTree",
+    "from_nested_mapping",
+    "from_leaf_groups",
+    "binary_numeric_tree",
+    "enumerate_cuts",
+    "enumerate_cuts_between",
+    "count_cuts_between",
+    "is_frontier_at_or_above",
+]

@@ -1,0 +1,129 @@
+"""Builders for categorical and numeric domain hierarchy trees.
+
+Categorical trees are described by nested mappings (ontology specifications,
+see :mod:`repro.ontology`); numeric trees follow the construction of Figure 3
+of the paper: the domain ``[L, U)`` is divided into a series of disjoint
+intervals which are then pairwise combined, level by level, into a binary
+tree.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.dht.node import DHTNode, Interval
+from repro.dht.tree import DomainHierarchyTree
+
+__all__ = ["from_nested_mapping", "from_leaf_groups", "binary_numeric_tree"]
+
+NestedSpec = Mapping[str, object]
+
+
+def _build_categorical(name: str, spec: object) -> DHTNode:
+    """Recursively build a categorical subtree from a nested specification.
+
+    *spec* may be a mapping ``{child_label: child_spec}``, a sequence of leaf
+    labels, or ``None`` / empty for a leaf.
+    """
+    node = DHTNode(name=name, value=name)
+    if spec is None:
+        return node
+    if isinstance(spec, Mapping):
+        for child_label, child_spec in spec.items():
+            node.add_child(_build_categorical(str(child_label), child_spec))
+        return node
+    if isinstance(spec, (list, tuple)):
+        for child_label in spec:
+            node.add_child(DHTNode(name=str(child_label), value=str(child_label)))
+        return node
+    raise TypeError(f"unsupported specification of type {type(spec).__name__!r} under node {name!r}")
+
+
+def from_nested_mapping(attribute: str, root_label: str, spec: NestedSpec) -> DomainHierarchyTree:
+    """Build a categorical DHT from a nested mapping.
+
+    Example (the role hierarchy of Figure 1)::
+
+        from_nested_mapping("role", "Person", {
+            "Medical staff": {
+                "Doctor": ["Surgeon", "Physician"],
+                "Paramedic": ["Pharmacist", "Nurse", "Consultant"],
+            },
+            "Administrative staff": ["Clerk", "Receptionist"],
+        })
+
+    Node names double as node values, so every label must be unique across the
+    whole tree.
+    """
+    root = _build_categorical(root_label, spec)
+    return DomainHierarchyTree(attribute, root)
+
+
+def from_leaf_groups(attribute: str, root_label: str, groups: Mapping[str, Sequence[str]]) -> DomainHierarchyTree:
+    """Build a two-level categorical DHT: root -> group -> leaves."""
+    return from_nested_mapping(attribute, root_label, {group: list(leaves) for group, leaves in groups.items()})
+
+
+def _interval_node(interval: Interval) -> DHTNode:
+    return DHTNode(name=f"{interval}", value=interval)
+
+
+def binary_numeric_tree(
+    attribute: str,
+    lower: float,
+    upper: float,
+    *,
+    n_intervals: int | None = None,
+    cut_points: Sequence[float] | None = None,
+) -> DomainHierarchyTree:
+    """Build the binary DHT of a numeric attribute (Figure 3 of the paper).
+
+    The domain ``[lower, upper)`` is first divided into disjoint leaf
+    intervals — either ``n_intervals`` equal-width ones or the intervals
+    induced by explicit, strictly increasing interior ``cut_points`` — and the
+    intervals are then combined pairwise, level by level, until a single root
+    interval covers the whole domain.  When a level has an odd number of
+    nodes the last node is carried to the next level unchanged, as in the
+    figure (the tree need not be perfect).
+
+    The paper notes that intervals "should be of moderate size (smaller) and
+    they need not be of equal size"; both options are therefore supported.
+    """
+    if upper <= lower:
+        raise ValueError("upper bound must exceed lower bound")
+    if (n_intervals is None) == (cut_points is None):
+        raise ValueError("provide exactly one of n_intervals or cut_points")
+
+    if n_intervals is not None:
+        if n_intervals < 1:
+            raise ValueError("n_intervals must be at least 1")
+        width = (upper - lower) / n_intervals
+        bounds = [lower + i * width for i in range(n_intervals)] + [upper]
+    else:
+        assert cut_points is not None
+        bounds = [lower, *cut_points, upper]
+        for first, second in zip(bounds, bounds[1:]):
+            if second <= first:
+                raise ValueError("cut points must be strictly increasing and inside the domain")
+
+    leaves = [_interval_node(Interval(lo, hi)) for lo, hi in zip(bounds, bounds[1:])]
+
+    level = leaves
+    while len(level) > 1:
+        next_level: list[DHTNode] = []
+        index = 0
+        while index < len(level):
+            if index + 1 < len(level):
+                left, right = level[index], level[index + 1]
+                merged = _interval_node(left.value.merge(right.value))  # type: ignore[union-attr]
+                merged.add_child(left)
+                merged.add_child(right)
+                next_level.append(merged)
+                index += 2
+            else:
+                # Odd node out: promote it unchanged to the next level.
+                next_level.append(level[index])
+                index += 1
+        level = next_level
+
+    return DomainHierarchyTree(attribute, level[0])

@@ -1,0 +1,142 @@
+"""Enumeration of generalization cuts between two frontiers of a DHT.
+
+Multi-attribute binning (Section 4.2.2) considers, for every column, the set
+of *allowable generalizations*: all valid generalizations whose nodes lie
+between the minimal generalization nodes (below) and the maximal
+generalization nodes (above).  This module provides the enumeration and
+counting primitives behind that step, phrased over arbitrary frontiers so the
+tests can exercise them independently of binning.
+
+A *frontier* here is simply a set of nodes; the enumeration is anchored at an
+upper frontier (defaults to the maximal generalization nodes or, absent that,
+the root) and bounded below by a lower frontier (defaults to the leaves).
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Iterable, Iterator, Sequence
+
+from repro.dht.node import DHTNode
+from repro.dht.tree import DomainHierarchyTree
+
+__all__ = [
+    "enumerate_cuts",
+    "enumerate_cuts_between",
+    "count_cuts_between",
+    "is_frontier_at_or_above",
+]
+
+
+def is_frontier_at_or_above(
+    tree: DomainHierarchyTree, upper: Iterable[DHTNode], lower: Iterable[DHTNode]
+) -> bool:
+    """Whether every node of *lower* has an ancestor-or-self in *upper*."""
+    upper_set = set(upper)
+    for node in lower:
+        if not any(step in upper_set for step in node.ancestors(include_self=True)):
+            return False
+    return True
+
+
+def _cuts_below(
+    tree: DomainHierarchyTree, node: DHTNode, lower_set: set[DHTNode]
+) -> Iterator[tuple[DHTNode, ...]]:
+    """Yield every cut of the subtree rooted at *node* bounded below by *lower_set*.
+
+    The node itself is always a (singleton) cut.  Descending past a node of
+    the lower frontier or past a leaf is not allowed.
+    """
+    yield (node,)
+    if node in lower_set or node.is_leaf:
+        return
+    child_cut_lists = [list(_cuts_below(tree, child, lower_set)) for child in tree.children(node)]
+    for combination in product(*child_cut_lists):
+        flat: list[DHTNode] = []
+        for part in combination:
+            flat.extend(part)
+        yield tuple(flat)
+
+
+def enumerate_cuts_between(
+    tree: DomainHierarchyTree,
+    upper: Sequence[DHTNode],
+    lower: Sequence[DHTNode],
+    *,
+    limit: int | None = None,
+) -> list[tuple[DHTNode, ...]]:
+    """Enumerate every valid generalization between two frontiers.
+
+    Parameters
+    ----------
+    tree:
+        The domain hierarchy tree.
+    upper:
+        Upper frontier (e.g. maximal generalization nodes).  Must itself be a
+        valid cut.
+    lower:
+        Lower frontier (e.g. minimal generalization nodes).  Must be a valid
+        cut lying at or below *upper*.
+    limit:
+        When given, stop once this many cuts have been produced and raise
+        :class:`OverflowError`.  Callers that want a greedy fallback catch the
+        error (see :mod:`repro.binning.multi`).
+    """
+    if not tree.is_valid_cut(upper):
+        raise ValueError("upper frontier is not a valid generalization")
+    if not tree.is_valid_cut(lower):
+        raise ValueError("lower frontier is not a valid generalization")
+    if not is_frontier_at_or_above(tree, upper, lower):
+        raise ValueError("upper frontier must lie at or above the lower frontier")
+
+    lower_set = set(lower)
+    per_anchor: list[list[tuple[DHTNode, ...]]] = []
+    for anchor in upper:
+        per_anchor.append(list(_cuts_below(tree, anchor, lower_set)))
+
+    cuts: list[tuple[DHTNode, ...]] = []
+    for combination in product(*per_anchor):
+        flat: list[DHTNode] = []
+        for part in combination:
+            flat.extend(part)
+        cuts.append(tuple(flat))
+        if limit is not None and len(cuts) > limit:
+            raise OverflowError(
+                f"more than {limit} allowable generalizations for attribute {tree.attribute!r}"
+            )
+    return cuts
+
+
+def enumerate_cuts(
+    tree: DomainHierarchyTree,
+    *,
+    upper: Sequence[DHTNode] | None = None,
+    lower: Sequence[DHTNode] | None = None,
+    limit: int | None = None,
+) -> list[tuple[DHTNode, ...]]:
+    """Enumerate cuts with convenient defaults (root above, leaves below)."""
+    upper = list(upper) if upper is not None else [tree.root]
+    lower = list(lower) if lower is not None else tree.leaves()
+    return enumerate_cuts_between(tree, upper, lower, limit=limit)
+
+
+def _count_below(tree: DomainHierarchyTree, node: DHTNode, lower_set: set[DHTNode]) -> int:
+    if node in lower_set or node.is_leaf:
+        return 1
+    product_count = 1
+    for child in tree.children(node):
+        product_count *= _count_below(tree, child, lower_set)
+    return 1 + product_count
+
+
+def count_cuts_between(
+    tree: DomainHierarchyTree, upper: Sequence[DHTNode], lower: Sequence[DHTNode]
+) -> int:
+    """Count the cuts :func:`enumerate_cuts_between` would produce, cheaply."""
+    if not is_frontier_at_or_above(tree, upper, lower):
+        raise ValueError("upper frontier must lie at or above the lower frontier")
+    lower_set = set(lower)
+    total = 1
+    for anchor in upper:
+        total *= _count_below(tree, anchor, lower_set)
+    return total

@@ -1,0 +1,162 @@
+"""Nodes of a domain hierarchy tree and the interval values of numeric DHTs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["Interval", "DHTNode"]
+
+
+@dataclass(frozen=True, order=True)
+class Interval:
+    """A half-open numeric interval ``[lower, upper)``.
+
+    Intervals are the values carried by the nodes of a numeric DHT: the leaves
+    partition the column domain into disjoint intervals, and every internal
+    node covers the union of its children's intervals (Figure 3 of the paper).
+    The generalized value written into a binned table for a numeric column is
+    an :class:`Interval`.
+    """
+
+    lower: float
+    upper: float
+
+    def __post_init__(self) -> None:
+        if not self.upper > self.lower:
+            raise ValueError(f"interval upper bound must exceed lower bound, got [{self.lower}, {self.upper})")
+
+    @property
+    def width(self) -> float:
+        return self.upper - self.lower
+
+    def contains(self, value: float) -> bool:
+        """Whether *value* falls inside the half-open interval."""
+        return self.lower <= value < self.upper
+
+    def contains_interval(self, other: "Interval") -> bool:
+        """Whether *other* is entirely inside this interval."""
+        return self.lower <= other.lower and other.upper <= self.upper
+
+    def merge(self, other: "Interval") -> "Interval":
+        """Union of two adjacent or overlapping intervals (must be contiguous)."""
+        if self.upper < other.lower or other.upper < self.lower:
+            raise ValueError(f"cannot merge disjoint intervals {self} and {other}")
+        return Interval(min(self.lower, other.lower), max(self.upper, other.upper))
+
+    def __str__(self) -> str:
+        def fmt(x: float) -> str:
+            return str(int(x)) if float(x).is_integer() else f"{x:g}"
+
+        return f"[{fmt(self.lower)},{fmt(self.upper)})"
+
+
+@dataclass(eq=False)
+class DHTNode:
+    """A node of a :class:`~repro.dht.tree.DomainHierarchyTree`.
+
+    Attributes
+    ----------
+    name:
+        Identifier unique within the tree (used in reports and for stable
+        ordering of categorical siblings).
+    value:
+        The generalized value this node represents.  For a categorical tree
+        this is a label string; for a numeric tree it is an
+        :class:`Interval`.  Writing this value into a table cell *is* the
+        generalisation step.
+    children:
+        Child nodes, ordered.  Empty for leaves.
+    parent:
+        Back-pointer maintained by the tree; ``None`` for the root.
+    """
+
+    name: str
+    value: object
+    children: list["DHTNode"] = field(default_factory=list)
+    parent: Optional["DHTNode"] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("node name must be non-empty")
+
+    # Nodes are identity-hashed: two nodes with equal labels in different
+    # positions of a tree must remain distinct.
+    def __hash__(self) -> int:
+        return id(self)
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    @property
+    def is_root(self) -> bool:
+        return self.parent is None
+
+    @property
+    def sort_key(self) -> tuple:
+        """Stable ordering key for sibling sets.
+
+        The watermarking primitive requires the sibling set ``S`` to be
+        *sorted* so that the parity of an index is well defined and identical
+        at embedding and detection time.  Numeric nodes sort by their interval
+        bounds, categorical nodes by name.
+        """
+        if isinstance(self.value, Interval):
+            return (0, self.value.lower, self.value.upper, self.name)
+        return (1, str(self.name))
+
+    def add_child(self, child: "DHTNode") -> None:
+        """Attach *child* (sets the back-pointer)."""
+        if child.parent is not None:
+            raise ValueError(f"node {child.name!r} already has a parent")
+        child.parent = self
+        self.children.append(child)
+
+    def iter_subtree(self):
+        """Yield this node and every descendant, depth-first pre-order."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def leaves(self) -> list["DHTNode"]:
+        """Leaf nodes of the subtree rooted at this node, in tree order."""
+        return [node for node in self.iter_subtree() if node.is_leaf]
+
+    def depth(self) -> int:
+        """Distance from the root (root has depth 0)."""
+        depth = 0
+        node = self
+        while node.parent is not None:
+            node = node.parent
+            depth += 1
+        return depth
+
+    def ancestors(self, *, include_self: bool = False) -> list["DHTNode"]:
+        """Ancestors from (optionally) this node up to and including the root."""
+        chain: list[DHTNode] = [self] if include_self else []
+        node = self.parent
+        while node is not None:
+            chain.append(node)
+            node = node.parent
+        return chain
+
+    def is_ancestor_of(self, other: "DHTNode", *, include_self: bool = False) -> bool:
+        """Whether this node lies on *other*'s path to the root."""
+        if include_self and other is self:
+            return True
+        node = other.parent
+        while node is not None:
+            if node is self:
+                return True
+            node = node.parent
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        kind = "leaf" if self.is_leaf else f"{len(self.children)} children"
+        return f"DHTNode({self.name!r}, {kind})"

@@ -1,0 +1,278 @@
+"""The domain hierarchy tree structure.
+
+A :class:`DomainHierarchyTree` wraps a tree of :class:`~repro.dht.node.DHTNode`
+objects for a single attribute and provides the operations used throughout the
+paper's pseudo-code (Table 1):
+
+==============================  =======================================================
+Paper notation                  Method here
+==============================  =======================================================
+``Parent(nd, tr)``              :meth:`DomainHierarchyTree.parent`
+``Children(nd, tr)``            :meth:`DomainHierarchyTree.children`
+``Siblings(nd, tr)``            :meth:`DomainHierarchyTree.siblings` (includes ``nd``)
+``Leaves(tr)``                  :meth:`DomainHierarchyTree.leaves`
+``SubTree(nd, tr)``             :meth:`DomainHierarchyTree.subtree_leaves` / the node itself
+``Val2Nd(v, nds[])``            :meth:`DomainHierarchyTree.value_to_node`
+``Nd2Val(nd)``                  ``node.value``
+==============================  =======================================================
+
+The tree also knows how to map *raw* column values (e.g. the integer age 37)
+to their leaf node, and how to validate generalization cuts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.dht.node import DHTNode, Interval
+
+__all__ = ["DomainHierarchyTree"]
+
+
+class DomainHierarchyTree:
+    """Domain hierarchy tree for one attribute."""
+
+    def __init__(self, attribute: str, root: DHTNode) -> None:
+        if not attribute:
+            raise ValueError("attribute name must be non-empty")
+        self._attribute = attribute
+        self._root = root
+        self._nodes: list[DHTNode] = list(root.iter_subtree())
+        self._by_name: dict[str, DHTNode] = {}
+        for node in self._nodes:
+            if node.name in self._by_name:
+                raise ValueError(f"duplicate node name {node.name!r} in DHT for {attribute!r}")
+            self._by_name[node.name] = node
+        self._leaves: list[DHTNode] = [node for node in self._nodes if node.is_leaf]
+        if not self._leaves:
+            raise ValueError("a DHT must have at least one leaf")
+        self._is_numeric = isinstance(self._root.value, Interval)
+        self._validate_structure()
+        # Value -> node lookup.  Leaf values must be unique; internal values
+        # should be too (they are the generalized cell contents), but we keep
+        # the first occurrence if a label repeats at different levels.
+        self._value_to_node: dict[object, DHTNode] = {}
+        for node in self._nodes:
+            self._value_to_node.setdefault(self._value_key(node.value), node)
+        self._leaf_by_value: dict[object, DHTNode] = {
+            self._value_key(leaf.value): leaf for leaf in self._leaves
+        }
+        if len(self._leaf_by_value) != len(self._leaves):
+            raise ValueError(f"leaf values of DHT for {attribute!r} are not unique")
+
+    # ------------------------------------------------------------- validation
+    def _validate_structure(self) -> None:
+        for node in self._nodes:
+            for child in node.children:
+                if child.parent is not node:
+                    raise ValueError(f"broken parent pointer at node {child.name!r}")
+        if self._is_numeric:
+            for node in self._nodes:
+                if not isinstance(node.value, Interval):
+                    raise ValueError("numeric DHT nodes must all carry Interval values")
+                if node.children:
+                    covered = sorted((child.value for child in node.children), key=lambda iv: iv.lower)
+                    if covered[0].lower != node.value.lower or covered[-1].upper != node.value.upper:
+                        raise ValueError(
+                            f"children of {node.name!r} do not cover its interval {node.value}"
+                        )
+                    for first, second in zip(covered, covered[1:]):
+                        if first.upper != second.lower:
+                            raise ValueError(
+                                f"children of {node.name!r} leave a gap between {first} and {second}"
+                            )
+
+    @staticmethod
+    def _value_key(value: object) -> object:
+        """Hashable lookup key for a node value."""
+        return value
+
+    # ------------------------------------------------------------- properties
+    @property
+    def attribute(self) -> str:
+        """Name of the attribute this tree describes."""
+        return self._attribute
+
+    @property
+    def root(self) -> DHTNode:
+        return self._root
+
+    @property
+    def is_numeric(self) -> bool:
+        """Whether the tree is a numeric (interval) DHT."""
+        return self._is_numeric
+
+    @property
+    def nodes(self) -> list[DHTNode]:
+        """All nodes in depth-first pre-order."""
+        return list(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: object) -> bool:
+        return isinstance(node, DHTNode) and self._by_name.get(node.name) is node
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"DomainHierarchyTree({self._attribute!r}, nodes={len(self._nodes)}, "
+            f"leaves={len(self._leaves)}, height={self.height})"
+        )
+
+    @property
+    def height(self) -> int:
+        """Length of the longest root-to-leaf path (root alone has height 0)."""
+        return max(leaf.depth() for leaf in self._leaves)
+
+    # -------------------------------------------------------------- traversal
+    def node(self, name: str) -> DHTNode:
+        """Look a node up by name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"no node named {name!r} in DHT for {self._attribute!r}") from None
+
+    def leaves(self, under: DHTNode | None = None) -> list[DHTNode]:
+        """``Leaves(tr)`` — all leaves, or the leaves under a given node."""
+        if under is None:
+            return list(self._leaves)
+        self._require_member(under)
+        return under.leaves()
+
+    def parent(self, node: DHTNode) -> DHTNode | None:
+        """``Parent(nd, tr)``."""
+        self._require_member(node)
+        return node.parent
+
+    def children(self, node: DHTNode) -> list[DHTNode]:
+        """``Children(nd, tr)`` — children in sorted (stable) order."""
+        self._require_member(node)
+        return sorted(node.children, key=lambda child: child.sort_key)
+
+    def siblings(self, node: DHTNode) -> list[DHTNode]:
+        """``Siblings(nd, tr)`` — *node together with* its siblings, sorted.
+
+        Matches the paper's definition (Table 1): the returned set includes
+        the node itself.  For the root the set is ``[root]``.
+        """
+        self._require_member(node)
+        if node.parent is None:
+            return [node]
+        return sorted(node.parent.children, key=lambda child: child.sort_key)
+
+    def subtree_leaves(self, node: DHTNode) -> list[DHTNode]:
+        """Leaves of ``SubTree(nd, tr)``."""
+        self._require_member(node)
+        return node.leaves()
+
+    def depth(self, node: DHTNode) -> int:
+        self._require_member(node)
+        return node.depth()
+
+    def path_to_root(self, node: DHTNode) -> list[DHTNode]:
+        """Nodes from *node* (inclusive) up to the root (inclusive)."""
+        self._require_member(node)
+        return node.ancestors(include_self=True)
+
+    def is_ancestor(self, ancestor: DHTNode, descendant: DHTNode, *, include_self: bool = True) -> bool:
+        """Whether *ancestor* lies on *descendant*'s path to the root."""
+        self._require_member(ancestor)
+        self._require_member(descendant)
+        return ancestor.is_ancestor_of(descendant, include_self=include_self)
+
+    def _require_member(self, node: DHTNode) -> None:
+        if self._by_name.get(node.name) is not node:
+            raise ValueError(f"node {node.name!r} does not belong to the DHT for {self._attribute!r}")
+
+    # ------------------------------------------------------------ value <-> node
+    def leaf_for_raw(self, raw_value: object) -> DHTNode:
+        """Map a raw column value to its leaf node.
+
+        For categorical attributes the raw value must equal a leaf value.  For
+        numeric attributes the raw value is a scalar and the leaf is the
+        interval containing it.
+        """
+        if self._is_numeric and isinstance(raw_value, (int, float)) and not isinstance(raw_value, bool):
+            for leaf in self._leaves:
+                if leaf.value.contains(float(raw_value)):  # type: ignore[union-attr]
+                    return leaf
+            raise ValueError(
+                f"value {raw_value!r} is outside the domain {self._root.value} of attribute {self._attribute!r}"
+            )
+        try:
+            return self._leaf_by_value[self._value_key(raw_value)]
+        except KeyError:
+            raise ValueError(
+                f"value {raw_value!r} is not a leaf of the DHT for attribute {self._attribute!r}"
+            ) from None
+
+    def value_to_node(self, value: object, candidates: Sequence[DHTNode] | None = None) -> DHTNode:
+        """``Val2Nd(v, nds[])`` — resolve a (possibly generalized) cell value.
+
+        When *candidates* is given the value must resolve to one of them
+        (matching the paper, where ``Val2Nd(ti.c, ultigends)`` looks the value
+        up among the ultimate generalization nodes).  Without candidates any
+        node of the tree whose value equals *value* is returned; raw numeric
+        scalars resolve to their leaf.  This permissive mode is what lets the
+        detector keep working on tables that an attacker generalized further
+        or altered arbitrarily.
+        """
+        pool = candidates if candidates is not None else self._nodes
+        key = self._value_key(value)
+        for node in pool:
+            if self._value_key(node.value) == key:
+                return node
+        if candidates is not None:
+            raise ValueError(
+                f"value {value!r} does not correspond to any of the given candidate nodes "
+                f"for attribute {self._attribute!r}"
+            )
+        # Fall back to raw-value resolution (e.g. an un-generalized numeric scalar).
+        return self.leaf_for_raw(value)
+
+    def resolve(self, value: object) -> DHTNode:
+        """Best-effort resolution of *value* to a node (generalized or raw)."""
+        try:
+            return self.value_to_node(value)
+        except ValueError:
+            raise
+
+    # ------------------------------------------------------------------- cuts
+    def is_valid_cut(self, nodes: Iterable[DHTNode]) -> bool:
+        """Whether *nodes* form a valid generalization (Section 4).
+
+        The path from every leaf to the root must encounter one and only one
+        of the nodes.
+        """
+        node_set = set(nodes)
+        for node in node_set:
+            self._require_member(node)
+        for leaf in self._leaves:
+            hits = sum(1 for step in leaf.ancestors(include_self=True) if step in node_set)
+            if hits != 1:
+                return False
+        return True
+
+    def covering_node(self, cut: Iterable[DHTNode], leaf: DHTNode) -> DHTNode:
+        """Return the node of *cut* that covers *leaf* (assumes a valid cut)."""
+        cut_set = set(cut)
+        for step in leaf.ancestors(include_self=True):
+            if step in cut_set:
+                return step
+        raise ValueError(f"cut does not cover leaf {leaf.name!r}")
+
+    def cut_mapping(self, cut: Iterable[DHTNode]) -> dict[DHTNode, DHTNode]:
+        """Map every leaf to the cut node covering it (assumes a valid cut)."""
+        cut_set = set(cut)
+        mapping: dict[DHTNode, DHTNode] = {}
+        for leaf in self._leaves:
+            mapping[leaf] = self.covering_node(cut_set, leaf)
+        return mapping
+
+    def leaf_cut(self) -> list[DHTNode]:
+        """The trivial cut consisting of every leaf (no generalization)."""
+        return list(self._leaves)
+
+    def root_cut(self) -> list[DHTNode]:
+        """The maximal cut consisting of the root alone (full suppression)."""
+        return [self._root]

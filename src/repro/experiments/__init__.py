@@ -1,0 +1,46 @@
+"""Experiment drivers — one per table/figure of the paper's evaluation.
+
+Each driver is a plain function that builds the workload, runs the relevant
+part of the framework and returns the data series the paper plots.  The
+``benchmarks/`` suite wraps these functions with ``pytest-benchmark`` (one
+benchmark per figure), the examples reuse them for narrative output, and
+``python -m repro.experiments`` runs the whole evaluation and prints every
+table in one go (the source of EXPERIMENTS.md).
+
+The drivers take a :class:`~repro.experiments.config.ExperimentConfig` so the
+same code can run at paper scale (20 000 tuples) or at the smaller sizes used
+for quick benchmark iterations.
+"""
+
+from repro.experiments.config import ExperimentConfig, ProtectedWorkload, build_workload
+from repro.experiments.fig11 import Fig11Point, run_fig11
+from repro.experiments.fig12 import Fig12Point, run_fig12a, run_fig12b, run_fig12c
+from repro.experiments.fig13 import Fig13Point, run_fig13
+from repro.experiments.fig14 import run_fig14
+from repro.experiments.ablations import (
+    run_binning_strategy_ablation,
+    run_generalization_attack_ablation,
+    run_lsb_ablation,
+    run_ownership_ablation,
+    run_seamlessness_theory_check,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "ProtectedWorkload",
+    "build_workload",
+    "run_fig11",
+    "Fig11Point",
+    "run_fig12a",
+    "run_fig12b",
+    "run_fig12c",
+    "Fig12Point",
+    "run_fig13",
+    "Fig13Point",
+    "run_fig14",
+    "run_generalization_attack_ablation",
+    "run_ownership_ablation",
+    "run_binning_strategy_ablation",
+    "run_lsb_ablation",
+    "run_seamlessness_theory_check",
+]

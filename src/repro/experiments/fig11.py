@@ -1,0 +1,95 @@
+"""Figure 11: k versus information loss, mono- vs multi-attribute binning.
+
+The paper sweeps the anonymity parameter ``k`` and records the normalised
+information loss (Equation 3) after mono-attribute binning and after
+multi-attribute binning.  The expected shape: multi-attribute binning costs
+far more information than mono-attribute binning, and both curves saturate
+once ``k`` grows past the point where every column (respectively the column
+combination) has been generalised as far as the usage metrics allow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.binning.binner import BinningAgent
+from repro.binning.errors import NotBinnableError
+from repro.binning.kanonymity import EnforcementMode, KAnonymitySpec
+from repro.datagen.medical import generate_medical_table
+from repro.experiments.config import ExperimentConfig, standard_trees
+from repro.metrics.usage_metrics import UsageMetrics
+
+__all__ = ["Fig11Point", "run_fig11", "DEFAULT_K_VALUES"]
+
+DEFAULT_K_VALUES = (2, 5, 10, 25, 50, 100, 150, 200, 250, 300, 350)
+
+
+@dataclass(frozen=True)
+class Fig11Point:
+    """One x-position of Figure 11."""
+
+    k: int
+    mono_information_loss: float
+    multi_information_loss: float
+    multi_used_fallback: bool
+
+
+def run_fig11(
+    config: ExperimentConfig | None = None,
+    k_values: Sequence[int] = DEFAULT_K_VALUES,
+) -> list[Fig11Point]:
+    """Reproduce Figure 11: information loss as a function of k.
+
+    Mono-attribute binning is constrained by the depth-1 usage-metric frontier
+    (as in the watermarking experiments); the joint multi-attribute step needs
+    the root frontier to stay feasible at large ``k`` (with five
+    quasi-identifiers, joint k-anonymity forces most columns close to the
+    root — which is precisely why its curve saturates near 100%).
+    """
+    config = config or ExperimentConfig()
+    table = generate_medical_table(size=config.table_size, seed=config.seed)
+    trees = standard_trees()
+    mono_metrics = UsageMetrics.uniform_depth(trees, config.metrics_depth)
+    joint_metrics = UsageMetrics.uniform_depth(trees, 0)
+
+    points: list[Fig11Point] = []
+    for k in k_values:
+        mono_agent = BinningAgent(
+            trees,
+            mono_metrics,
+            KAnonymitySpec(k=k, mode=EnforcementMode.MONO),
+            config.encryption_key,
+        )
+        try:
+            mono_result = mono_agent.bin(table)
+        except NotBinnableError:
+            # The depth-1 frontier cannot accommodate this k (some top-level
+            # category holds fewer than k rows).  The paper assumes the data
+            # are binnable, i.e. the metrics are relaxed for such a k; the
+            # root frontier is the relaxation that always succeeds.
+            mono_agent = BinningAgent(
+                trees,
+                joint_metrics,
+                KAnonymitySpec(k=k, mode=EnforcementMode.MONO),
+                config.encryption_key,
+            )
+            mono_result = mono_agent.bin(table)
+
+        joint_agent = BinningAgent(
+            trees,
+            joint_metrics,
+            KAnonymitySpec(k=k, mode=EnforcementMode.JOINT),
+            config.encryption_key,
+        )
+        joint_result = joint_agent.bin(table)
+
+        points.append(
+            Fig11Point(
+                k=k,
+                mono_information_loss=mono_result.normalized_information_loss,
+                multi_information_loss=joint_result.normalized_information_loss,
+                multi_used_fallback=joint_result.used_fallback,
+            )
+        )
+    return points

@@ -1,0 +1,54 @@
+"""Figure 13: information loss caused by watermarking itself.
+
+Watermarking permutes roughly one cell in ``η`` per watermarked column; the
+permuted cell is, from the data consumer's point of view, only reliable up to
+its maximal generalization node.  The paper plots the resulting information
+loss against ``η`` and finds it minor (single-digit percent) and decreasing as
+``η`` grows (fewer tuples touched).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.experiments.config import ExperimentConfig, build_workload
+from repro.framework.analysis import watermarking_information_loss
+
+__all__ = ["Fig13Point", "run_fig13", "DEFAULT_ETA_SWEEP"]
+
+DEFAULT_ETA_SWEEP = (50, 75, 100, 150, 200)
+
+
+@dataclass(frozen=True)
+class Fig13Point:
+    """One x-position of Figure 13."""
+
+    eta: int
+    information_loss: float
+    per_column: dict[str, float]
+    cells_changed: int
+
+
+def run_fig13(
+    config: ExperimentConfig | None = None,
+    *,
+    etas: Sequence[int] = DEFAULT_ETA_SWEEP,
+) -> list[Fig13Point]:
+    """Reproduce Figure 13: watermark-induced information loss versus η."""
+    config = config or ExperimentConfig()
+    points: list[Fig13Point] = []
+    for eta in etas:
+        workload = build_workload(config.with_eta(eta))
+        protected = workload.protected
+        losses = watermarking_information_loss(protected.binned, protected.watermarked)
+        normalized = losses.pop("__normalized__", 0.0)
+        points.append(
+            Fig13Point(
+                eta=eta,
+                information_loss=normalized,
+                per_column=losses,
+                cells_changed=protected.embedding_report.cells_changed,
+            )
+        )
+    return points

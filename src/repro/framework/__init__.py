@@ -1,0 +1,24 @@
+"""The unified protection framework (Figure 2) and its seamlessness analysis."""
+
+from repro.framework.pipeline import ProtectedData, ProtectionFramework
+from repro.framework.analysis import (
+    SeamlessnessColumnReport,
+    SeamlessnessReport,
+    pr_minus,
+    pr_plus,
+    seamlessness_report,
+    suggest_epsilon,
+    watermarking_information_loss,
+)
+
+__all__ = [
+    "ProtectionFramework",
+    "ProtectedData",
+    "pr_minus",
+    "pr_plus",
+    "suggest_epsilon",
+    "seamlessness_report",
+    "SeamlessnessReport",
+    "SeamlessnessColumnReport",
+    "watermarking_information_loss",
+]

@@ -1,0 +1,175 @@
+"""Seamlessness analysis: does watermarking undo the binning? (Section 6).
+
+Watermarking permutes some tuples into other bins, so a bin could in principle
+shrink below ``k`` and break the k-anonymity binning established.  The paper
+shows, under two idealised assumptions, that the probability of a
+bit-embedding shrinking a given bin equals the probability of it growing the
+bin (Lemmas 1 and 2), so on average watermarking does not interfere.  It also
+gives a conservative safety margin ``ε`` to add to ``k`` during binning.
+
+This module provides the closed-form probabilities, the ``ε`` rule, the
+empirical bin-change measurement behind Figure 14 and the incremental
+information loss caused by watermarking (Figure 13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.binning.binner import BinnedTable
+from repro.dht.node import DHTNode, Interval
+
+__all__ = [
+    "pr_minus",
+    "pr_plus",
+    "suggest_epsilon",
+    "SeamlessnessColumnReport",
+    "SeamlessnessReport",
+    "seamlessness_report",
+    "watermarking_information_loss",
+]
+
+
+def pr_minus(n_k: int, group_sizes: Sequence[int]) -> float:
+    """Lemma 1: probability that one bit-embedding shrinks a given bin by one.
+
+    ``n_k`` is the number of ultimate generalization nodes under the bin's
+    maximal generalization node and ``group_sizes`` the list ``n_1 .. n_m`` of
+    ultimate-node counts under every maximal generalization node of the
+    column.  ``Pr- = (n_k - 1) / (n_k * sum_i n_i)``.
+    """
+    if n_k < 1:
+        raise ValueError("n_k must be at least 1")
+    total = sum(group_sizes)
+    if total < n_k or n_k not in group_sizes:
+        raise ValueError("group_sizes must contain n_k and cover all maximal nodes")
+    return (n_k - 1) / (n_k * total)
+
+
+def pr_plus(n_k: int, group_sizes: Sequence[int]) -> float:
+    """Lemma 2: probability that one bit-embedding grows a given bin by one.
+
+    Identical to :func:`pr_minus` — that equality is the seamlessness result.
+    """
+    return pr_minus(n_k, group_sizes)
+
+
+def suggest_epsilon(bin_sizes: Sequence[int], wmd_length: int) -> int:
+    """The conservative ``ε`` of Section 6: ``ε = (s / S) * |wmd|``.
+
+    ``s`` is the largest bin size, ``S`` the sum of all bin sizes and
+    ``|wmd|`` the length of the replicated mark.  Binning with ``k + ε``
+    guarantees that even if every embedding drained the same bin it would not
+    drop below ``k``.
+    """
+    if wmd_length < 0:
+        raise ValueError("wmd_length must be non-negative")
+    sizes = [size for size in bin_sizes if size > 0]
+    if not sizes:
+        return 0
+    largest = max(sizes)
+    total = sum(sizes)
+    return int(round(largest / total * wmd_length + 0.5))
+
+
+@dataclass(frozen=True)
+class SeamlessnessColumnReport:
+    """One column of Figure 14."""
+
+    column: str
+    total_bins: int
+    bins_changed: int
+    bins_below_k: int
+
+
+@dataclass(frozen=True)
+class SeamlessnessReport:
+    """The full Figure 14 measurement for one value of k."""
+
+    k: int
+    columns: tuple[SeamlessnessColumnReport, ...]
+
+    @property
+    def any_bin_below_k(self) -> bool:
+        return any(column.bins_below_k > 0 for column in self.columns)
+
+    def as_rows(self) -> list[tuple[str, int, int, int]]:
+        """Rows ``(column, total bins, bins changed, bins below k)``."""
+        return [
+            (column.column, column.total_bins, column.bins_changed, column.bins_below_k)
+            for column in self.columns
+        ]
+
+
+def seamlessness_report(before: BinnedTable, after: BinnedTable, k: int | None = None) -> SeamlessnessReport:
+    """Measure how watermarking changed the per-attribute bins (Figure 14).
+
+    For every binned column: the number of bins, the number of bins whose size
+    changed between the binned table (*before*) and the watermarked table
+    (*after*), and the number of bins that dropped below ``k``.
+    """
+    threshold = k if k is not None else before.k
+    columns: list[SeamlessnessColumnReport] = []
+    for column in before.quasi_columns:
+        sizes_before = before.bin_sizes(column)
+        sizes_after = after.bin_sizes(column)
+        all_bins = set(sizes_before) | set(sizes_after)
+        changed = sum(
+            1 for value in all_bins if sizes_before.get(value, 0) != sizes_after.get(value, 0)
+        )
+        below = sum(1 for value in all_bins if 0 < sizes_after.get(value, 0) < threshold)
+        columns.append(
+            SeamlessnessColumnReport(
+                column=column,
+                total_bins=len(sizes_before),
+                bins_changed=changed,
+                bins_below_k=below,
+            )
+        )
+    return SeamlessnessReport(k=threshold, columns=tuple(columns))
+
+
+def _node_loss_fraction(tree_leaf_count: int, node: DHTNode, domain: Interval | None) -> float:
+    """Loss contribution of generalising one entry up to *node*."""
+    if domain is not None and isinstance(node.value, Interval):
+        return node.value.width / domain.width
+    return (len(node.leaves()) - 1) / tree_leaf_count
+
+
+def watermarking_information_loss(before: BinnedTable, after: BinnedTable) -> dict[str, float]:
+    """Incremental information loss caused by watermarking (Figure 13).
+
+    A permuted cell is, from the consumer's point of view, only trustworthy up
+    to the maximal generalization node it was permuted under (Section 5.1
+    argues the permutation is equivalent to that generalization).  The
+    incremental loss of a column is therefore the average, over rows, of the
+    maximal node's loss fraction for rows whose value changed and zero for
+    untouched rows.  Returns per-column losses plus the normalised average
+    under the key ``"__normalized__"``.
+    """
+    if len(before.table) != len(after.table):
+        raise ValueError("tables must have the same number of rows to compare")
+    losses: dict[str, float] = {}
+    for column in before.quasi_columns:
+        tree = before.tree(column)
+        maximal = before.maximal_node_objects(column)
+        maximal_set = set(maximal)
+        n_leaves = len(tree.leaves())
+        domain = tree.root.value if tree.is_numeric else None
+        total = 0.0
+        for row_before, row_after in zip(before.table, after.table):
+            if row_before[column] == row_after[column]:
+                continue
+            try:
+                node = tree.value_to_node(row_before[column])
+            except ValueError:
+                continue
+            top = next(
+                (step for step in node.ancestors(include_self=True) if step in maximal_set), tree.root
+            )
+            total += _node_loss_fraction(n_leaves, top, domain)  # type: ignore[arg-type]
+        losses[column] = total / len(before.table) if len(before.table) else 0.0
+    if losses:
+        losses["__normalized__"] = sum(losses.values()) / len(losses)
+    return losses

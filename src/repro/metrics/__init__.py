@@ -1,0 +1,40 @@
+"""Usage metrics: information loss and its off-line enforcement.
+
+Binning and watermarking both degrade data quality.  The paper bounds that
+degradation with *usage metrics* (Section 4.1): per-column information-loss
+bounds and an average bound (Equation 4), enforced **off-line** by compiling
+them into a frontier of *maximal generalization nodes* per domain hierarchy
+tree.  Binning may never generalise a value beyond its maximal generalization
+node, which is what enables the downward binning of Section 4.2 and provides
+the watermark bandwidth of Section 5.1.
+"""
+
+from repro.metrics.information_loss import (
+    categorical_cut_loss,
+    column_information_loss,
+    leaf_counts,
+    numeric_cut_loss,
+    specificity_loss,
+    table_information_loss,
+    total_information_loss,
+)
+from repro.metrics.usage_metrics import (
+    InformationLossBounds,
+    UsageMetrics,
+    derive_maximal_nodes,
+    frontier_at_depth,
+)
+
+__all__ = [
+    "leaf_counts",
+    "categorical_cut_loss",
+    "numeric_cut_loss",
+    "column_information_loss",
+    "table_information_loss",
+    "total_information_loss",
+    "specificity_loss",
+    "InformationLossBounds",
+    "UsageMetrics",
+    "derive_maximal_nodes",
+    "frontier_at_depth",
+]

@@ -1,0 +1,152 @@
+"""Information-loss metrics (Equations 1–3 of the paper) and specificity loss.
+
+Given a generalization — a valid cut ``{p1, ..., pM}`` of a column's domain
+hierarchy tree — the paper quantifies the loss of specificity it causes:
+
+* **categorical columns** (Equation 1): each cut node ``pi`` makes the
+  ``|Si|`` leaves below it indiscriminable, so the ``ni`` entries falling
+  under ``pi`` each lose ``(|Si| - 1) / |S|`` where ``S`` is the set of all
+  leaves,
+* **numeric columns** (Equation 2): an entry generalized to the interval
+  ``[Li, Ui)`` loses ``(Ui - Li) / (U - L)`` of the domain width,
+* **table level** (Equation 3): the normalised loss is the average of the
+  per-column losses over the ``CN`` generalized columns.
+
+Section 4.2.2 additionally defines the cheaper *specificity loss*
+``(N - Ng) / N`` (``N`` leaves, ``Ng`` cut nodes) used to rank candidate
+generalizations during multi-attribute binning.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.dht.node import DHTNode, Interval
+from repro.dht.tree import DomainHierarchyTree
+
+__all__ = [
+    "leaf_counts",
+    "categorical_cut_loss",
+    "numeric_cut_loss",
+    "column_information_loss",
+    "table_information_loss",
+    "total_information_loss",
+    "specificity_loss",
+]
+
+
+def leaf_counts(tree: DomainHierarchyTree, raw_values: Iterable[object]) -> dict[DHTNode, int]:
+    """Count how many raw column values fall under each leaf of *tree*.
+
+    This is the ``ni`` bookkeeping shared by every loss computation and by the
+    binning algorithms; computing it once per column avoids repeated scans of
+    the table.
+    """
+    counts: dict[DHTNode, int] = {leaf: 0 for leaf in tree.leaves()}
+    for value in raw_values:
+        counts[tree.leaf_for_raw(value)] += 1
+    return counts
+
+
+def _entries_under(node: DHTNode, counts: Mapping[DHTNode, int]) -> int:
+    return sum(counts.get(leaf, 0) for leaf in node.leaves())
+
+
+def categorical_cut_loss(
+    tree: DomainHierarchyTree,
+    cut: Sequence[DHTNode],
+    counts: Mapping[DHTNode, int],
+) -> float:
+    """Equation (1): information loss of a categorical generalization.
+
+    ``InfLoss_c = sum_i n_i * (|S_i| - 1) / |S|  /  sum_i n_i`` where ``S_i``
+    is the leaf set under cut node ``p_i`` and ``S`` their union.  Leaves kept
+    ungeneralized contribute ``|S_i| = 1``, i.e. zero loss.
+    """
+    if not tree.is_valid_cut(cut):
+        raise ValueError(f"cut is not a valid generalization of attribute {tree.attribute!r}")
+    union_size = sum(len(node.leaves()) for node in cut)
+    if union_size == 0:
+        raise ValueError("cut covers no leaves")
+    total_entries = 0
+    weighted = 0.0
+    for node in cut:
+        node_leaves = node.leaves()
+        entries = sum(counts.get(leaf, 0) for leaf in node_leaves)
+        total_entries += entries
+        weighted += entries * (len(node_leaves) - 1) / union_size
+    if total_entries == 0:
+        return 0.0
+    return weighted / total_entries
+
+
+def numeric_cut_loss(
+    tree: DomainHierarchyTree,
+    cut: Sequence[DHTNode],
+    counts: Mapping[DHTNode, int],
+) -> float:
+    """Equation (2): information loss of a numeric (interval) generalization.
+
+    ``InfLoss_c = sum_i n_i * (U_i - L_i) / (U - L)  /  sum_i n_i`` where
+    ``[L, U)`` is the column domain and ``[L_i, U_i)`` the interval of cut
+    node ``p_i``.
+    """
+    if not tree.is_numeric:
+        raise ValueError(f"attribute {tree.attribute!r} is not numeric")
+    if not tree.is_valid_cut(cut):
+        raise ValueError(f"cut is not a valid generalization of attribute {tree.attribute!r}")
+    domain: Interval = tree.root.value  # type: ignore[assignment]
+    total_entries = 0
+    weighted = 0.0
+    for node in cut:
+        interval: Interval = node.value  # type: ignore[assignment]
+        entries = _entries_under(node, counts)
+        total_entries += entries
+        weighted += entries * interval.width / domain.width
+    if total_entries == 0:
+        return 0.0
+    return weighted / total_entries
+
+
+def column_information_loss(
+    tree: DomainHierarchyTree,
+    cut: Sequence[DHTNode],
+    counts: Mapping[DHTNode, int],
+) -> float:
+    """Dispatch to Equation (1) or (2) according to the column type.
+
+    The paper applies Equation (2) to numeric columns and Equation (1) to
+    categorical ones; both take the same inputs here.
+    """
+    if tree.is_numeric:
+        return numeric_cut_loss(tree, cut, counts)
+    return categorical_cut_loss(tree, cut, counts)
+
+
+def table_information_loss(per_column_losses: Mapping[str, float]) -> float:
+    """Equation (3): normalised loss — the average over generalized columns."""
+    if not per_column_losses:
+        return 0.0
+    for column, loss in per_column_losses.items():
+        if not 0.0 <= loss <= 1.0 + 1e-9:
+            raise ValueError(f"loss for column {column!r} must lie in [0, 1], got {loss}")
+    return sum(per_column_losses.values()) / len(per_column_losses)
+
+
+def total_information_loss(per_column_losses: Mapping[str, float]) -> float:
+    """"Other forms of information loss" mentioned after Equation (3): the sum."""
+    return float(sum(per_column_losses.values()))
+
+
+def specificity_loss(tree: DomainHierarchyTree, cut: Sequence[DHTNode]) -> float:
+    """Specificity loss ``(N - Ng) / N`` of Section 4.2.2.
+
+    ``N`` is the number of leaves of the tree and ``Ng`` the number of cut
+    nodes; the leaf cut has zero loss and the root cut loss ``(N - 1) / N``.
+    This estimate ignores the data distribution, trading accuracy for the
+    cheaper evaluation used to rank candidate generalizations.
+    """
+    if not tree.is_valid_cut(cut):
+        raise ValueError(f"cut is not a valid generalization of attribute {tree.attribute!r}")
+    n_leaves = len(tree.leaves())
+    return (n_leaves - len(cut)) / n_leaves

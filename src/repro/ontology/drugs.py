@@ -1,0 +1,69 @@
+"""Drug / prescription hierarchy for the ``prescription`` column.
+
+A three-level ontology: therapeutic class -> pharmacological subclass ->
+individual drug (leaf).  The shape is modelled after ATC-style drug
+classifications; the protection algorithms only use the tree structure.
+"""
+
+from __future__ import annotations
+
+from repro.dht import DomainHierarchyTree, from_nested_mapping
+
+__all__ = ["prescription_tree", "PRESCRIPTION_SPEC"]
+
+PRESCRIPTION_SPEC: dict[str, dict[str, list[str]]] = {
+    "Cardiovascular agents": {
+        "Beta blockers": ["Metoprolol", "Atenolol", "Propranolol", "Carvedilol"],
+        "ACE inhibitors": ["Lisinopril", "Enalapril", "Ramipril"],
+        "Angiotensin receptor blockers": ["Losartan", "Valsartan", "Irbesartan"],
+        "Calcium channel blockers": ["Amlodipine", "Diltiazem", "Verapamil"],
+        "Diuretics": ["Hydrochlorothiazide", "Furosemide", "Spironolactone"],
+        "Statins": ["Atorvastatin", "Simvastatin", "Rosuvastatin", "Pravastatin"],
+        "Anticoagulants": ["Warfarin", "Apixaban", "Rivaroxaban", "Heparin"],
+    },
+    "Anti-infective agents": {
+        "Penicillins": ["Amoxicillin", "Ampicillin", "Piperacillin"],
+        "Cephalosporins": ["Cephalexin", "Ceftriaxone", "Cefuroxime"],
+        "Macrolides": ["Azithromycin", "Clarithromycin", "Erythromycin"],
+        "Fluoroquinolones": ["Ciprofloxacin", "Levofloxacin", "Moxifloxacin"],
+        "Antivirals": ["Oseltamivir", "Acyclovir", "Valacyclovir"],
+        "Antifungals": ["Fluconazole", "Nystatin", "Terbinafine"],
+    },
+    "Central nervous system agents": {
+        "Opioid analgesics": ["Morphine", "Oxycodone", "Tramadol", "Fentanyl"],
+        "Non-opioid analgesics": ["Acetaminophen", "Ibuprofen", "Naproxen", "Celecoxib"],
+        "Antidepressants": ["Sertraline", "Fluoxetine", "Escitalopram", "Venlafaxine", "Bupropion"],
+        "Anxiolytics": ["Lorazepam", "Diazepam", "Alprazolam"],
+        "Antipsychotics": ["Risperidone", "Olanzapine", "Quetiapine"],
+        "Anticonvulsants": ["Levetiracetam", "Lamotrigine", "Valproate", "Carbamazepine"],
+    },
+    "Endocrine agents": {
+        "Insulins": ["Insulin glargine", "Insulin lispro", "Insulin aspart"],
+        "Oral antidiabetics": ["Metformin", "Glipizide", "Sitagliptin", "Empagliflozin"],
+        "Thyroid agents": ["Levothyroxine", "Methimazole", "Propylthiouracil"],
+        "Corticosteroids": ["Prednisone", "Dexamethasone", "Hydrocortisone"],
+    },
+    "Respiratory agents": {
+        "Bronchodilators": ["Albuterol", "Salmeterol", "Tiotropium", "Ipratropium"],
+        "Inhaled corticosteroids": ["Fluticasone", "Budesonide", "Beclomethasone"],
+        "Antihistamines": ["Cetirizine", "Loratadine", "Diphenhydramine", "Fexofenadine"],
+        "Cough and cold": ["Dextromethorphan", "Guaifenesin", "Pseudoephedrine"],
+    },
+    "Gastrointestinal agents": {
+        "Proton pump inhibitors": ["Omeprazole", "Pantoprazole", "Esomeprazole"],
+        "H2 antagonists": ["Famotidine", "Ranitidine"],
+        "Antiemetics": ["Ondansetron", "Metoclopramide", "Promethazine"],
+        "Laxatives and antidiarrheals": ["Polyethylene glycol", "Loperamide", "Docusate"],
+    },
+    "Musculoskeletal agents": {
+        "Bone agents": ["Alendronate", "Risedronate", "Denosumab"],
+        "Muscle relaxants": ["Cyclobenzaprine", "Baclofen", "Tizanidine"],
+        "Antigout agents": ["Allopurinol", "Colchicine", "Febuxostat"],
+        "DMARDs": ["Methotrexate", "Hydroxychloroquine", "Sulfasalazine"],
+    },
+}
+
+
+def prescription_tree() -> DomainHierarchyTree:
+    """Three-level drug-classification DHT for the ``prescription`` column."""
+    return from_nested_mapping("prescription", "Any medication", PRESCRIPTION_SPEC)

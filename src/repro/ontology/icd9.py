@@ -1,0 +1,94 @@
+"""ICD-9-style symptom / diagnosis hierarchy for the ``symptom`` column.
+
+The paper bases the DHT for ``symptom`` on the International Classification of
+Diseases (ICD-9).  The full ICD-9 codebook is proprietaryly formatted and not
+available offline, so this module defines an ICD-9-*style* hierarchy —
+chapters, three-digit-style categories and specific conditions — whose shape
+(depth 3, a dozen-plus chapters, ~150 leaf conditions) is comparable to the
+slice of ICD-9 a 20 000-tuple clinical extract would cover.  Binning and
+watermarking only see the tree structure, never the clinical semantics.
+"""
+
+from __future__ import annotations
+
+from repro.dht import DomainHierarchyTree, from_nested_mapping
+
+__all__ = ["symptom_tree", "SYMPTOM_SPEC"]
+
+# Chapter -> category -> list of specific conditions (the leaves).
+SYMPTOM_SPEC: dict[str, dict[str, list[str]]] = {
+    "Infectious diseases": {
+        "Intestinal infections": ["Cholera", "Salmonellosis", "Shigellosis", "E.coli enteritis"],
+        "Tuberculosis": ["Pulmonary TB", "Miliary TB", "TB of meninges"],
+        "Viral infections": ["Measles", "Rubella", "Viral hepatitis", "Herpes zoster", "Infectious mononucleosis"],
+        "Mycoses": ["Candidiasis", "Dermatophytosis", "Aspergillosis"],
+    },
+    "Neoplasms": {
+        "Digestive neoplasms": ["Gastric carcinoma", "Colon carcinoma", "Pancreatic carcinoma", "Hepatic carcinoma"],
+        "Respiratory neoplasms": ["Lung carcinoma", "Laryngeal carcinoma", "Pleural mesothelioma"],
+        "Breast and skin neoplasms": ["Breast carcinoma", "Melanoma", "Basal cell carcinoma"],
+        "Hematologic neoplasms": ["Lymphoma", "Acute leukemia", "Chronic leukemia", "Multiple myeloma"],
+    },
+    "Endocrine and metabolic": {
+        "Diabetes": ["Type 1 diabetes", "Type 2 diabetes", "Gestational diabetes"],
+        "Thyroid disorders": ["Hypothyroidism", "Hyperthyroidism", "Goiter", "Thyroiditis"],
+        "Lipid and nutrition": ["Hyperlipidemia", "Obesity", "Vitamin D deficiency", "Malnutrition"],
+        "Other endocrine": ["Gout", "Cushing syndrome", "Addison disease"],
+    },
+    "Mental disorders": {
+        "Mood disorders": ["Major depression", "Bipolar disorder", "Dysthymia"],
+        "Anxiety disorders": ["Generalized anxiety", "Panic disorder", "Obsessive-compulsive disorder", "PTSD"],
+        "Psychotic disorders": ["Schizophrenia", "Delusional disorder"],
+        "Substance disorders": ["Alcohol dependence", "Opioid dependence", "Nicotine dependence"],
+    },
+    "Nervous system": {
+        "Episodic disorders": ["Migraine", "Tension headache", "Cluster headache", "Epilepsy"],
+        "Degenerative disorders": ["Parkinson disease", "Alzheimer disease", "Multiple sclerosis", "ALS"],
+        "Peripheral disorders": ["Carpal tunnel syndrome", "Peripheral neuropathy", "Bell palsy"],
+        "Sense organ disorders": ["Cataract", "Glaucoma", "Otitis media", "Sensorineural hearing loss"],
+    },
+    "Circulatory system": {
+        "Hypertensive disease": ["Essential hypertension", "Secondary hypertension", "Hypertensive heart disease"],
+        "Ischemic heart disease": ["Angina pectoris", "Acute myocardial infarction", "Chronic ischemic heart disease"],
+        "Arrhythmias and failure": ["Atrial fibrillation", "Ventricular tachycardia", "Congestive heart failure"],
+        "Cerebrovascular disease": ["Ischemic stroke", "Hemorrhagic stroke", "Transient ischemic attack"],
+        "Vascular disease": ["Peripheral artery disease", "Deep vein thrombosis", "Varicose veins", "Aortic aneurysm"],
+    },
+    "Respiratory system": {
+        "Upper respiratory": ["Acute sinusitis", "Acute pharyngitis", "Allergic rhinitis", "Chronic tonsillitis"],
+        "Lower respiratory": ["Acute bronchitis", "Bacterial pneumonia", "Viral pneumonia", "Influenza"],
+        "Chronic airway disease": ["Asthma", "COPD", "Bronchiectasis", "Emphysema"],
+        "Pleural and other": ["Pleural effusion", "Pneumothorax", "Pulmonary fibrosis"],
+    },
+    "Digestive system": {
+        "Upper GI disorders": ["Gastroesophageal reflux", "Gastric ulcer", "Duodenal ulcer", "Gastritis"],
+        "Intestinal disorders": ["Irritable bowel syndrome", "Crohn disease", "Ulcerative colitis", "Diverticulitis", "Appendicitis"],
+        "Liver and pancreas": ["Cirrhosis", "Fatty liver disease", "Cholelithiasis", "Acute pancreatitis"],
+        "Oral and other": ["Dental caries", "Periodontitis", "Celiac disease"],
+    },
+    "Genitourinary system": {
+        "Kidney disease": ["Chronic kidney disease", "Acute kidney injury", "Nephrolithiasis", "Glomerulonephritis"],
+        "Urinary tract": ["Cystitis", "Pyelonephritis", "Urinary incontinence"],
+        "Reproductive system": ["Benign prostatic hyperplasia", "Endometriosis", "Polycystic ovary syndrome", "Uterine fibroids"],
+    },
+    "Skin and musculoskeletal": {
+        "Dermatologic": ["Atopic dermatitis", "Psoriasis", "Acne vulgaris", "Cellulitis", "Urticaria"],
+        "Arthropathies": ["Osteoarthritis", "Rheumatoid arthritis", "Septic arthritis"],
+        "Spine and bone": ["Low back pain", "Lumbar disc herniation", "Osteoporosis", "Scoliosis"],
+        "Soft tissue": ["Fibromyalgia", "Rotator cuff syndrome", "Plantar fasciitis"],
+    },
+    "Injury and poisoning": {
+        "Fractures": ["Wrist fracture", "Hip fracture", "Ankle fracture", "Rib fracture"],
+        "Wounds and burns": ["Laceration", "Second-degree burn", "Concussion", "Contusion"],
+        "Poisoning": ["Drug overdose", "Carbon monoxide poisoning", "Food poisoning"],
+    },
+    "Pregnancy and perinatal": {
+        "Pregnancy complications": ["Preeclampsia", "Gestational hypertension", "Hyperemesis gravidarum"],
+        "Perinatal conditions": ["Preterm birth", "Neonatal jaundice", "Low birth weight"],
+    },
+}
+
+
+def symptom_tree() -> DomainHierarchyTree:
+    """Three-level ICD-9-style DHT for the ``symptom`` column."""
+    return from_nested_mapping("symptom", "Any diagnosis", SYMPTOM_SPEC)

@@ -1,0 +1,54 @@
+"""Practitioner hierarchy for the ``doctor`` column.
+
+The hierarchy mirrors the role DHT of Figure 1 of the paper, extended to the
+granularity of individual (synthetic) practitioners: the hospital sits at the
+root, below it the clinical divisions, then the specialty services, and the
+named doctors are the leaves.  Figure 14 of the paper reports around 20 bins
+for the ``doctor`` attribute; this ontology has a comparable number of
+services and roughly 60 individual practitioners.
+"""
+
+from __future__ import annotations
+
+from repro.dht import DomainHierarchyTree, from_nested_mapping
+
+__all__ = ["doctor_tree", "DOCTOR_SPEC"]
+
+DOCTOR_SPEC: dict[str, dict[str, list[str]]] = {
+    "Medicine division": {
+        "Cardiology service": ["Dr. Alvarez", "Dr. Bennett", "Dr. Cho", "Dr. Das"],
+        "Endocrinology service": ["Dr. Eriksen", "Dr. Farouk", "Dr. Geller"],
+        "Gastroenterology service": ["Dr. Huang", "Dr. Ibrahim", "Dr. Jensen"],
+        "Pulmonology service": ["Dr. Kim", "Dr. Laurent", "Dr. Mbeki"],
+        "Nephrology service": ["Dr. Novak", "Dr. Okafor", "Dr. Petrov"],
+        "Infectious disease service": ["Dr. Quinn", "Dr. Rossi", "Dr. Sato"],
+    },
+    "Surgery division": {
+        "General surgery service": ["Dr. Tanaka", "Dr. Ulrich", "Dr. Vargas", "Dr. Weiss"],
+        "Orthopedic service": ["Dr. Xu", "Dr. Yamada", "Dr. Zhou"],
+        "Cardiothoracic service": ["Dr. Adler", "Dr. Banerjee", "Dr. Castillo"],
+        "Neurosurgery service": ["Dr. Dvorak", "Dr. Eze", "Dr. Fontaine"],
+    },
+    "Women and children division": {
+        "Obstetrics service": ["Dr. Garcia", "Dr. Haddad", "Dr. Ivanova"],
+        "Gynecology service": ["Dr. Jara", "Dr. Kowalski", "Dr. Lindgren"],
+        "Pediatrics service": ["Dr. Moreau", "Dr. Nakamura", "Dr. Olsen", "Dr. Park"],
+        "Neonatology service": ["Dr. Qureshi", "Dr. Ramirez", "Dr. Schmidt"],
+    },
+    "Mental health division": {
+        "Psychiatry service": ["Dr. Thompson", "Dr. Ueda", "Dr. Villanueva"],
+        "Psychology service": ["Dr. Weber", "Dr. Xiong", "Dr. Yilmaz"],
+        "Addiction medicine service": ["Dr. Zimmermann", "Dr. Abbasi", "Dr. Brooks"],
+    },
+    "Emergency and diagnostics division": {
+        "Emergency service": ["Dr. Costa", "Dr. Dimitrov", "Dr. Ellis", "Dr. Ferreira"],
+        "Radiology service": ["Dr. Gupta", "Dr. Horvat", "Dr. Ito"],
+        "Pathology service": ["Dr. Johansson", "Dr. Khan", "Dr. Larsen"],
+        "Anesthesiology service": ["Dr. Martins", "Dr. Nguyen", "Dr. Ortega"],
+    },
+}
+
+
+def doctor_tree() -> DomainHierarchyTree:
+    """Three-level practitioner DHT for the ``doctor`` column."""
+    return from_nested_mapping("doctor", "Any practitioner", DOCTOR_SPEC)

@@ -1,0 +1,91 @@
+"""Registry bundling the per-column DHTs of the standard medical schema."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+from repro.dht import DomainHierarchyTree, from_nested_mapping
+from repro.ontology.age import age_tree
+from repro.ontology.drugs import prescription_tree
+from repro.ontology.geography import zip_code_tree
+from repro.ontology.icd9 import symptom_tree
+from repro.ontology.practitioners import doctor_tree
+
+__all__ = ["OntologyRegistry", "standard_ontology", "roles_tree"]
+
+
+@dataclass(frozen=True)
+class OntologyRegistry:
+    """Immutable mapping from quasi-identifying column name to its DHT."""
+
+    trees: Mapping[str, DomainHierarchyTree]
+
+    def __post_init__(self) -> None:
+        for name, tree in self.trees.items():
+            if tree.attribute != name:
+                raise ValueError(
+                    f"tree registered under {name!r} describes attribute {tree.attribute!r}"
+                )
+
+    def __getitem__(self, column: str) -> DomainHierarchyTree:
+        try:
+            return self.trees[column]
+        except KeyError:
+            raise KeyError(f"no domain hierarchy tree registered for column {column!r}") from None
+
+    def __contains__(self, column: object) -> bool:
+        return column in self.trees
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.trees)
+
+    def __len__(self) -> int:
+        return len(self.trees)
+
+    @property
+    def columns(self) -> list[str]:
+        return list(self.trees)
+
+    def items(self):
+        return self.trees.items()
+
+
+def standard_ontology(age_leaf_width: float = 5.0) -> OntologyRegistry:
+    """The DHT registry for the paper's schema ``R(ssn, age, zip_code, doctor, symptom, prescription)``.
+
+    The identifying column ``ssn`` has no DHT (it is encrypted, not
+    generalised).
+    """
+    return OntologyRegistry(
+        {
+            "age": age_tree(leaf_width=age_leaf_width),
+            "zip_code": zip_code_tree(),
+            "doctor": doctor_tree(),
+            "symptom": symptom_tree(),
+            "prescription": prescription_tree(),
+        }
+    )
+
+
+def roles_tree() -> DomainHierarchyTree:
+    """The illustrative person-role DHT of Figure 1 of the paper.
+
+    Used by documentation examples and tests; it is *not* part of the medical
+    schema but reproduces the figure: Person -> Medical staff / Administrative
+    staff -> Doctor / Paramedic / ... -> specific roles.
+    """
+    return from_nested_mapping(
+        "role",
+        "Person",
+        {
+            "Medical staff": {
+                "Doctor": ["Surgeon", "Physician", "Radiologist"],
+                "Paramedic": ["Pharmacist", "Nurse", "Consultant"],
+            },
+            "Administrative staff": {
+                "Clerical": ["Clerk", "Receptionist"],
+                "Management": ["Administrator", "Director"],
+            },
+        },
+    )

@@ -1,0 +1,76 @@
+"""Small query helpers over :class:`~repro.relational.table.Table`.
+
+These are convenience wrappers expressing the handful of SQL-ish operations
+that appear in the paper's evaluation — most notably the range delete used by
+the Subset-Deletion attack:
+
+    DELETE FROM R WHERE SSN > lval AND SSN < uval
+
+The helpers are deliberately plain functions over predicates so that tests and
+attacks can compose them without a query planner.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.relational.table import Row, Table
+
+__all__ = [
+    "equals",
+    "in_range",
+    "select_where",
+    "delete_where",
+    "project",
+    "group_by_count",
+]
+
+Predicate = Callable[[Row], bool]
+
+
+def equals(column: str, value: object) -> Predicate:
+    """Predicate: ``row[column] == value``."""
+
+    def predicate(row: Row) -> bool:
+        return row[column] == value
+
+    return predicate
+
+
+def in_range(column: str, low: object, high: object, *, inclusive: bool = False) -> Predicate:
+    """Predicate: ``low < row[column] < high`` (or ``<=`` when *inclusive*).
+
+    Values are compared with Python ordering; string identifiers compare
+    lexicographically, which matches the SQL clause in the paper when the SSN
+    column is stored as fixed-width digit strings.
+    """
+
+    def predicate(row: Row) -> bool:
+        value = row[column]
+        if inclusive:
+            return low <= value <= high  # type: ignore[operator]
+        return low < value < high  # type: ignore[operator]
+
+    return predicate
+
+
+def select_where(table: Table, predicate: Predicate) -> Table:
+    """Return a new table of rows satisfying *predicate*."""
+    return table.select(predicate)
+
+
+def delete_where(table: Table, predicate: Predicate) -> int:
+    """Delete rows satisfying *predicate* in place; return count deleted."""
+    return table.delete_where(predicate)
+
+
+def project(table: Table, columns: Sequence[str]) -> list[tuple[object, ...]]:
+    """Return the projection of *table* onto *columns* as a list of tuples."""
+    for name in columns:
+        table.schema.column(name)
+    return [tuple(row[name] for name in columns) for row in table]
+
+
+def group_by_count(table: Table, columns: Sequence[str]) -> dict[tuple[object, ...], int]:
+    """Group rows by the given columns and count each group."""
+    return table.group_by_count(columns)

@@ -1,0 +1,182 @@
+"""Table schemas with the column taxonomy used by the paper.
+
+A :class:`TableSchema` is an ordered collection of :class:`Column` objects.
+Each column carries two orthogonal classifications:
+
+* :class:`ColumnKind` — identifying / quasi-identifying / other, which decides
+  how the protection framework treats it (encrypt, generalise, or leave
+  untouched), and
+* :class:`ColumnType` — categorical or numeric, which decides how its domain
+  hierarchy tree is built and how information loss is computed (Equation 1
+  versus Equation 2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+__all__ = ["ColumnKind", "ColumnType", "Column", "TableSchema"]
+
+
+class ColumnKind(enum.Enum):
+    """Role of a column with respect to identification (Section 2)."""
+
+    IDENTIFYING = "identifying"
+    QUASI_IDENTIFYING = "quasi_identifying"
+    OTHER = "other"
+
+
+class ColumnType(enum.Enum):
+    """Value domain of a column."""
+
+    CATEGORICAL = "categorical"
+    NUMERIC = "numeric"
+
+
+@dataclass(frozen=True)
+class Column:
+    """A single column definition.
+
+    Parameters
+    ----------
+    name:
+        Column name, unique within its schema.
+    kind:
+        Identification role (:class:`ColumnKind`).
+    ctype:
+        Value domain (:class:`ColumnType`).
+    description:
+        Optional human-readable description used in reports.
+    """
+
+    name: str
+    kind: ColumnKind
+    ctype: ColumnType
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("column name must be non-empty")
+
+    @property
+    def is_identifying(self) -> bool:
+        return self.kind is ColumnKind.IDENTIFYING
+
+    @property
+    def is_quasi_identifying(self) -> bool:
+        return self.kind is ColumnKind.QUASI_IDENTIFYING
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.ctype is ColumnType.NUMERIC
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """An ordered, immutable collection of :class:`Column` definitions."""
+
+    columns: tuple[Column, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        names = [column.name for column in self.columns]
+        if len(names) != len(set(names)):
+            duplicates = sorted({name for name in names if names.count(name) > 1})
+            raise ValueError(f"duplicate column names: {duplicates}")
+
+    # ------------------------------------------------------------ constructors
+    @classmethod
+    def from_columns(cls, columns: Iterable[Column]) -> "TableSchema":
+        return cls(tuple(columns))
+
+    # ---------------------------------------------------------------- queries
+    def __iter__(self) -> Iterator[Column]:
+        return iter(self.columns)
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __contains__(self, name: object) -> bool:
+        return any(column.name == name for column in self.columns)
+
+    @property
+    def column_names(self) -> list[str]:
+        return [column.name for column in self.columns]
+
+    def column(self, name: str) -> Column:
+        """Return the column named *name* or raise ``KeyError``."""
+        for column in self.columns:
+            if column.name == name:
+                return column
+        raise KeyError(f"no column named {name!r}")
+
+    def index_of(self, name: str) -> int:
+        """Return the positional index of column *name*."""
+        for index, column in enumerate(self.columns):
+            if column.name == name:
+                return index
+        raise KeyError(f"no column named {name!r}")
+
+    @property
+    def identifying_columns(self) -> list[Column]:
+        return [c for c in self.columns if c.kind is ColumnKind.IDENTIFYING]
+
+    @property
+    def quasi_identifying_columns(self) -> list[Column]:
+        return [c for c in self.columns if c.kind is ColumnKind.QUASI_IDENTIFYING]
+
+    @property
+    def other_columns(self) -> list[Column]:
+        return [c for c in self.columns if c.kind is ColumnKind.OTHER]
+
+    def validate_row(self, row: dict[str, object]) -> None:
+        """Check that *row* provides exactly the schema's columns."""
+        missing = [name for name in self.column_names if name not in row]
+        extra = [name for name in row if name not in self]
+        if missing:
+            raise ValueError(f"row is missing columns {missing}")
+        if extra:
+            raise ValueError(f"row has unexpected columns {sorted(extra)}")
+
+    def with_column(self, column: Column) -> "TableSchema":
+        """Return a new schema with *column* appended."""
+        return TableSchema(self.columns + (column,))
+
+    def replace_kind(self, name: str, kind: ColumnKind) -> "TableSchema":
+        """Return a new schema where column *name* has the given *kind*."""
+        new_columns = []
+        for column in self.columns:
+            if column.name == name:
+                new_columns.append(Column(column.name, kind, column.ctype, column.description))
+            else:
+                new_columns.append(column)
+        if name not in self:
+            raise KeyError(f"no column named {name!r}")
+        return TableSchema(tuple(new_columns))
+
+
+def medical_schema() -> TableSchema:
+    """The schema used throughout the paper's evaluation (Section 7).
+
+    ``R(ssn, age, zip_code, doctor, symptom, prescription)`` with one
+    identifying column (``ssn``) and five quasi-identifying columns.
+    """
+    return TableSchema(
+        (
+            Column("ssn", ColumnKind.IDENTIFYING, ColumnType.CATEGORICAL, "social security number"),
+            Column("age", ColumnKind.QUASI_IDENTIFYING, ColumnType.NUMERIC, "patient age in years"),
+            Column("zip_code", ColumnKind.QUASI_IDENTIFYING, ColumnType.CATEGORICAL, "home zip code"),
+            Column("doctor", ColumnKind.QUASI_IDENTIFYING, ColumnType.CATEGORICAL, "attending practitioner"),
+            Column("symptom", ColumnKind.QUASI_IDENTIFYING, ColumnType.CATEGORICAL, "ICD-9-style diagnosis"),
+            Column(
+                "prescription",
+                ColumnKind.QUASI_IDENTIFYING,
+                ColumnType.CATEGORICAL,
+                "prescribed medication",
+            ),
+        )
+    )
+
+
+__all__.append("medical_schema")

@@ -1,0 +1,169 @@
+"""Row-store table used as the database substrate.
+
+A :class:`Table` couples a :class:`~repro.relational.schema.TableSchema` with
+an ordered list of rows.  Rows are plain ``dict`` objects keyed by column
+name; the table validates them against the schema on insertion.  The class
+offers the operations the protection framework and the attack simulators
+need — nothing more, nothing less:
+
+* insertion / deletion / in-place update,
+* projection of one or several columns,
+* group-by counting (bin sizes for the k-anonymity checks),
+* deep copies (attacks operate on copies of the outsourced table),
+* CSV round-trips for the examples.
+"""
+
+from __future__ import annotations
+
+import csv
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
+
+from repro.relational.schema import ColumnType, TableSchema
+
+__all__ = ["Row", "Table"]
+
+Row = dict[str, object]
+
+
+class Table:
+    """An ordered collection of rows conforming to a schema."""
+
+    def __init__(self, schema: TableSchema, rows: Iterable[Mapping[str, object]] | None = None) -> None:
+        self._schema = schema
+        self._rows: list[Row] = []
+        if rows is not None:
+            for row in rows:
+                self.insert(row)
+
+    # ------------------------------------------------------------- properties
+    @property
+    def schema(self) -> TableSchema:
+        return self._schema
+
+    @property
+    def rows(self) -> list[Row]:
+        """The underlying row list (mutable; callers that need isolation copy)."""
+        return self._rows
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __getitem__(self, index: int) -> Row:
+        return self._rows[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Table):
+            return NotImplemented
+        return self._schema == other._schema and self._rows == other._rows
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Table(columns={self._schema.column_names}, rows={len(self._rows)})"
+
+    # ------------------------------------------------------------ row editing
+    def insert(self, row: Mapping[str, object]) -> None:
+        """Validate *row* against the schema and append it."""
+        as_dict = dict(row)
+        self._schema.validate_row(as_dict)
+        self._rows.append(as_dict)
+
+    def insert_many(self, rows: Iterable[Mapping[str, object]]) -> None:
+        for row in rows:
+            self.insert(row)
+
+    def delete_indices(self, indices: Iterable[int]) -> int:
+        """Delete rows at the given positions; return the number deleted."""
+        to_drop = set(indices)
+        if any(i < 0 or i >= len(self._rows) for i in to_drop):
+            raise IndexError("row index out of range")
+        before = len(self._rows)
+        self._rows = [row for i, row in enumerate(self._rows) if i not in to_drop]
+        return before - len(self._rows)
+
+    def delete_where(self, predicate: Callable[[Row], bool]) -> int:
+        """Delete every row satisfying *predicate*; return the number deleted."""
+        before = len(self._rows)
+        self._rows = [row for row in self._rows if not predicate(row)]
+        return before - len(self._rows)
+
+    def update_where(self, predicate: Callable[[Row], bool], updater: Callable[[Row], None]) -> int:
+        """Apply *updater* in place to every row satisfying *predicate*."""
+        touched = 0
+        for row in self._rows:
+            if predicate(row):
+                updater(row)
+                touched += 1
+        return touched
+
+    # --------------------------------------------------------------- querying
+    def column_values(self, name: str) -> list[object]:
+        """Project a single column (raises ``KeyError`` for unknown columns)."""
+        self._schema.column(name)
+        return [row[name] for row in self._rows]
+
+    def distinct_values(self, name: str) -> set[object]:
+        return set(self.column_values(name))
+
+    def select(self, predicate: Callable[[Row], bool]) -> "Table":
+        """Return a new table containing the rows satisfying *predicate*."""
+        return Table(self._schema, (dict(row) for row in self._rows if predicate(row)))
+
+    def group_by_count(self, names: Sequence[str]) -> dict[tuple[object, ...], int]:
+        """Count rows per combination of values of the given columns.
+
+        This is the primitive behind every k-anonymity check: the bins of the
+        paper are exactly the groups of this aggregation over the
+        quasi-identifying columns.
+        """
+        for name in names:
+            self._schema.column(name)
+        counts: dict[tuple[object, ...], int] = {}
+        for row in self._rows:
+            key = tuple(row[name] for name in names)
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def value_counts(self, name: str) -> dict[object, int]:
+        """Count rows per value of a single column."""
+        counts: dict[object, int] = {}
+        for value in self.column_values(name):
+            counts[value] = counts.get(value, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------ copies
+    def copy(self) -> "Table":
+        """Deep copy of rows (schema objects are immutable and shared)."""
+        return Table(self._schema, (dict(row) for row in self._rows))
+
+    def with_schema(self, schema: TableSchema) -> "Table":
+        """Return a copy re-validated against a (compatible) new schema."""
+        return Table(schema, (dict(row) for row in self._rows))
+
+    # --------------------------------------------------------------------- IO
+    def to_csv(self, path: str) -> None:
+        """Write the table to *path* as CSV with a header row."""
+        with open(path, "w", newline="", encoding="utf-8") as handle:
+            writer = csv.DictWriter(handle, fieldnames=self._schema.column_names)
+            writer.writeheader()
+            for row in self._rows:
+                writer.writerow({name: row[name] for name in self._schema.column_names})
+
+    @classmethod
+    def from_csv(cls, path: str, schema: TableSchema) -> "Table":
+        """Read a CSV written by :meth:`to_csv`, coercing numeric columns."""
+        numeric_columns = {c.name for c in schema if c.ctype is ColumnType.NUMERIC}
+        table = cls(schema)
+        with open(path, newline="", encoding="utf-8") as handle:
+            reader = csv.DictReader(handle)
+            for raw in reader:
+                row: Row = {}
+                for name in schema.column_names:
+                    value: object = raw[name]
+                    if name in numeric_columns:
+                        text = str(value)
+                        value = float(text) if "." in text else int(text)
+                    row[name] = value
+                table.insert(row)
+        return table

@@ -1,0 +1,61 @@
+"""Watermarking of binned relational data (Section 5).
+
+After binning, the quasi-identifying columns are categorical and the only way
+to modify them is to *permute* values among sibling nodes of the domain
+hierarchy tree.  Because the usage metrics leave a gap between the ultimate
+generalization nodes (what binning produced) and the maximal generalization
+nodes (what the data usage tolerates), such permutations stay within the
+allowed information loss — this gap is the watermark bandwidth (Section 5.1).
+
+The package contains:
+
+* :mod:`repro.watermarking.keys` — the secret watermarking key (k1, k2, η),
+* :mod:`repro.watermarking.mark` — mark bit-strings, replication, majority
+  voting and the mark-loss metric used in the evaluation,
+* :mod:`repro.watermarking.selection` — the keyed tuple selection of Eq. (5),
+* :mod:`repro.watermarking.hierarchical` — the hierarchical scheme of
+  Figure 9 (the paper's contribution),
+* :mod:`repro.watermarking.single_level` — the single-level scheme of
+  Section 5.2, vulnerable to the generalization attack (baseline),
+* :mod:`repro.watermarking.baseline_lsb` — an Agrawal–Kiernan style LSB
+  scheme for numeric columns (related-work baseline),
+* :mod:`repro.watermarking.ownership` — the rightful-ownership protocol of
+  Section 5.4.
+"""
+
+from repro.watermarking.keys import WatermarkKey
+from repro.watermarking.mark import (
+    Mark,
+    bits_to_string,
+    majority_vote,
+    mark_loss,
+    random_mark,
+    replicate_mark,
+    string_to_bits,
+)
+from repro.watermarking.selection import is_selected, selected_row_indices
+from repro.watermarking.hierarchical import DetectionReport, EmbeddingReport, HierarchicalWatermarker
+from repro.watermarking.single_level import SingleLevelWatermarker
+from repro.watermarking.baseline_lsb import LSBWatermarker
+from repro.watermarking.ownership import DisputeVerdict, OwnershipClaim, OwnershipRegistry
+
+__all__ = [
+    "WatermarkKey",
+    "Mark",
+    "random_mark",
+    "replicate_mark",
+    "majority_vote",
+    "mark_loss",
+    "bits_to_string",
+    "string_to_bits",
+    "is_selected",
+    "selected_row_indices",
+    "HierarchicalWatermarker",
+    "EmbeddingReport",
+    "DetectionReport",
+    "SingleLevelWatermarker",
+    "LSBWatermarker",
+    "OwnershipRegistry",
+    "OwnershipClaim",
+    "DisputeVerdict",
+]

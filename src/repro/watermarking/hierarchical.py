@@ -1,0 +1,359 @@
+"""The hierarchical watermarking scheme (Section 5.3, Figure 9).
+
+Embedding
+---------
+
+For every selected tuple (Equation 5) and every watermarked column, the
+embedder
+
+1. resolves the tuple's current value to its ultimate generalization node,
+2. climbs to the corresponding **maximal generalization node**, then
+3. walks back *down* the tree, one level at a time: at each level the child
+   whose index (within the sorted sibling set) has the mark bit as its least
+   significant bit is chosen, until an ultimate generalization node is reached
+   again.  That node's value is written back into the cell.
+
+Because the same bit steers the choice at *every* level between the maximal
+and the ultimate frontier, each embedding position carries several redundant
+copies of its bit — one per level.  This per-level redundancy is exactly what
+defeats the generalization attack: generalising the table one level up erases
+the lowest level but leaves the copies at all higher levels intact, whereas the
+single-level scheme of Section 5.2 loses everything.
+
+Detection
+---------
+
+The detector selects the same tuples (it owns k1, k2 and η), resolves each
+cell to a node of the tree — wherever an attacker may have moved it — and
+walks *up* from that node to the maximal generalization frontier, reading the
+parity of the node's index among its siblings at every level.  Per-position
+votes are combined by (optionally level-weighted) majority voting, first
+within a tuple, then across tuples that map to the same position of the
+replicated mark, and finally across the replicated copies of each mark bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.binning.binner import BinnedTable
+from repro.crypto.hashing import keyed_hash
+from repro.dht.node import DHTNode
+from repro.dht.tree import DomainHierarchyTree
+from repro.watermarking.keys import WatermarkKey
+from repro.watermarking.mark import Mark, majority_vote, replicate_mark
+from repro.watermarking.selection import is_selected
+
+__all__ = ["EmbeddingReport", "DetectionReport", "HierarchicalWatermarker"]
+
+DEFAULT_COPIES = 4
+
+
+@dataclass(frozen=True)
+class EmbeddingReport:
+    """What :meth:`HierarchicalWatermarker.embed` did."""
+
+    watermarked: BinnedTable
+    mark: Mark
+    copies: int
+    columns: tuple[str, ...]
+    tuples_selected: int
+    cells_embedded: int
+    cells_changed: int
+    cells_skipped_no_bandwidth: int
+
+    @property
+    def wmd_length(self) -> int:
+        return len(self.mark) * self.copies
+
+
+@dataclass(frozen=True)
+class DetectionReport:
+    """What :meth:`HierarchicalWatermarker.detect` recovered."""
+
+    mark: Mark
+    wmd_bits: tuple[int, ...]
+    positions_with_votes: int
+    tuples_selected: int
+    cells_read: int
+    votes_cast: int
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of replicated-mark positions that received at least one vote."""
+        if not self.wmd_bits:
+            return 0.0
+        return self.positions_with_votes / len(self.wmd_bits)
+
+
+@dataclass
+class _Frontiers:
+    """Per-column node sets resolved once per embed/detect call."""
+
+    tree: DomainHierarchyTree
+    ultimate: list[DHTNode]
+    maximal: list[DHTNode]
+    ultimate_set: set[DHTNode] = field(init=False)
+    maximal_set: set[DHTNode] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.ultimate_set = set(self.ultimate)
+        self.maximal_set = set(self.maximal)
+
+    def maximal_for(self, node: DHTNode) -> DHTNode | None:
+        """``MaxGNd``: the maximal generalization node covering *node*."""
+        for step in node.ancestors(include_self=True):
+            if step in self.maximal_set:
+                return step
+        return None
+
+
+class HierarchicalWatermarker:
+    """Embeds and detects marks with the hierarchical scheme of Figure 9."""
+
+    def __init__(
+        self,
+        key: WatermarkKey,
+        *,
+        columns: Sequence[str] | None = None,
+        copies: int = DEFAULT_COPIES,
+        level_weighting: bool = False,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        key:
+            The secret watermarking key ``(k1, k2, η)``.
+        columns:
+            Quasi-identifying columns to embed into.  ``None`` means every
+            binned column that offers bandwidth (a gap between its ultimate
+            and maximal generalization nodes).
+        copies:
+            Replication factor ``l``: the mark is duplicated ``l`` times into
+            ``wmd`` before embedding (Section 5.3).  The detector must use the
+            same value.
+        level_weighting:
+            When true, votes read from higher tree levels get proportionally
+            larger weights in the per-tuple majority vote, implementing the
+            "copies from a higher level are more reliable" policy of
+            Section 5.3.
+        """
+        if copies < 1:
+            raise ValueError("copies must be at least 1")
+        self._key = key
+        self._columns = tuple(columns) if columns is not None else None
+        self._copies = copies
+        self._level_weighting = level_weighting
+
+    @property
+    def key(self) -> WatermarkKey:
+        return self._key
+
+    @property
+    def copies(self) -> int:
+        return self._copies
+
+    # ---------------------------------------------------------------- helpers
+    def _resolve_columns(self, binned: BinnedTable) -> tuple[str, ...]:
+        if self._columns is not None:
+            for column in self._columns:
+                if column not in binned.quasi_columns:
+                    raise KeyError(f"column {column!r} is not a binned quasi-identifying column")
+            return self._columns
+        return tuple(binned.quasi_columns)
+
+    def _frontiers(self, binned: BinnedTable, columns: Sequence[str]) -> dict[str, _Frontiers]:
+        return {
+            column: _Frontiers(
+                tree=binned.tree(column),
+                ultimate=binned.ultimate_node_objects(column),
+                maximal=binned.maximal_node_objects(column),
+            )
+            for column in columns
+        }
+
+    def _position(self, ident: object, column: str, wmd_length: int) -> int:
+        """Position of this cell's bit within the replicated mark ``wmd``."""
+        return keyed_hash((ident, column, "position"), self._key.k2) % wmd_length
+
+    def _base_index(self, ident: object, column: str, level: int, size: int) -> int:
+        """The keyed base index ``H(t.ident, k2) mod |S|`` of the permutation."""
+        return keyed_hash((ident, column, "index", level), self._key.k2) % size
+
+    @staticmethod
+    def _encode_parity(base_index: int, bit: int, size: int) -> int:
+        """``SetµBit``: force the index parity to *bit*, staying inside the set.
+
+        With an odd sibling-set size the parity-adjusted index can fall one
+        past the end; stepping back by two preserves the parity.  A singleton
+        set cannot encode anything — index 0 is returned and the level simply
+        carries no information (the per-level and per-copy redundancy absorbs
+        it).
+        """
+        if size == 1:
+            return 0
+        desired = (base_index & ~1) | bit
+        if desired >= size:
+            desired -= 2
+        if desired < 0:  # pragma: no cover - unreachable for size >= 2
+            desired = base_index
+        return desired
+
+    # -------------------------------------------------------------- embedding
+    def embed(self, binned: BinnedTable, mark: Mark) -> EmbeddingReport:
+        """Embed *mark* into a copy of *binned* (the original is left untouched)."""
+        columns = self._resolve_columns(binned)
+        frontiers = self._frontiers(binned, columns)
+        watermarked = binned.copy()
+        wmd = replicate_mark(mark, self._copies)
+
+        tuples_selected = 0
+        cells_embedded = 0
+        cells_changed = 0
+        cells_skipped = 0
+
+        for row in watermarked.table:
+            ident = watermarked.ident_value(row)
+            if not is_selected(ident, self._key):
+                continue
+            tuples_selected += 1
+            for column in columns:
+                front = frontiers[column]
+                try:
+                    current = front.tree.value_to_node(row[column], front.ultimate)
+                except ValueError:
+                    # The cell does not carry an ultimate-generalization value
+                    # (should not happen right after binning); leave it alone.
+                    cells_skipped += 1
+                    continue
+                maximal = front.maximal_for(current)
+                if maximal is None or maximal is current:
+                    # No gap between the ultimate and maximal frontier for
+                    # this branch: no bandwidth, nothing to embed.
+                    cells_skipped += 1
+                    continue
+                bit = wmd[self._position(ident, column, len(wmd))]
+                target = maximal
+                level = 0
+                while target not in front.ultimate_set:
+                    siblings = front.tree.children(target)
+                    if not siblings:
+                        # Reached a leaf that is not an ultimate node; should
+                        # not happen for valid frontiers, but never loop.
+                        break
+                    base = self._base_index(ident, column, level, len(siblings))
+                    target = siblings[self._encode_parity(base, bit, len(siblings))]
+                    level += 1
+                if target in front.ultimate_set:
+                    cells_embedded += 1
+                    if row[column] != target.value:
+                        cells_changed += 1
+                    row[column] = target.value
+                else:  # pragma: no cover - defensive, see break above
+                    cells_skipped += 1
+
+        return EmbeddingReport(
+            watermarked=watermarked,
+            mark=mark,
+            copies=self._copies,
+            columns=columns,
+            tuples_selected=tuples_selected,
+            cells_embedded=cells_embedded,
+            cells_changed=cells_changed,
+            cells_skipped_no_bandwidth=cells_skipped,
+        )
+
+    # -------------------------------------------------------------- detection
+    def detect(self, binned: BinnedTable, mark_length: int) -> DetectionReport:
+        """Recover a mark of *mark_length* bits from a (possibly attacked) table."""
+        if mark_length < 1:
+            raise ValueError("mark_length must be at least 1")
+        columns = self._resolve_columns(binned)
+        frontiers = self._frontiers(binned, columns)
+        wmd_length = mark_length * self._copies
+        votes: dict[int, list[int]] = {}
+        vote_weights: dict[int, list[float]] = {}
+
+        tuples_selected = 0
+        cells_read = 0
+        votes_cast = 0
+
+        for row in binned.table:
+            ident = binned.ident_value(row)
+            if not is_selected(ident, self._key):
+                continue
+            tuples_selected += 1
+            for column in columns:
+                front = frontiers[column]
+                node = self._resolve_cell(front.tree, row[column])
+                if node is None:
+                    continue
+                bits, weights = self._read_levels(front, node)
+                if not bits:
+                    continue
+                cells_read += 1
+                position = self._position(ident, column, wmd_length)
+                # Ties among levels are broken in favour of the highest level
+                # read (the copy "from a higher level is more reliable",
+                # Section 5.3); bits are collected bottom-up, so that is the
+                # last entry.
+                tuple_vote = majority_vote(
+                    bits,
+                    weights=weights if self._level_weighting else None,
+                    tie_value=bits[-1],
+                )
+                votes.setdefault(position, []).append(tuple_vote)
+                vote_weights.setdefault(position, []).append(1.0)
+                votes_cast += len(bits)
+
+        wmd_bits = [
+            majority_vote(votes[position]) if position in votes else 0 for position in range(wmd_length)
+        ]
+        mark_bits = []
+        for bit_index in range(mark_length):
+            copy_votes = [
+                wmd_bits[position]
+                for position in range(bit_index, wmd_length, mark_length)
+                if position in votes
+            ]
+            mark_bits.append(majority_vote(copy_votes) if copy_votes else 0)
+
+        return DetectionReport(
+            mark=Mark.from_bits(mark_bits),
+            wmd_bits=tuple(wmd_bits),
+            positions_with_votes=len(votes),
+            tuples_selected=tuples_selected,
+            cells_read=cells_read,
+            votes_cast=votes_cast,
+        )
+
+    @staticmethod
+    def _resolve_cell(tree: DomainHierarchyTree, value: object) -> DHTNode | None:
+        """Map a (possibly attacked) cell value to a tree node, or ``None``."""
+        try:
+            return tree.value_to_node(value)
+        except (ValueError, TypeError):
+            return None
+
+    def _read_levels(self, front: _Frontiers, node: DHTNode) -> tuple[list[int], list[float]]:
+        """Read the index parity at every level from *node* up to the maximal frontier.
+
+        Values already at or above the maximal frontier yield nothing (the
+        loop of Figure 9 never starts); lower levels are read bottom-up, with
+        weights growing toward the top when level weighting is enabled.
+        """
+        bits: list[int] = []
+        current = node
+        while current is not None and current not in front.maximal_set and current.parent is not None:
+            siblings = front.tree.siblings(current)
+            index = siblings.index(current)
+            bits.append(index & 1)
+            current = current.parent
+        if current is None or current not in front.maximal_set:
+            # The walk ran past the root without meeting the maximal frontier:
+            # the value lies outside the watermarked region (e.g. replaced by
+            # an attacker with something above the frontier).
+            return [], []
+        weights = [float(level + 1) for level in range(len(bits))]
+        return bits, weights

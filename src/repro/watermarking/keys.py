@@ -1,0 +1,49 @@
+"""The secret watermarking key.
+
+Table 1 of the paper lists three secret elements: ``k1`` (drives the tuple
+selection of Equation 5), ``k2`` (drives the permutation index and the
+position within the replicated mark) and ``η`` (the selection modulus — on
+average one tuple in ``η`` is selected for embedding).
+
+The paper stresses that k1 and k2 must be distinct so the selection and the
+permutation computations are uncorrelated; :meth:`WatermarkKey.from_secret`
+derives both from a single master secret with domain-separated sub-keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.hashing import derive_subkey
+
+__all__ = ["WatermarkKey"]
+
+
+@dataclass(frozen=True)
+class WatermarkKey:
+    """The secret key material ``(k1, k2, η)`` of the watermarking algorithm."""
+
+    k1: bytes
+    k2: bytes
+    eta: int
+
+    def __post_init__(self) -> None:
+        if not self.k1 or not self.k2:
+            raise ValueError("k1 and k2 must be non-empty")
+        if self.k1 == self.k2:
+            raise ValueError("k1 and k2 must be distinct (uncorrelated computations)")
+        if self.eta < 1:
+            raise ValueError("eta must be at least 1")
+
+    @classmethod
+    def from_secret(cls, secret: bytes | str, eta: int) -> "WatermarkKey":
+        """Derive ``k1`` and ``k2`` from a single master *secret*."""
+        return cls(
+            k1=derive_subkey(secret, "selection"),
+            k2=derive_subkey(secret, "permutation"),
+            eta=eta,
+        )
+
+    def with_eta(self, eta: int) -> "WatermarkKey":
+        """The same key material with a different selection modulus."""
+        return WatermarkKey(self.k1, self.k2, eta)

@@ -1,0 +1,143 @@
+"""Marks, mark replication, majority voting and mark loss.
+
+The mark ``wm`` is a short bit string (the paper's experiments use 20 bits).
+Because the available bandwidth — roughly one embedding position per selected
+tuple and watermarked column — usually exceeds ``|wm|``, the mark is
+replicated ``l`` times into ``wmd`` (``Duplicate`` in Table 1) and the
+detector recovers it with two rounds of majority voting: per ``wmd`` position
+over all the votes cast for it, then per ``wm`` bit over its ``l`` replicated
+copies.
+
+The evaluation's *mark loss* (Figures 12a–c) is the fraction of mark bits the
+detector gets wrong after an attack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.crypto.hashing import mark_from_statistic, one_way_bits
+from repro.crypto.prng import DeterministicPRNG
+
+__all__ = [
+    "Mark",
+    "random_mark",
+    "replicate_mark",
+    "majority_vote",
+    "mark_loss",
+    "bits_to_string",
+    "string_to_bits",
+]
+
+DEFAULT_MARK_LENGTH = 20
+
+
+@dataclass(frozen=True)
+class Mark:
+    """An immutable mark bit string."""
+
+    bits: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.bits:
+            raise ValueError("a mark must contain at least one bit")
+        if any(bit not in (0, 1) for bit in self.bits):
+            raise ValueError("mark bits must be 0 or 1")
+
+    def __len__(self) -> int:
+        return len(self.bits)
+
+    def __iter__(self):
+        return iter(self.bits)
+
+    def __getitem__(self, index: int) -> int:
+        return self.bits[index]
+
+    def __str__(self) -> str:
+        return bits_to_string(self.bits)
+
+    # ------------------------------------------------------------ constructors
+    @classmethod
+    def from_bits(cls, bits: Iterable[int]) -> "Mark":
+        return cls(tuple(int(bit) for bit in bits))
+
+    @classmethod
+    def from_string(cls, text: str) -> "Mark":
+        return cls(tuple(string_to_bits(text)))
+
+    @classmethod
+    def from_statistic(cls, statistic: float, length: int = DEFAULT_MARK_LENGTH, *, precision: float = 1.0) -> "Mark":
+        """Owner mark ``F(v)`` derived from a clear-text identifier statistic (Section 5.4)."""
+        return cls(tuple(mark_from_statistic(statistic, length, precision=precision)))
+
+    @classmethod
+    def from_label(cls, label: object, length: int = DEFAULT_MARK_LENGTH) -> "Mark":
+        """A deterministic mark derived from an arbitrary label (tests, attackers)."""
+        return cls(tuple(one_way_bits(("mark-label", repr(label)), length)))
+
+    # ----------------------------------------------------------------- helpers
+    def hamming_distance(self, other: "Mark") -> int:
+        if len(self) != len(other):
+            raise ValueError("marks must have the same length")
+        return sum(1 for a, b in zip(self.bits, other.bits) if a != b)
+
+    def loss_against(self, other: "Mark") -> float:
+        """Fraction of bits differing from *other* (the evaluation's mark loss)."""
+        return self.hamming_distance(other) / len(self)
+
+
+def random_mark(length: int = DEFAULT_MARK_LENGTH, seed: object = 0) -> Mark:
+    """A reproducible pseudo-random mark (used by tests and benchmarks)."""
+    rng = DeterministicPRNG(("random-mark", seed))
+    return Mark.from_bits(rng.randint(0, 1) for _ in range(length))
+
+
+def replicate_mark(mark: Mark | Sequence[int], copies: int) -> list[int]:
+    """``Duplicate(wm)``: concatenate *copies* copies of the mark into ``wmd``."""
+    if copies < 1:
+        raise ValueError("copies must be at least 1")
+    bits = list(mark.bits if isinstance(mark, Mark) else mark)
+    return bits * copies
+
+
+def majority_vote(votes: Sequence[int], *, weights: Sequence[float] | None = None, tie_value: int = 0) -> int:
+    """``MajorVot``: weighted majority of 0/1 votes; ties resolve to *tie_value*.
+
+    The hierarchical detector can weight votes by the level they were read
+    from (Section 5.3 notes that copies from higher levels may be considered
+    more reliable); unweighted voting is the default.
+    """
+    if weights is None:
+        weights = [1.0] * len(votes)
+    if len(weights) != len(votes):
+        raise ValueError("votes and weights must have the same length")
+    score = 0.0
+    for vote, weight in zip(votes, weights):
+        if vote not in (0, 1):
+            raise ValueError("votes must be 0 or 1")
+        if weight < 0:
+            raise ValueError("weights must be non-negative")
+        score += weight if vote == 1 else -weight
+    if score > 0:
+        return 1
+    if score < 0:
+        return 0
+    return tie_value
+
+
+def mark_loss(original: Mark, detected: Mark) -> float:
+    """Fraction of mark bits recovered incorrectly (the y-axis of Figure 12)."""
+    return detected.loss_against(original)
+
+
+def bits_to_string(bits: Iterable[int]) -> str:
+    return "".join(str(int(bit)) for bit in bits)
+
+
+def string_to_bits(text: str) -> list[int]:
+    if any(char not in "01" for char in text):
+        raise ValueError("mark strings may only contain 0 and 1")
+    if not text:
+        raise ValueError("mark string must be non-empty")
+    return [int(char) for char in text]

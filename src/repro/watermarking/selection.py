@@ -1,0 +1,36 @@
+"""Keyed tuple selection (Equation 5 of the paper).
+
+To keep the alteration small and its location secret, only tuples satisfying
+
+    H(t.ident, k1) mod eta == 0
+
+are used for embedding, where ``t.ident`` is the (encrypted) identifying
+value of the tuple.  On average one tuple in ``η`` is selected; because the
+hash is keyed, an attacker cannot tell which tuples carry mark bits.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.crypto.hashing import keyed_hash
+from repro.watermarking.keys import WatermarkKey
+
+__all__ = ["is_selected", "selected_row_indices", "expected_selection_count"]
+
+
+def is_selected(ident_value: object, key: WatermarkKey) -> bool:
+    """Whether the tuple with (encrypted) identifier *ident_value* is selected."""
+    return keyed_hash(ident_value, key.k1) % key.eta == 0
+
+
+def selected_row_indices(ident_values: Iterable[object], key: WatermarkKey) -> list[int]:
+    """Indices of the selected tuples among *ident_values* (in order)."""
+    return [index for index, ident in enumerate(ident_values) if is_selected(ident, key)]
+
+
+def expected_selection_count(n_rows: int, key: WatermarkKey) -> float:
+    """Expected number of selected tuples (``n / η``), used to size the replication."""
+    if n_rows < 0:
+        raise ValueError("n_rows must be non-negative")
+    return n_rows / key.eta

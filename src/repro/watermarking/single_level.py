@@ -1,0 +1,161 @@
+"""Single-level watermarking (Section 5.2) — the vulnerable baseline.
+
+The direct way to exploit the permutation bandwidth is to embed each bit only
+at the level of the ultimate generalization node and its siblings: the target
+sibling's index parity encodes the bit (descending further only when the
+chosen sibling happens not to be an ultimate node, to keep the generalization
+valid).  Detection reads the parity of the cell's node among its siblings —
+one level, one vote.
+
+The paper introduces this scheme to show why it is **not** enough: the
+*generalization attack* — generalising every value one level up, which the
+usage-metrics gap still allows — wipes out the single encoding level without
+needing the watermarking key.  The hierarchical scheme of
+:mod:`repro.watermarking.hierarchical` exists precisely to defeat that attack,
+and the ablation benchmark compares the two head-to-head.
+"""
+
+from __future__ import annotations
+
+from repro.binning.binner import BinnedTable
+from repro.dht.node import DHTNode
+from repro.watermarking.hierarchical import (
+    DetectionReport,
+    EmbeddingReport,
+    HierarchicalWatermarker,
+    _Frontiers,
+)
+from repro.watermarking.keys import WatermarkKey
+from repro.watermarking.mark import Mark, majority_vote, replicate_mark
+from repro.watermarking.selection import is_selected
+
+__all__ = ["SingleLevelWatermarker"]
+
+
+class SingleLevelWatermarker(HierarchicalWatermarker):
+    """Sion-style categorical embedding at a single tree level.
+
+    Shares tuple selection, replication and majority voting with the
+    hierarchical scheme; only the embedding primitive and the per-cell read
+    differ.
+    """
+
+    # -------------------------------------------------------------- embedding
+    def embed(self, binned: BinnedTable, mark: Mark) -> EmbeddingReport:
+        columns = self._resolve_columns(binned)
+        frontiers = self._frontiers(binned, columns)
+        watermarked = binned.copy()
+        wmd = replicate_mark(mark, self._copies)
+
+        tuples_selected = 0
+        cells_embedded = 0
+        cells_changed = 0
+        cells_skipped = 0
+
+        for row in watermarked.table:
+            ident = watermarked.ident_value(row)
+            if not is_selected(ident, self._key):
+                continue
+            tuples_selected += 1
+            for column in columns:
+                front = frontiers[column]
+                try:
+                    current = front.tree.value_to_node(row[column], front.ultimate)
+                except ValueError:
+                    cells_skipped += 1
+                    continue
+                siblings = front.tree.siblings(current)
+                if len(siblings) < 2:
+                    cells_skipped += 1
+                    continue
+                bit = wmd[self._position(ident, column, len(wmd))]
+                base = self._base_index(ident, column, 0, len(siblings))
+                target = siblings[self._encode_parity(base, bit, len(siblings))]
+                # Keep the generalization valid: if the chosen sibling is not
+                # an ultimate node, descend (keyed, without parity coding)
+                # until one is reached.
+                level = 1
+                while target not in front.ultimate_set and not target.is_leaf:
+                    children = front.tree.children(target)
+                    target = children[self._base_index(ident, column, level, len(children))]
+                    level += 1
+                if target not in front.ultimate_set:
+                    cells_skipped += 1
+                    continue
+                cells_embedded += 1
+                if row[column] != target.value:
+                    cells_changed += 1
+                row[column] = target.value
+
+        return EmbeddingReport(
+            watermarked=watermarked,
+            mark=mark,
+            copies=self._copies,
+            columns=columns,
+            tuples_selected=tuples_selected,
+            cells_embedded=cells_embedded,
+            cells_changed=cells_changed,
+            cells_skipped_no_bandwidth=cells_skipped,
+        )
+
+    # -------------------------------------------------------------- detection
+    def detect(self, binned: BinnedTable, mark_length: int) -> DetectionReport:
+        if mark_length < 1:
+            raise ValueError("mark_length must be at least 1")
+        columns = self._resolve_columns(binned)
+        frontiers = self._frontiers(binned, columns)
+        wmd_length = mark_length * self._copies
+        votes: dict[int, list[int]] = {}
+
+        tuples_selected = 0
+        cells_read = 0
+        votes_cast = 0
+
+        for row in binned.table:
+            ident = binned.ident_value(row)
+            if not is_selected(ident, self._key):
+                continue
+            tuples_selected += 1
+            for column in columns:
+                front = frontiers[column]
+                node = self._resolve_cell(front.tree, row[column])
+                if node is None:
+                    continue
+                vote = self._read_single_level(front, node)
+                if vote is None:
+                    continue
+                cells_read += 1
+                votes_cast += 1
+                position = self._position(ident, column, wmd_length)
+                votes.setdefault(position, []).append(vote)
+
+        wmd_bits = [
+            majority_vote(votes[position]) if position in votes else 0 for position in range(wmd_length)
+        ]
+        mark_bits = []
+        for bit_index in range(mark_length):
+            copy_votes = [
+                wmd_bits[position]
+                for position in range(bit_index, wmd_length, mark_length)
+                if position in votes
+            ]
+            mark_bits.append(majority_vote(copy_votes) if copy_votes else 0)
+
+        return DetectionReport(
+            mark=Mark.from_bits(mark_bits),
+            wmd_bits=tuple(wmd_bits),
+            positions_with_votes=len(votes),
+            tuples_selected=tuples_selected,
+            cells_read=cells_read,
+            votes_cast=votes_cast,
+        )
+
+    @staticmethod
+    def _read_single_level(front: _Frontiers, node: DHTNode) -> int | None:
+        """Read the single-level parity of *node* among its siblings."""
+        if node.parent is None:
+            return None
+        siblings = front.tree.siblings(node)
+        if len(siblings) < 2:
+            return None
+        return siblings.index(node) & 1

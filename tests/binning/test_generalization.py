@@ -1,0 +1,131 @@
+"""Tests for Generalization and MultiColumnGeneralization."""
+
+import pytest
+
+from repro.binning.generalization import Generalization, MultiColumnGeneralization
+from repro.dht.node import Interval
+from repro.metrics.information_loss import leaf_counts
+
+
+class TestGeneralization:
+    def test_identity_and_root(self, role_tree):
+        identity = Generalization.identity(role_tree)
+        root = Generalization.to_root(role_tree)
+        assert len(identity) == len(role_tree.leaves())
+        assert len(root) == 1
+        assert identity.generalize("Nurse") == "Nurse"
+        assert root.generalize("Nurse") == "Person"
+
+    def test_invalid_cut_rejected(self, role_tree):
+        with pytest.raises(ValueError):
+            Generalization(role_tree, [role_tree.node("Doctor")])
+        with pytest.raises(ValueError):
+            Generalization(role_tree, [role_tree.root, role_tree.node("Doctor")])
+
+    def test_from_node_names(self, role_tree):
+        gen = Generalization.from_node_names(role_tree, ["Medical staff", "Administrative staff"])
+        assert gen.generalize("Nurse") == "Medical staff"
+        assert gen.generalize("Clerk") == "Administrative staff"
+        assert gen.node_names == ("Administrative staff", "Medical staff")
+
+    def test_node_for_raw_and_leaf(self, role_tree):
+        gen = Generalization.from_node_names(role_tree, ["Medical staff", "Administrative staff"])
+        assert gen.node_for_raw("Surgeon").name == "Medical staff"
+        assert gen.node_for_leaf(role_tree.node("Clerk")).name == "Administrative staff"
+        with pytest.raises(ValueError):
+            gen.node_for_leaf(role_tree.node("Doctor"))  # not a leaf
+        with pytest.raises(ValueError):
+            gen.node_for_raw("unknown")
+
+    def test_numeric_generalization(self, age8_tree):
+        cut = [node for node in age8_tree.root.children]
+        gen = Generalization(age8_tree, cut)
+        assert gen.generalize(5) == Interval(0, 40)
+        assert gen.generalize(79) == Interval(40, 80)
+
+    def test_deduplicates_nodes(self, role_tree):
+        cut = [role_tree.node("Medical staff"), role_tree.node("Medical staff"), role_tree.node("Administrative staff")]
+        assert len(Generalization(role_tree, cut)) == 2
+
+    def test_refinement_order(self, role_tree):
+        fine = Generalization.identity(role_tree)
+        mid = Generalization.from_node_names(role_tree, ["Medical staff", "Administrative staff"])
+        coarse = Generalization.to_root(role_tree)
+        assert fine.is_refinement_of(mid)
+        assert mid.is_refinement_of(coarse)
+        assert fine.is_refinement_of(coarse)
+        assert not coarse.is_refinement_of(fine)
+        assert mid.is_refinement_of(mid)
+
+    def test_refinement_requires_same_tree(self, role_tree, tiny_tree):
+        with pytest.raises(ValueError):
+            Generalization.identity(role_tree).is_refinement_of(Generalization.identity(tiny_tree))
+
+    def test_equality_and_hash(self, role_tree):
+        a = Generalization.from_node_names(role_tree, ["Medical staff", "Administrative staff"])
+        b = Generalization.from_node_names(role_tree, ["Administrative staff", "Medical staff"])
+        c = Generalization.to_root(role_tree)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+        assert a != "not a generalization"
+
+    def test_losses(self, role_tree):
+        gen = Generalization.from_node_names(role_tree, ["Medical staff", "Administrative staff"])
+        counts = leaf_counts(role_tree, ["Nurse", "Clerk"])
+        assert gen.specificity_loss() == pytest.approx(0.8)
+        assert 0.0 < gen.information_loss(counts) < 1.0
+
+
+class TestMultiColumnGeneralization:
+    def _multi(self, role_tree, age8_tree):
+        return MultiColumnGeneralization(
+            {
+                "role": Generalization.from_node_names(role_tree, ["Medical staff", "Administrative staff"]),
+                "age": Generalization(age8_tree, list(age8_tree.root.children)),
+            }
+        )
+
+    def test_lookup_and_iteration(self, role_tree, age8_tree):
+        multi = self._multi(role_tree, age8_tree)
+        assert set(multi.columns) == {"role", "age"}
+        assert "role" in multi and "missing" not in multi
+        assert multi["role"].attribute == "role"
+        with pytest.raises(KeyError):
+            multi["missing"]
+        assert dict(multi.items())["age"].attribute == "age"
+
+    def test_generalize_row(self, role_tree, age8_tree):
+        multi = self._multi(role_tree, age8_tree)
+        generalized = multi.generalize_row({"role": "Nurse", "age": 33, "other": "x"})
+        assert generalized == {"role": "Medical staff", "age": Interval(0, 40)}
+
+    def test_node_names_serialisation(self, role_tree, age8_tree):
+        names = self._multi(role_tree, age8_tree).node_names()
+        assert set(names) == {"role", "age"}
+        assert "Medical staff" in names["role"]
+
+    def test_total_specificity_loss(self, role_tree, age8_tree):
+        multi = self._multi(role_tree, age8_tree)
+        losses = multi.specificity_losses()
+        assert multi.total_specificity_loss() == pytest.approx(sum(losses.values()))
+
+    def test_with_replaced(self, role_tree, age8_tree):
+        multi = self._multi(role_tree, age8_tree)
+        replaced = multi.with_replaced("role", Generalization.to_root(role_tree))
+        assert replaced["role"].generalize("Nurse") == "Person"
+        assert multi["role"].generalize("Nurse") == "Medical staff"
+        with pytest.raises(KeyError):
+            multi.with_replaced("missing", Generalization.to_root(role_tree))
+
+    def test_identity_constructor(self, role_tree, age8_tree):
+        multi = MultiColumnGeneralization.identity({"role": role_tree, "age": age8_tree}, ["role", "age"])
+        assert multi.total_specificity_loss() == 0.0
+
+    def test_mismatched_column_name_rejected(self, role_tree):
+        with pytest.raises(ValueError):
+            MultiColumnGeneralization({"age": Generalization.identity(role_tree)})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MultiColumnGeneralization({})

@@ -1,0 +1,127 @@
+"""Tests for mono-attribute downward binning (Figure 5)."""
+
+import pytest
+
+from repro.binning.errors import NotBinnableError
+from repro.binning.mono import gen_min_nodes, num_tuples_under
+from repro.metrics.information_loss import leaf_counts
+from repro.metrics.usage_metrics import frontier_at_depth
+
+
+def _role_counts(role_tree, spec):
+    """Build leaf counts from a {leaf name: count} mapping."""
+    values = []
+    for name, count in spec.items():
+        values.extend([name] * count)
+    return leaf_counts(role_tree, values)
+
+
+class TestNumTuplesUnder:
+    def test_counts_subtree(self, role_tree):
+        counts = _role_counts(role_tree, {"Nurse": 3, "Surgeon": 2, "Clerk": 5})
+        assert num_tuples_under(role_tree.node("Paramedic"), counts) == 3
+        assert num_tuples_under(role_tree.node("Medical staff"), counts) == 5
+        assert num_tuples_under(role_tree.root, counts) == 10
+        assert num_tuples_under(role_tree.node("Director"), counts) == 0
+
+
+class TestGenMinNodes:
+    def test_no_generalization_needed(self, role_tree):
+        counts = _role_counts(role_tree, {leaf.name: 5 for leaf in role_tree.leaves()})
+        minimal = gen_min_nodes(role_tree, [role_tree.root], counts, k=5)
+        assert set(minimal) == set(role_tree.leaves())
+
+    def test_partial_generalization(self, role_tree):
+        # Doctors are plentiful individually; paramedics only in aggregate.
+        counts = _role_counts(
+            role_tree,
+            {
+                "Surgeon": 5,
+                "Physician": 5,
+                "Radiologist": 5,
+                "Pharmacist": 2,
+                "Nurse": 2,
+                "Consultant": 2,
+                "Clerk": 5,
+                "Receptionist": 5,
+                "Administrator": 5,
+                "Director": 5,
+            },
+        )
+        minimal = gen_min_nodes(role_tree, [role_tree.root], counts, k=5)
+        names = {node.name for node in minimal}
+        assert "Paramedic" in names          # merged: each child has only 2
+        assert "Surgeon" in names            # kept: satisfies k on its own
+        assert "Clerk" in names
+        assert role_tree.is_valid_cut(minimal)
+
+    def test_simple_rationale_stops_when_any_child_fails(self, role_tree):
+        # One administrative leaf is rare -> the whole Clerical subtree stays merged.
+        counts = _role_counts(
+            role_tree,
+            {"Clerk": 50, "Receptionist": 1, "Administrator": 10, "Director": 10,
+             "Surgeon": 10, "Physician": 10, "Radiologist": 10,
+             "Pharmacist": 10, "Nurse": 10, "Consultant": 10},
+        )
+        minimal = gen_min_nodes(role_tree, [role_tree.root], counts, k=5)
+        names = {node.name for node in minimal}
+        assert "Clerical" in names
+        assert "Clerk" not in names
+
+    def test_respects_maximal_frontier(self, role_tree):
+        counts = _role_counts(role_tree, {leaf.name: 10 for leaf in role_tree.leaves()})
+        frontier = frontier_at_depth(role_tree, 1)
+        minimal = gen_min_nodes(role_tree, frontier, counts, k=10)
+        assert set(minimal) == set(role_tree.leaves())
+        # Starting from a frontier, the result never rises above it.
+        for node in gen_min_nodes(role_tree, frontier, counts, k=40):
+            assert any(anchor is node or anchor.is_ancestor_of(node) for anchor in frontier)
+
+    def test_empty_maximal_node_is_kept(self, role_tree):
+        counts = _role_counts(role_tree, {"Surgeon": 10, "Physician": 10, "Radiologist": 10,
+                                          "Pharmacist": 10, "Nurse": 10, "Consultant": 10})
+        # No administrative staff at all: that side of the frontier is kept as-is.
+        frontier = frontier_at_depth(role_tree, 1)
+        minimal = gen_min_nodes(role_tree, frontier, counts, k=5)
+        assert role_tree.node("Administrative staff") in minimal
+        assert role_tree.is_valid_cut(minimal)
+
+    def test_not_binnable_raises(self, role_tree):
+        counts = _role_counts(role_tree, {"Nurse": 3, "Clerk": 3})
+        frontier = frontier_at_depth(role_tree, 1)  # each side has only 3 < k
+        with pytest.raises(NotBinnableError) as excinfo:
+            gen_min_nodes(role_tree, frontier, counts, k=5)
+        assert excinfo.value.column == "role"
+        assert excinfo.value.k == 5
+
+    def test_whole_table_smaller_than_k(self, role_tree):
+        counts = _role_counts(role_tree, {"Nurse": 3})
+        with pytest.raises(NotBinnableError):
+            gen_min_nodes(role_tree, [role_tree.root], counts, k=5)
+
+    def test_numeric_tree(self, age8_tree):
+        counts = leaf_counts(age8_tree, [5, 7, 9, 15, 25, 27, 35, 45, 55, 65, 75, 78])
+        minimal = gen_min_nodes(age8_tree, [age8_tree.root], counts, k=3)
+        assert age8_tree.is_valid_cut(minimal)
+        sizes = {}
+        for node in minimal:
+            sizes[node] = sum(counts.get(leaf, 0) for leaf in node.leaves())
+        assert all(size >= 3 or size == 0 for size in sizes.values())
+
+    def test_every_minimal_bin_meets_k(self, role_tree):
+        counts = _role_counts(role_tree, {leaf.name: i + 1 for i, leaf in enumerate(role_tree.leaves())})
+        for k in (2, 4, 8, 15):
+            try:
+                minimal = gen_min_nodes(role_tree, [role_tree.root], counts, k=k)
+            except NotBinnableError:
+                continue
+            for node in minimal:
+                covered = num_tuples_under(node, counts)
+                assert covered == 0 or covered >= k
+
+    def test_validation(self, role_tree):
+        counts = _role_counts(role_tree, {"Nurse": 10})
+        with pytest.raises(ValueError):
+            gen_min_nodes(role_tree, [role_tree.root], counts, k=0)
+        with pytest.raises(ValueError):
+            gen_min_nodes(role_tree, [role_tree.node("Doctor")], counts, k=2)

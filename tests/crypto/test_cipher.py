@@ -1,0 +1,112 @@
+"""Tests for the Feistel block cipher and the field encryptor."""
+
+import pytest
+
+from repro.crypto.cipher import FeistelCipher, FieldEncryptor
+
+
+class TestFeistelCipher:
+    def test_roundtrip_small_values(self):
+        cipher = FeistelCipher(b"key")
+        for block in (0, 1, 255, 2**32, 2**64 - 1):
+            assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+    def test_roundtrip_many_blocks(self):
+        cipher = FeistelCipher("another key")
+        for block in range(0, 5000, 37):
+            assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+    def test_is_a_permutation_on_a_sample(self):
+        cipher = FeistelCipher("key")
+        outputs = {cipher.encrypt_block(block) for block in range(512)}
+        assert len(outputs) == 512
+
+    def test_encryption_depends_on_key(self):
+        assert FeistelCipher("k1").encrypt_block(1234) != FeistelCipher("k2").encrypt_block(1234)
+
+    def test_encryption_is_deterministic(self):
+        assert FeistelCipher("k").encrypt_block(99) == FeistelCipher("k").encrypt_block(99)
+
+    def test_output_in_block_range(self):
+        cipher = FeistelCipher("k")
+        for block in (0, 123456789, 2**64 - 1):
+            assert 0 <= cipher.encrypt_block(block) < 2**64
+
+    def test_rejects_out_of_range_blocks(self):
+        cipher = FeistelCipher("k")
+        with pytest.raises(ValueError):
+            cipher.encrypt_block(2**64)
+        with pytest.raises(ValueError):
+            cipher.encrypt_block(-1)
+        with pytest.raises(ValueError):
+            cipher.decrypt_block(2**64)
+
+    def test_rejects_too_few_rounds(self):
+        with pytest.raises(ValueError):
+            FeistelCipher("k", rounds=3)
+
+    def test_rejects_empty_key(self):
+        with pytest.raises(ValueError):
+            FeistelCipher(b"")
+
+    def test_rounds_property(self):
+        assert FeistelCipher("k", rounds=12).rounds == 12
+
+
+class TestFieldEncryptor:
+    def test_roundtrip_ssn(self):
+        enc = FieldEncryptor("secret")
+        token = enc.encrypt("123456789")
+        assert token != "123456789"
+        assert enc.decrypt(token) == "123456789"
+
+    def test_roundtrip_non_numeric(self):
+        enc = FieldEncryptor("secret")
+        for value in ("", "a", "hello world", "ünïcødé", "x" * 100):
+            assert enc.decrypt(enc.encrypt(value)) == value
+
+    def test_roundtrip_non_string_values(self):
+        enc = FieldEncryptor("secret")
+        assert enc.decrypt(enc.encrypt(424242)) == "424242"
+
+    def test_deterministic(self):
+        enc = FieldEncryptor("secret")
+        assert enc.encrypt("123456789") == enc.encrypt("123456789")
+
+    def test_distinct_values_distinct_tokens(self):
+        enc = FieldEncryptor("secret")
+        tokens = {enc.encrypt(f"{i:09d}") for i in range(500)}
+        assert len(tokens) == 500
+
+    def test_token_is_hex(self):
+        token = FieldEncryptor("secret").encrypt("123456789")
+        int(token, 16)  # does not raise
+        assert len(token) % 16 == 0
+
+    def test_key_matters(self):
+        assert FieldEncryptor("k1").encrypt("123") != FieldEncryptor("k2").encrypt("123")
+
+    def test_wrong_key_does_not_recover_plaintext(self):
+        token = FieldEncryptor("right-key").encrypt("123456789")
+        try:
+            recovered = FieldEncryptor("wrong-key").decrypt(token)
+        except (ValueError, UnicodeDecodeError):
+            return
+        assert recovered != "123456789"
+
+    def test_decrypt_rejects_malformed_tokens(self):
+        enc = FieldEncryptor("secret")
+        with pytest.raises(ValueError):
+            enc.decrypt("")
+        with pytest.raises(ValueError):
+            enc.decrypt("abc")  # not a multiple of 16
+        with pytest.raises(ValueError):
+            enc.decrypt("zz" * 8)  # not hexadecimal
+
+    def test_long_values_use_chaining(self):
+        enc = FieldEncryptor("secret")
+        token = enc.encrypt("ab" * 40)
+        # CBC-style chaining: repeated plaintext blocks must not produce
+        # repeated ciphertext blocks.
+        blocks = [token[i : i + 16] for i in range(0, len(token), 16)]
+        assert len(set(blocks)) == len(blocks)

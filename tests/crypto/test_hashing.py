@@ -1,0 +1,121 @@
+"""Tests for the keyed hash and the one-way mark-derivation function."""
+
+import pytest
+
+from repro.crypto.hashing import (
+    derive_subkey,
+    keyed_hash,
+    keyed_hash_bytes,
+    mark_from_statistic,
+    one_way_bits,
+)
+
+
+class TestKeyedHash:
+    def test_deterministic(self):
+        assert keyed_hash("abc", "key") == keyed_hash("abc", "key")
+
+    def test_key_changes_output(self):
+        assert keyed_hash("abc", "key-1") != keyed_hash("abc", "key-2")
+
+    def test_value_changes_output(self):
+        assert keyed_hash("abc", "key") != keyed_hash("abd", "key")
+
+    def test_non_negative(self):
+        assert keyed_hash("abc", "key") >= 0
+
+    def test_bytes_digest_length(self):
+        assert len(keyed_hash_bytes("abc", "key")) == 32
+
+    def test_accepts_int_values(self):
+        assert keyed_hash(42, "key") != keyed_hash(43, "key")
+
+    def test_accepts_int_keys(self):
+        assert keyed_hash("abc", 7) == keyed_hash("abc", 7)
+
+    def test_accepts_float_and_none(self):
+        assert keyed_hash(1.5, "key") != keyed_hash(None, "key")
+
+    def test_accepts_bool(self):
+        assert keyed_hash(True, "key") != keyed_hash(False, "key")
+
+    def test_tuple_framing_is_unambiguous(self):
+        assert keyed_hash(("ab", "c"), "key") != keyed_hash(("a", "bc"), "key")
+
+    def test_nested_tuples(self):
+        assert keyed_hash(("a", ("b", 1)), "key") != keyed_hash(("a", ("b", 2)), "key")
+
+    def test_int_and_string_do_not_collide(self):
+        assert keyed_hash(42, "key") != keyed_hash("42", "key")
+
+    def test_unhashable_type_rejected(self):
+        with pytest.raises(TypeError):
+            keyed_hash(object(), "key")
+
+    def test_unsupported_key_type_rejected(self):
+        with pytest.raises(TypeError):
+            keyed_hash("abc", 1.5)
+
+    def test_modular_distribution_roughly_uniform(self):
+        # The hash drives "mod eta" selection; a crude chi-square-ish sanity
+        # check that residues are not wildly skewed.
+        counts = [0] * 10
+        for i in range(2000):
+            counts[keyed_hash(("tuple", i), "key") % 10] += 1
+        assert min(counts) > 120
+        assert max(counts) < 280
+
+
+class TestDeriveSubkey:
+    def test_distinct_labels_give_distinct_keys(self):
+        assert derive_subkey("secret", "selection") != derive_subkey("secret", "permutation")
+
+    def test_deterministic(self):
+        assert derive_subkey("secret", "a") == derive_subkey("secret", "a")
+
+    def test_distinct_secrets_give_distinct_keys(self):
+        assert derive_subkey("secret-1", "a") != derive_subkey("secret-2", "a")
+
+    def test_length(self):
+        assert len(derive_subkey("secret", "a")) == 32
+
+
+class TestOneWayBits:
+    def test_length_respected(self):
+        assert len(one_way_bits("value", 20)) == 20
+        assert len(one_way_bits("value", 300)) == 300
+
+    def test_bits_are_binary(self):
+        assert set(one_way_bits("value", 64)) <= {0, 1}
+
+    def test_deterministic(self):
+        assert one_way_bits("v", 32) == one_way_bits("v", 32)
+
+    def test_different_inputs_differ(self):
+        assert one_way_bits("v1", 64) != one_way_bits("v2", 64)
+
+    def test_rejects_non_positive_length(self):
+        with pytest.raises(ValueError):
+            one_way_bits("v", 0)
+
+
+class TestMarkFromStatistic:
+    def test_quantisation_maps_nearby_values_to_same_mark(self):
+        assert mark_from_statistic(1_000_000.2, 20, precision=1.0) == mark_from_statistic(
+            1_000_000.4, 20, precision=1.0
+        )
+
+    def test_distant_values_differ(self):
+        assert mark_from_statistic(1.0, 20) != mark_from_statistic(2.0e9, 20)
+
+    def test_rejects_bad_precision(self):
+        with pytest.raises(ValueError):
+            mark_from_statistic(1.0, 20, precision=0.0)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            mark_from_statistic(float("nan"), 20)
+
+    def test_rejects_infinity(self):
+        with pytest.raises(ValueError):
+            mark_from_statistic(float("inf"), 20)

@@ -1,0 +1,147 @@
+"""Tests for the deterministic PRNG."""
+
+import math
+
+import pytest
+
+from repro.crypto.prng import DeterministicPRNG
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = [DeterministicPRNG("seed").random() for _ in range(1)]
+        b = [DeterministicPRNG("seed").random() for _ in range(1)]
+        assert a == b
+
+    def test_structured_seeds(self):
+        a = DeterministicPRNG(("fig12a", 50, 3)).randint(0, 1000)
+        b = DeterministicPRNG(("fig12a", 50, 3)).randint(0, 1000)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = [DeterministicPRNG("seed-1").random() for _ in range(5)]
+        b = [DeterministicPRNG("seed-2").random() for _ in range(5)]
+        assert a != b
+
+    def test_spawn_is_independent_and_deterministic(self):
+        parent = DeterministicPRNG("seed")
+        child_a = parent.spawn("a")
+        child_b = parent.spawn("b")
+        assert child_a.random() != child_b.random()
+        assert DeterministicPRNG("seed").spawn("a").random() == DeterministicPRNG("seed").spawn("a").random()
+
+
+class TestDistributions:
+    def test_random_in_unit_interval(self):
+        rng = DeterministicPRNG(0)
+        values = [rng.random() for _ in range(2000)]
+        assert all(0.0 <= value < 1.0 for value in values)
+        assert 0.45 < sum(values) / len(values) < 0.55
+
+    def test_randint_bounds_inclusive(self):
+        rng = DeterministicPRNG(1)
+        values = [rng.randint(3, 7) for _ in range(2000)]
+        assert set(values) == {3, 4, 5, 6, 7}
+
+    def test_randint_single_value(self):
+        assert DeterministicPRNG(2).randint(5, 5) == 5
+
+    def test_randint_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            DeterministicPRNG(0).randint(5, 4)
+
+    def test_uniform_bounds(self):
+        rng = DeterministicPRNG(3)
+        assert all(2.0 <= rng.uniform(2.0, 4.0) < 4.0 for _ in range(200))
+
+    def test_gauss_moments(self):
+        rng = DeterministicPRNG(4)
+        values = [rng.gauss(10.0, 2.0) for _ in range(4000)]
+        mean = sum(values) / len(values)
+        var = sum((v - mean) ** 2 for v in values) / len(values)
+        assert abs(mean - 10.0) < 0.2
+        assert abs(math.sqrt(var) - 2.0) < 0.2
+
+    def test_random_bytes_length(self):
+        rng = DeterministicPRNG(5)
+        assert len(rng.random_bytes(100)) == 100
+        assert rng.random_bytes(0) == b""
+
+    def test_random_bytes_rejects_negative(self):
+        with pytest.raises(ValueError):
+            DeterministicPRNG(0).random_bytes(-1)
+
+    def test_zipf_index_skews_low(self):
+        rng = DeterministicPRNG(6)
+        draws = [rng.zipf_index(50, exponent=1.2) for _ in range(1500)]
+        assert all(0 <= d < 50 for d in draws)
+        low = sum(1 for d in draws if d < 10)
+        high = sum(1 for d in draws if d >= 40)
+        assert low > high
+
+
+class TestCollections:
+    def test_choice_covers_all_items(self):
+        rng = DeterministicPRNG(7)
+        items = ["a", "b", "c"]
+        assert {rng.choice(items) for _ in range(200)} == set(items)
+
+    def test_choice_empty_raises(self):
+        with pytest.raises(IndexError):
+            DeterministicPRNG(0).choice([])
+
+    def test_weighted_choice_respects_weights(self):
+        rng = DeterministicPRNG(8)
+        draws = [rng.weighted_choice(["x", "y"], [9.0, 1.0]) for _ in range(2000)]
+        assert draws.count("x") > draws.count("y") * 4
+
+    def test_weighted_choice_zero_weight_never_drawn(self):
+        rng = DeterministicPRNG(9)
+        draws = {rng.weighted_choice(["x", "y", "z"], [1.0, 0.0, 1.0]) for _ in range(500)}
+        assert "y" not in draws
+
+    def test_weighted_choice_validation(self):
+        rng = DeterministicPRNG(0)
+        with pytest.raises(ValueError):
+            rng.weighted_choice(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            rng.weighted_choice(["a", "b"], [0.0, 0.0])
+        with pytest.raises(ValueError):
+            rng.weighted_choice(["a", "b"], [1.0, -1.0])
+        with pytest.raises(IndexError):
+            rng.weighted_choice([], [])
+
+    def test_sample_without_replacement(self):
+        rng = DeterministicPRNG(10)
+        sample = rng.sample(range(100), 30)
+        assert len(sample) == 30
+        assert len(set(sample)) == 30
+
+    def test_sample_validation(self):
+        rng = DeterministicPRNG(0)
+        with pytest.raises(ValueError):
+            rng.sample([1, 2], 3)
+        with pytest.raises(ValueError):
+            rng.sample([1, 2], -1)
+
+    def test_shuffle_is_permutation(self):
+        rng = DeterministicPRNG(11)
+        items = list(range(50))
+        shuffled = list(items)
+        rng.shuffle(shuffled)
+        assert sorted(shuffled) == items
+        assert shuffled != items
+
+    def test_subset_indices_size_and_sortedness(self):
+        rng = DeterministicPRNG(12)
+        subset = rng.subset_indices(100, 0.3)
+        assert len(subset) == 30
+        assert subset == sorted(subset)
+        assert all(0 <= index < 100 for index in subset)
+
+    def test_subset_indices_extremes(self):
+        rng = DeterministicPRNG(13)
+        assert rng.subset_indices(10, 0.0) == []
+        assert len(rng.subset_indices(10, 1.0)) == 10
+        with pytest.raises(ValueError):
+            rng.subset_indices(10, 1.5)

@@ -1,0 +1,105 @@
+"""Tests for the data-generation distributions."""
+
+import pytest
+
+from repro.crypto.prng import DeterministicPRNG
+from repro.datagen.distributions import AgeMixture, GroupedSkewedCategorical, SkewedCategorical
+
+
+class TestSkewedCategorical:
+    def test_samples_come_from_values(self):
+        dist = SkewedCategorical(["a", "b", "c"], seed=1)
+        rng = DeterministicPRNG(0)
+        assert {dist.sample(rng) for _ in range(200)} <= {"a", "b", "c"}
+
+    def test_skew_present(self):
+        dist = SkewedCategorical([f"v{i}" for i in range(40)], exponent=1.3, seed=2)
+        rng = DeterministicPRNG(1)
+        counts: dict[str, int] = {}
+        for _ in range(3000):
+            value = dist.sample(rng)
+            counts[value] = counts.get(value, 0) + 1
+        assert max(counts.values()) > 8 * (3000 / 40)
+
+    def test_probability_sums_to_one(self):
+        dist = SkewedCategorical(["a", "b", "c", "d"], seed=3)
+        assert abs(sum(dist.probability(v) for v in "abcd") - 1.0) < 1e-9
+        assert dist.probability("missing") == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SkewedCategorical([])
+        with pytest.raises(ValueError):
+            SkewedCategorical(["a"], exponent=-1)
+
+    def test_seed_changes_rank_assignment(self):
+        values = [f"v{i}" for i in range(30)]
+        a = SkewedCategorical(values, seed="col-a")
+        b = SkewedCategorical(values, seed="col-b")
+        assert a.values != b.values
+
+
+class TestGroupedSkewedCategorical:
+    GROUPS = {
+        "g1": ["a1", "a2", "a3"],
+        "g2": ["b1", "b2"],
+        "g3": ["c1", "c2", "c3", "c4"],
+        "g4": ["d1"],
+    }
+
+    def test_samples_respect_group_membership(self):
+        dist = GroupedSkewedCategorical(self.GROUPS, seed=0)
+        rng = DeterministicPRNG(0)
+        all_leaves = {leaf for leaves in self.GROUPS.values() for leaf in leaves}
+        assert {dist.sample(rng) for _ in range(500)} <= all_leaves
+
+    def test_minimum_group_share_enforced(self):
+        dist = GroupedSkewedCategorical(self.GROUPS, min_group_share=0.1, seed=1)
+        for group in self.GROUPS:
+            assert dist.group_share(group) >= 0.1 - 1e-9
+
+    def test_group_shares_sum_to_one(self):
+        dist = GroupedSkewedCategorical(self.GROUPS, min_group_share=0.05, seed=2)
+        assert abs(sum(dist.group_share(group) for group in self.GROUPS) - 1.0) < 1e-9
+
+    def test_empirical_group_floor(self):
+        dist = GroupedSkewedCategorical(self.GROUPS, min_group_share=0.1, seed=3)
+        rng = DeterministicPRNG(4)
+        counts = {group: 0 for group in self.GROUPS}
+        leaf_to_group = {leaf: group for group, leaves in self.GROUPS.items() for leaf in leaves}
+        n = 4000
+        for _ in range(n):
+            counts[leaf_to_group[dist.sample(rng)]] += 1
+        assert min(counts.values()) > 0.06 * n
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GroupedSkewedCategorical({})
+        with pytest.raises(ValueError):
+            GroupedSkewedCategorical(self.GROUPS, min_group_share=0.3)  # 4 * 0.3 > 1
+
+
+class TestAgeMixture:
+    def test_samples_in_domain(self):
+        mixture = AgeMixture()
+        rng = DeterministicPRNG(5)
+        samples = [mixture.sample(rng) for _ in range(2000)]
+        assert all(0 <= age < 150 for age in samples)
+        assert all(isinstance(age, int) for age in samples)
+
+    def test_adults_dominate(self):
+        mixture = AgeMixture()
+        rng = DeterministicPRNG(6)
+        samples = [mixture.sample(rng) for _ in range(3000)]
+        adults = sum(1 for age in samples if 18 <= age < 90)
+        assert adults > 0.7 * len(samples)
+
+    def test_elderly_component_present(self):
+        mixture = AgeMixture()
+        rng = DeterministicPRNG(7)
+        samples = [mixture.sample(rng) for _ in range(3000)]
+        assert sum(1 for age in samples if age >= 65) > 0.15 * len(samples)
+
+    def test_invalid_domain(self):
+        with pytest.raises(ValueError):
+            AgeMixture(lower=100, upper=50)

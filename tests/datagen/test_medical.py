@@ -1,0 +1,89 @@
+"""Tests for the synthetic clinical data generator."""
+
+import pytest
+
+from repro.datagen.medical import DEFAULT_SIZE, MedicalDataGenerator, generate_medical_table
+from repro.ontology.registry import standard_ontology
+
+
+class TestGeneration:
+    def test_size_and_schema(self, small_table):
+        assert len(small_table) == 400
+        assert small_table.schema.column_names == [
+            "ssn",
+            "age",
+            "zip_code",
+            "doctor",
+            "symptom",
+            "prescription",
+        ]
+
+    def test_default_size_matches_paper(self):
+        assert DEFAULT_SIZE == 20_000
+        assert MedicalDataGenerator().size == 20_000
+
+    def test_deterministic_per_seed(self):
+        a = generate_medical_table(size=100, seed=5)
+        b = generate_medical_table(size=100, seed=5)
+        c = generate_medical_table(size=100, seed=6)
+        assert a == b
+        assert a != c
+
+    def test_rejects_non_positive_size(self):
+        with pytest.raises(ValueError):
+            MedicalDataGenerator(size=0)
+
+    def test_ssns_unique_and_nine_digits(self, small_table):
+        ssns = small_table.column_values("ssn")
+        assert len(set(ssns)) == len(ssns)
+        assert all(len(str(ssn)) == 9 and str(ssn).isdigit() for ssn in ssns)
+
+    def test_ages_are_integers_in_domain(self, small_table):
+        ages = small_table.column_values("age")
+        assert all(isinstance(age, int) and 0 <= age < 150 for age in ages)
+
+
+class TestDomainConsistency:
+    def test_every_value_resolves_to_an_ontology_leaf(self, small_table):
+        registry = standard_ontology()
+        for column in registry.columns:
+            tree = registry[column]
+            for value in small_table.distinct_values(column):
+                tree.leaf_for_raw(value)  # must not raise
+
+    def test_top_level_categories_all_populated(self, medium_table):
+        """Every depth-1 DHT node holds a non-trivial share of the rows.
+
+        This is the property that keeps binning feasible for the k values the
+        paper sweeps (see the generator's min_group_share).
+        """
+        registry = standard_ontology()
+        n = len(medium_table)
+        for column in ("zip_code", "doctor", "symptom", "prescription"):
+            tree = registry[column]
+            for top in tree.children(tree.root):
+                leaves = {leaf.value for leaf in top.leaves()}
+                count = sum(1 for value in medium_table.column_values(column) if value in leaves)
+                assert count >= 0.015 * n, f"{column}/{top.name} has only {count} rows"
+
+    def test_values_are_skewed_not_uniform(self, medium_table):
+        counts = sorted(medium_table.value_counts("symptom").values(), reverse=True)
+        assert counts[0] > 3 * counts[-1]
+
+    def test_symptom_prescription_correlation(self, medium_table):
+        """Circulatory diagnoses should be treated mostly with cardiovascular drugs."""
+        from repro.ontology.drugs import PRESCRIPTION_SPEC
+        from repro.ontology.icd9 import SYMPTOM_SPEC
+
+        circulatory = {
+            condition
+            for conditions in SYMPTOM_SPEC["Circulatory system"].values()
+            for condition in conditions
+        }
+        cardio_drugs = {
+            drug for drugs in PRESCRIPTION_SPEC["Cardiovascular agents"].values() for drug in drugs
+        }
+        rows = [row for row in medium_table if row["symptom"] in circulatory]
+        assert rows, "the sample should contain circulatory diagnoses"
+        cardio_share = sum(1 for row in rows if row["prescription"] in cardio_drugs) / len(rows)
+        assert cardio_share > 0.5

@@ -1,0 +1,103 @@
+"""Tests for the DHT builders (Figure 1 and Figure 3 constructions)."""
+
+import pytest
+
+from repro.dht.builders import binary_numeric_tree, from_leaf_groups, from_nested_mapping
+from repro.dht.node import Interval
+
+
+class TestCategoricalBuilders:
+    def test_from_nested_mapping_structure(self):
+        tree = from_nested_mapping(
+            "role",
+            "Person",
+            {"Medical": {"Doctor": ["Surgeon", "Physician"]}, "Admin": ["Clerk"]},
+        )
+        assert tree.root.name == "Person"
+        assert {leaf.name for leaf in tree.leaves()} == {"Surgeon", "Physician", "Clerk"}
+        assert tree.node("Doctor").parent.name == "Medical"
+        assert tree.height == 3
+
+    def test_node_values_equal_names(self):
+        tree = from_nested_mapping("x", "Root", {"A": ["a1", "a2"]})
+        for node in tree.nodes:
+            assert node.value == node.name
+
+    def test_from_leaf_groups(self):
+        tree = from_leaf_groups("ward", "Hospital", {"Medicine": ["Cardio"], "Surgery": ["Ortho", "Trauma"]})
+        assert tree.height == 2
+        assert len(tree.leaves()) == 3
+        assert tree.node("Ortho").parent.name == "Surgery"
+
+    def test_single_leaf_spec(self):
+        tree = from_nested_mapping("x", "Root", {"Only": None})
+        assert len(tree.leaves()) == 1
+        assert tree.leaves()[0].name == "Only"
+
+    def test_bad_spec_type_rejected(self):
+        with pytest.raises(TypeError):
+            from_nested_mapping("x", "Root", {"A": 42})
+
+
+class TestBinaryNumericTree:
+    def test_equal_width_intervals(self):
+        tree = binary_numeric_tree("age", 0, 100, n_intervals=4)
+        leaves = sorted(tree.leaves(), key=lambda n: n.value.lower)
+        assert [leaf.value for leaf in leaves] == [
+            Interval(0, 25),
+            Interval(25, 50),
+            Interval(50, 75),
+            Interval(75, 100),
+        ]
+        assert tree.root.value == Interval(0, 100)
+
+    def test_figure3_shape(self):
+        # Figure 3: [0,150) in six 25-year leaves combined pairwise.
+        tree = binary_numeric_tree("age", 0, 150, n_intervals=6)
+        assert len(tree.leaves()) == 6
+        depth1 = {child.value for child in tree.root.children}
+        # The last odd node at every level is promoted unchanged, so the root
+        # has the combined [0,100) and the promoted [100,150).
+        assert Interval(100, 150) in depth1 or Interval(0, 100) in depth1
+        assert tree.root.value == Interval(0, 150)
+
+    def test_explicit_cut_points(self):
+        tree = binary_numeric_tree("age", 0, 100, cut_points=[18, 40, 65])
+        widths = sorted(leaf.value.width for leaf in tree.leaves())
+        assert widths == [18, 22, 25, 35]
+
+    def test_unequal_cut_points_validation(self):
+        with pytest.raises(ValueError):
+            binary_numeric_tree("age", 0, 100, cut_points=[50, 40])
+        with pytest.raises(ValueError):
+            binary_numeric_tree("age", 0, 100, cut_points=[0])
+
+    def test_single_interval(self):
+        tree = binary_numeric_tree("age", 0, 100, n_intervals=1)
+        assert tree.root.is_leaf
+        assert len(tree.leaves()) == 1
+
+    def test_exactly_one_spec_required(self):
+        with pytest.raises(ValueError):
+            binary_numeric_tree("age", 0, 100)
+        with pytest.raises(ValueError):
+            binary_numeric_tree("age", 0, 100, n_intervals=4, cut_points=[50])
+
+    def test_invalid_domain(self):
+        with pytest.raises(ValueError):
+            binary_numeric_tree("age", 100, 0, n_intervals=4)
+        with pytest.raises(ValueError):
+            binary_numeric_tree("age", 0, 100, n_intervals=0)
+
+    def test_every_internal_node_covers_children(self):
+        tree = binary_numeric_tree("age", 0, 150, n_intervals=10)
+        for node in tree.nodes:
+            if node.children:
+                low = min(child.value.lower for child in node.children)
+                high = max(child.value.upper for child in node.children)
+                assert node.value == Interval(low, high)
+
+    def test_large_tree_leaf_count(self):
+        tree = binary_numeric_tree("age", 0, 150, n_intervals=30)
+        assert len(tree.leaves()) == 30
+        assert tree.height >= 5

@@ -1,0 +1,125 @@
+"""Tests for DHT nodes and intervals."""
+
+import pytest
+
+from repro.dht.node import DHTNode, Interval
+
+
+class TestInterval:
+    def test_width_and_contains(self):
+        interval = Interval(10.0, 20.0)
+        assert interval.width == 10.0
+        assert interval.contains(10.0)
+        assert interval.contains(19.999)
+        assert not interval.contains(20.0)
+        assert not interval.contains(9.999)
+
+    def test_contains_interval(self):
+        outer = Interval(0.0, 100.0)
+        assert outer.contains_interval(Interval(10.0, 20.0))
+        assert outer.contains_interval(outer)
+        assert not Interval(10.0, 20.0).contains_interval(outer)
+
+    def test_merge_adjacent(self):
+        assert Interval(0.0, 10.0).merge(Interval(10.0, 25.0)) == Interval(0.0, 25.0)
+
+    def test_merge_disjoint_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(0.0, 10.0).merge(Interval(20.0, 30.0))
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(10.0, 10.0)
+        with pytest.raises(ValueError):
+            Interval(10.0, 5.0)
+
+    def test_str_formats_integers_compactly(self):
+        assert str(Interval(0.0, 25.0)) == "[0,25)"
+        assert str(Interval(2.5, 5.0)) == "[2.5,5)"
+
+    def test_ordering(self):
+        assert Interval(0.0, 10.0) < Interval(5.0, 10.0)
+
+    def test_hashable(self):
+        assert len({Interval(0, 1), Interval(0, 1), Interval(1, 2)}) == 2
+
+
+class TestDHTNode:
+    def _small_tree(self):
+        root = DHTNode("root", "root")
+        a = DHTNode("a", "a")
+        b = DHTNode("b", "b")
+        a1 = DHTNode("a1", "a1")
+        a2 = DHTNode("a2", "a2")
+        root.add_child(a)
+        root.add_child(b)
+        a.add_child(a1)
+        a.add_child(a2)
+        return root, a, b, a1, a2
+
+    def test_leaf_and_root_flags(self):
+        root, a, b, a1, a2 = self._small_tree()
+        assert root.is_root and not root.is_leaf
+        assert b.is_leaf and not b.is_root
+        assert not a.is_leaf
+
+    def test_add_child_sets_parent(self):
+        root, a, *_ = self._small_tree()
+        assert a.parent is root
+
+    def test_add_child_rejects_reparenting(self):
+        root, a, b, *_ = self._small_tree()
+        with pytest.raises(ValueError):
+            b.add_child(a)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            DHTNode("", "value")
+
+    def test_iter_subtree_preorder(self):
+        root, a, b, a1, a2 = self._small_tree()
+        assert [node.name for node in root.iter_subtree()] == ["root", "a", "a1", "a2", "b"]
+
+    def test_leaves(self):
+        root, a, b, a1, a2 = self._small_tree()
+        assert [leaf.name for leaf in root.leaves()] == ["a1", "a2", "b"]
+        assert [leaf.name for leaf in a.leaves()] == ["a1", "a2"]
+        assert b.leaves() == [b]
+
+    def test_depth(self):
+        root, a, b, a1, _ = self._small_tree()
+        assert root.depth() == 0
+        assert a.depth() == 1
+        assert a1.depth() == 2
+
+    def test_ancestors(self):
+        root, a, _, a1, _ = self._small_tree()
+        assert [node.name for node in a1.ancestors()] == ["a", "root"]
+        assert [node.name for node in a1.ancestors(include_self=True)] == ["a1", "a", "root"]
+        assert root.ancestors() == []
+
+    def test_is_ancestor_of(self):
+        root, a, b, a1, _ = self._small_tree()
+        assert root.is_ancestor_of(a1)
+        assert a.is_ancestor_of(a1)
+        assert not b.is_ancestor_of(a1)
+        assert not a1.is_ancestor_of(a)
+        assert not a.is_ancestor_of(a)
+        assert a.is_ancestor_of(a, include_self=True)
+
+    def test_identity_semantics(self):
+        node_a = DHTNode("x", "x")
+        node_b = DHTNode("x", "x")
+        assert node_a != node_b
+        assert node_a == node_a
+        assert len({node_a, node_b}) == 2
+
+    def test_sort_key_numeric_before_name(self):
+        numeric = DHTNode("i", Interval(0, 10))
+        categorical = DHTNode("a", "a")
+        assert numeric.sort_key < categorical.sort_key
+
+    def test_sort_key_orders_intervals(self):
+        low = DHTNode("low", Interval(0, 10))
+        high = DHTNode("high", Interval(10, 20))
+        assert sorted([high, low], key=lambda n: n.sort_key) == [low, high]

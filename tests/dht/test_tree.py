@@ -1,0 +1,209 @@
+"""Tests for the DomainHierarchyTree structure (Table 1 operations)."""
+
+import pytest
+
+from repro.dht.builders import binary_numeric_tree, from_nested_mapping
+from repro.dht.node import DHTNode, Interval
+from repro.dht.tree import DomainHierarchyTree
+
+
+class TestConstruction:
+    def test_basic_properties(self, role_tree):
+        assert role_tree.attribute == "role"
+        assert not role_tree.is_numeric
+        assert role_tree.root.name == "Person"
+        assert len(role_tree.leaves()) == 10
+        assert role_tree.height == 3
+        assert len(role_tree) == len(role_tree.nodes)
+
+    def test_duplicate_node_names_rejected(self):
+        # Duplicate *values* are tolerated when only one of them is a leaf...
+        root = DHTNode("root", "root")
+        internal = DHTNode("x", "x")
+        internal.add_child(DHTNode("xc", "xc"))
+        root.add_child(internal)
+        root.add_child(DHTNode("x2", "x"))
+        DomainHierarchyTree("attr", root)
+        # ...but duplicate node *names* never are.
+        bad_root = DHTNode("root", "root")
+        bad_root.add_child(DHTNode("dup", "a"))
+        bad_root.add_child(DHTNode("dup", "b"))
+        with pytest.raises(ValueError):
+            DomainHierarchyTree("attr", bad_root)
+
+    def test_duplicate_leaf_values_rejected(self):
+        root = DHTNode("root", "root")
+        root.add_child(DHTNode("a", "same"))
+        root.add_child(DHTNode("b", "same"))
+        with pytest.raises(ValueError):
+            DomainHierarchyTree("attr", root)
+
+    def test_empty_attribute_rejected(self, role_tree):
+        with pytest.raises(ValueError):
+            DomainHierarchyTree("", role_tree.root)
+
+    def test_numeric_tree_children_must_cover_parent(self):
+        root = DHTNode("root", Interval(0, 100))
+        root.add_child(DHTNode("a", Interval(0, 40)))
+        root.add_child(DHTNode("b", Interval(50, 100)))  # gap 40-50
+        with pytest.raises(ValueError):
+            DomainHierarchyTree("age", root)
+
+
+class TestTraversal:
+    def test_node_lookup(self, role_tree):
+        assert role_tree.node("Doctor").value == "Doctor"
+        with pytest.raises(KeyError):
+            role_tree.node("missing")
+
+    def test_parent_and_children(self, role_tree):
+        doctor = role_tree.node("Doctor")
+        assert role_tree.parent(doctor).name == "Medical staff"
+        assert role_tree.parent(role_tree.root) is None
+        assert {child.name for child in role_tree.children(doctor)} == {"Surgeon", "Physician", "Radiologist"}
+
+    def test_children_are_sorted(self, role_tree):
+        names = [child.name for child in role_tree.children(role_tree.node("Paramedic"))]
+        assert names == sorted(names)
+
+    def test_siblings_include_self(self, role_tree):
+        nurse = role_tree.node("Nurse")
+        siblings = role_tree.siblings(nurse)
+        assert nurse in siblings
+        assert {node.name for node in siblings} == {"Pharmacist", "Nurse", "Consultant"}
+
+    def test_siblings_of_root(self, role_tree):
+        assert role_tree.siblings(role_tree.root) == [role_tree.root]
+
+    def test_subtree_leaves(self, role_tree):
+        leaves = role_tree.subtree_leaves(role_tree.node("Medical staff"))
+        assert {leaf.name for leaf in leaves} == {
+            "Surgeon",
+            "Physician",
+            "Radiologist",
+            "Pharmacist",
+            "Nurse",
+            "Consultant",
+        }
+
+    def test_depth_and_path(self, role_tree):
+        surgeon = role_tree.node("Surgeon")
+        assert role_tree.depth(surgeon) == 3
+        assert [node.name for node in role_tree.path_to_root(surgeon)] == [
+            "Surgeon",
+            "Doctor",
+            "Medical staff",
+            "Person",
+        ]
+
+    def test_is_ancestor(self, role_tree):
+        assert role_tree.is_ancestor(role_tree.node("Doctor"), role_tree.node("Surgeon"))
+        assert role_tree.is_ancestor(role_tree.node("Surgeon"), role_tree.node("Surgeon"))
+        assert not role_tree.is_ancestor(
+            role_tree.node("Surgeon"), role_tree.node("Surgeon"), include_self=False
+        )
+        assert not role_tree.is_ancestor(role_tree.node("Clerk"), role_tree.node("Surgeon"))
+
+    def test_foreign_node_rejected(self, role_tree, tiny_tree):
+        with pytest.raises(ValueError):
+            role_tree.parent(tiny_tree.root)
+        imposter = DHTNode("Doctor", "Doctor")
+        with pytest.raises(ValueError):
+            role_tree.children(imposter)
+
+    def test_contains(self, role_tree, tiny_tree):
+        assert role_tree.node("Nurse") in role_tree
+        assert tiny_tree.root not in role_tree
+        assert "Nurse" not in role_tree  # only node objects are members
+
+
+class TestValueResolution:
+    def test_leaf_for_raw_categorical(self, role_tree):
+        assert role_tree.leaf_for_raw("Nurse").name == "Nurse"
+        with pytest.raises(ValueError):
+            role_tree.leaf_for_raw("Doctor")  # internal node, not a leaf value
+        with pytest.raises(ValueError):
+            role_tree.leaf_for_raw("not-a-role")
+
+    def test_leaf_for_raw_numeric(self, age8_tree):
+        assert age8_tree.leaf_for_raw(5).value == Interval(0, 10)
+        assert age8_tree.leaf_for_raw(79.9).value == Interval(70, 80)
+        with pytest.raises(ValueError):
+            age8_tree.leaf_for_raw(80)
+        with pytest.raises(ValueError):
+            age8_tree.leaf_for_raw(-1)
+
+    def test_value_to_node_any_level(self, role_tree):
+        assert role_tree.value_to_node("Medical staff").name == "Medical staff"
+        assert role_tree.value_to_node("Nurse").name == "Nurse"
+
+    def test_value_to_node_with_candidates(self, role_tree):
+        candidates = [role_tree.node("Doctor"), role_tree.node("Paramedic")]
+        assert role_tree.value_to_node("Doctor", candidates).name == "Doctor"
+        with pytest.raises(ValueError):
+            role_tree.value_to_node("Nurse", candidates)
+
+    def test_value_to_node_numeric_raw_scalar(self, age8_tree):
+        assert age8_tree.value_to_node(42).value == Interval(40, 50)
+        assert age8_tree.value_to_node(Interval(0, 20)).value == Interval(0, 20)
+
+    def test_value_to_node_unknown_value(self, role_tree):
+        with pytest.raises(ValueError):
+            role_tree.value_to_node("not-in-tree")
+
+
+class TestCutValidation:
+    def test_leaf_cut_and_root_cut_are_valid(self, role_tree):
+        assert role_tree.is_valid_cut(role_tree.leaf_cut())
+        assert role_tree.is_valid_cut(role_tree.root_cut())
+
+    def test_mixed_level_cut_is_valid(self, role_tree):
+        # The broader notion of generalization: nodes at different levels.
+        cut = [
+            role_tree.node("Doctor"),
+            role_tree.node("Pharmacist"),
+            role_tree.node("Nurse"),
+            role_tree.node("Consultant"),
+            role_tree.node("Administrative staff"),
+        ]
+        assert role_tree.is_valid_cut(cut)
+
+    def test_overlapping_cut_is_invalid(self, role_tree):
+        # "Medical staff" covers "Doctor" -> a leaf under Doctor is covered twice.
+        assert not role_tree.is_valid_cut([role_tree.node("Medical staff"), role_tree.node("Doctor"), role_tree.node("Administrative staff")])
+
+    def test_incomplete_cut_is_invalid(self, role_tree):
+        assert not role_tree.is_valid_cut([role_tree.node("Medical staff")])
+
+    def test_covering_node(self, role_tree):
+        cut = [role_tree.node("Medical staff"), role_tree.node("Administrative staff")]
+        assert role_tree.covering_node(cut, role_tree.node("Nurse")).name == "Medical staff"
+        assert role_tree.covering_node(cut, role_tree.node("Clerk")).name == "Administrative staff"
+
+    def test_covering_node_missing(self, role_tree):
+        with pytest.raises(ValueError):
+            role_tree.covering_node([role_tree.node("Medical staff")], role_tree.node("Clerk"))
+
+    def test_cut_mapping_covers_every_leaf(self, role_tree):
+        cut = [role_tree.node("Medical staff"), role_tree.node("Administrative staff")]
+        mapping = role_tree.cut_mapping(cut)
+        assert set(mapping) == set(role_tree.leaves())
+        assert all(node in cut for node in mapping.values())
+
+
+class TestNumericTreeStructure:
+    def test_root_covers_whole_domain(self, age8_tree):
+        assert age8_tree.root.value == Interval(0, 80)
+        assert age8_tree.is_numeric
+
+    def test_leaves_partition_domain(self, age8_tree):
+        leaves = sorted(age8_tree.leaves(), key=lambda n: n.value.lower)
+        assert leaves[0].value.lower == 0
+        assert leaves[-1].value.upper == 80
+        for first, second in zip(leaves, leaves[1:]):
+            assert first.value.upper == second.value.lower
+
+    def test_binary_structure(self, age8_tree):
+        internal = [node for node in age8_tree.nodes if not node.is_leaf]
+        assert all(len(node.children) == 2 for node in internal)
+        assert age8_tree.height == 3  # 8 leaves -> perfectly balanced

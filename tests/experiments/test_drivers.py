@@ -1,0 +1,131 @@
+"""Tests for the experiment drivers (small-scale runs of every figure)."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    run_binning_strategy_ablation,
+    run_generalization_attack_ablation,
+    run_lsb_ablation,
+    run_ownership_ablation,
+    run_seamlessness_theory_check,
+)
+from repro.experiments.config import ExperimentConfig, build_workload
+from repro.experiments.fig11 import run_fig11
+from repro.experiments.fig12 import run_fig12a, run_fig12b, run_fig12c
+from repro.experiments.fig13 import run_fig13
+from repro.experiments.fig14 import run_fig14
+
+
+@pytest.fixture(scope="module")
+def config():
+    """A small configuration so the whole module stays fast."""
+    return ExperimentConfig(table_size=1200, seed=3, k=10, eta=30, copies=3)
+
+
+class TestWorkload:
+    def test_build_workload(self, config):
+        workload = build_workload(config)
+        assert len(workload.table) == config.table_size
+        assert workload.protected.mark is not None
+        assert workload.framework.detect(workload.protected.watermarked).mark == workload.protected.mark
+
+
+class TestFigureDrivers:
+    def test_fig11_shape(self, config):
+        points = run_fig11(config, k_values=(2, 10, 40))
+        assert [point.k for point in points] == [2, 10, 40]
+        for point in points:
+            assert 0.0 <= point.mono_information_loss <= point.multi_information_loss <= 1.0
+        # Mono loss is non-decreasing in k.
+        assert points[0].mono_information_loss <= points[-1].mono_information_loss + 1e-9
+
+    def test_fig12a_alteration(self, config):
+        points = run_fig12a(config, etas=(30,), fractions=(0.0, 0.5))
+        clean = next(point for point in points if point.fraction == 0.0)
+        attacked = next(point for point in points if point.fraction == 0.5)
+        assert clean.mark_loss == 0.0
+        assert attacked.mark_loss >= clean.mark_loss
+        assert attacked.rows_touched == round(0.5 * config.table_size)
+
+    def test_fig12b_addition(self, config):
+        points = run_fig12b(config, etas=(30,), fractions=(0.0, 0.6))
+        assert all(0.0 <= point.mark_loss <= 0.6 for point in points)
+
+    def test_fig12c_deletion(self, config):
+        points = run_fig12c(config, etas=(30,), fractions=(0.0, 0.5))
+        clean = next(point for point in points if point.fraction == 0.0)
+        assert clean.mark_loss == 0.0
+        assert all(point.mark_loss <= 0.5 for point in points)
+
+    def test_fig13_loss_decreases_with_eta(self, config):
+        points = run_fig13(config, etas=(20, 120))
+        assert all(point.information_loss >= 0.0 for point in points)
+        assert points[0].cells_changed > points[-1].cells_changed
+        assert points[0].information_loss >= points[-1].information_loss
+
+    def test_fig14_no_bin_below_k(self, config):
+        reports = run_fig14(config, k_values=(5, 10))
+        assert [report.k for report in reports] == [5, 10]
+        for report in reports:
+            assert not report.any_bin_below_k
+            assert sum(column.bins_changed for column in report.columns) > 0
+
+
+class TestAblationDrivers:
+    def test_generalization_attack_ablation(self, config):
+        rows = run_generalization_attack_ablation(config, levels=(1,))
+        assert rows[0].hierarchical_mark_loss <= 0.1
+        assert rows[0].single_level_mark_loss > rows[0].hierarchical_mark_loss
+
+    def test_ownership_ablation(self, config):
+        rows = run_ownership_ablation(config)
+        assert len(rows) == 2
+        for row in rows:
+            assert row.owner_valid
+            assert not row.attacker_valid
+            assert row.winner == "hospital"
+
+    def test_binning_strategy_ablation(self, config):
+        rows = run_binning_strategy_ablation(config, k_values=(10,))
+        assert rows[0].downward_information_loss <= rows[0].datafly_information_loss
+
+    def test_lsb_ablation(self, config):
+        row = run_lsb_ablation(config)
+        assert row.lsb_match_rate_clean > 0.95
+        assert row.lsb_match_rate_after_flip < 0.7
+        assert not row.lsb_survives_flip
+        assert row.hierarchical_loss_after_generalization <= 0.1
+
+    def test_seamlessness_theory_check(self):
+        point = run_seamlessness_theory_check(group_sizes=(3, 4), n_k=3, trials=5000, seed=2)
+        assert point.pr_minus_theory == pytest.approx(point.pr_plus_theory)
+        assert point.pr_minus_simulated == pytest.approx(point.pr_minus_theory, abs=0.02)
+        with pytest.raises(ValueError):
+            run_seamlessness_theory_check(group_sizes=(3, 4), n_k=5)
+
+
+class TestConfig:
+    def test_scaling_helpers(self):
+        config = ExperimentConfig(table_size=100, k=5, eta=10)
+        assert config.scaled(200).table_size == 200
+        assert config.with_k(7).k == 7
+        assert config.with_eta(99).eta == 99
+        # The original is immutable.
+        assert config.table_size == 100 and config.k == 5 and config.eta == 10
+
+    def test_explicit_copies_respected(self):
+        config = ExperimentConfig(table_size=20_000, eta=50, copies=4)
+        assert config.effective_copies() == 4
+
+    def test_adaptive_copies_exhaust_the_bandwidth(self):
+        # 20 000 rows, eta=50 -> ~400 selected tuples, 5 columns, 20-bit mark:
+        # the replicated mark should fill the ~2 000 expected positions.
+        config = ExperimentConfig(table_size=20_000, eta=50, mark_length=20, copies=None)
+        assert config.effective_copies(5) == 100
+        # Fewer embedded tuples -> fewer copies, but never below one.
+        assert ExperimentConfig(table_size=100, eta=50, copies=None).effective_copies(5) == 1
+
+    def test_adaptive_copies_scale_with_eta(self):
+        small_eta = ExperimentConfig(table_size=10_000, eta=50, copies=None).effective_copies(5)
+        large_eta = ExperimentConfig(table_size=10_000, eta=200, copies=None).effective_copies(5)
+        assert small_eta > large_eta

@@ -1,0 +1,109 @@
+"""Tests for the seamlessness analysis (Lemmas 1-2, Figure 14, Figure 13)."""
+
+import pytest
+
+from repro.attacks.alteration import SubsetAlterationAttack
+from repro.framework.analysis import (
+    pr_minus,
+    pr_plus,
+    seamlessness_report,
+    suggest_epsilon,
+    watermarking_information_loss,
+)
+
+
+class TestLemmas:
+    def test_closed_form(self):
+        # n_k = 4, groups (4, 3, 5): Pr- = (4-1)/(4*12) = 1/16.
+        assert pr_minus(4, [4, 3, 5]) == pytest.approx(3 / 48)
+        assert pr_plus(4, [4, 3, 5]) == pytest.approx(3 / 48)
+
+    def test_pr_minus_equals_pr_plus_always(self):
+        for n_k, groups in ((2, [2, 5]), (7, [7]), (3, [3, 3, 3, 3])):
+            assert pr_minus(n_k, groups) == pr_plus(n_k, groups)
+
+    def test_single_ultimate_node_cannot_change(self):
+        # n_k = 1: the permutation can only land back on the same bin.
+        assert pr_minus(1, [1, 4]) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pr_minus(0, [1, 2])
+        with pytest.raises(ValueError):
+            pr_minus(4, [3, 5])  # n_k not among the groups
+
+    def test_matches_monte_carlo(self):
+        from repro.experiments.ablations import run_seamlessness_theory_check
+
+        point = run_seamlessness_theory_check(group_sizes=(4, 3, 5), n_k=4, trials=30_000, seed=1)
+        assert point.pr_minus_simulated == pytest.approx(point.pr_minus_theory, abs=0.01)
+        assert point.pr_plus_simulated == pytest.approx(point.pr_plus_theory, abs=0.01)
+
+
+class TestSuggestEpsilon:
+    def test_formula(self):
+        # s=50, S=100, |wmd|=80 -> 40.
+        assert suggest_epsilon([50, 30, 20], 80) == 40
+
+    def test_empty_bins(self):
+        assert suggest_epsilon([], 80) == 0
+        assert suggest_epsilon([0, 0], 80) == 0
+
+    def test_zero_wmd(self):
+        assert suggest_epsilon([10, 10], 0) == 0
+
+    def test_negative_wmd_rejected(self):
+        with pytest.raises(ValueError):
+            suggest_epsilon([10], -1)
+
+
+class TestSeamlessnessReport:
+    def test_fig14_shape(self, protected_small):
+        report = seamlessness_report(protected_small.binned, protected_small.watermarked)
+        assert report.k == 10
+        assert {column.column for column in report.columns} == set(protected_small.binned.quasi_columns)
+        rows = report.as_rows()
+        assert len(rows) == len(report.columns)
+        for _, total, changed, below in rows:
+            assert 0 <= changed <= total + 5
+            assert below >= 0
+
+    def test_watermarking_does_not_break_k_anonymity(self, protected_small):
+        """The headline Figure 14 claim: no bin drops below k."""
+        report = seamlessness_report(protected_small.binned, protected_small.watermarked)
+        assert not report.any_bin_below_k
+
+    def test_many_bins_change_but_identity_comparison_is_clean(self, protected_small):
+        report = seamlessness_report(protected_small.binned, protected_small.watermarked)
+        assert sum(column.bins_changed for column in report.columns) > 0
+        unchanged = seamlessness_report(protected_small.binned, protected_small.binned)
+        assert all(column.bins_changed == 0 for column in unchanged.columns)
+
+    def test_explicit_k_override(self, protected_small):
+        report = seamlessness_report(protected_small.binned, protected_small.watermarked, k=1)
+        assert report.k == 1
+        assert not report.any_bin_below_k
+
+
+class TestWatermarkingInformationLoss:
+    def test_zero_for_identical_tables(self, protected_small):
+        losses = watermarking_information_loss(protected_small.binned, protected_small.binned)
+        assert losses["__normalized__"] == 0.0
+
+    def test_positive_but_small_for_watermarked_table(self, protected_small):
+        losses = watermarking_information_loss(protected_small.binned, protected_small.watermarked)
+        assert 0.0 < losses["__normalized__"] < 0.1
+        assert set(losses) == set(protected_small.binned.quasi_columns) | {"__normalized__"}
+
+    def test_grows_with_heavier_modification(self, protected_small):
+        light = watermarking_information_loss(protected_small.binned, protected_small.watermarked)
+        heavy_table = SubsetAlterationAttack(0.6, seed=0).run(protected_small.binned).attacked
+        heavy = watermarking_information_loss(protected_small.binned, heavy_table)
+        assert heavy["__normalized__"] > light["__normalized__"]
+
+    def test_row_count_mismatch_rejected(self, protected_small):
+        from repro.attacks.deletion import SubsetDeletionAttack
+
+        attacked = SubsetDeletionAttack(0.2, seed=0).run(protected_small.watermarked).attacked
+        with pytest.raises(ValueError):
+            watermarking_information_loss(protected_small.binned, attacked)

@@ -1,0 +1,64 @@
+"""Tests for the command-line interface (protect / detect on CSV files)."""
+
+import pytest
+
+from repro.cli import main
+from repro.datagen.medical import generate_medical_table
+
+
+@pytest.fixture(scope="module")
+def raw_csv(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "raw.csv"
+    generate_medical_table(size=800, seed=55).to_csv(str(path))
+    return str(path)
+
+
+COMMON = [
+    "--k",
+    "10",
+    "--eta",
+    "20",
+    "--encryption-key",
+    "cli-enc-key",
+    "--watermark-secret",
+    "cli-wm-secret",
+]
+
+
+class TestCLI:
+    def test_protect_then_detect_roundtrip(self, raw_csv, tmp_path, capsys):
+        protected_csv = str(tmp_path / "protected.csv")
+        assert main(["protect", raw_csv, protected_csv, *COMMON]) == 0
+        out = capsys.readouterr().out
+        mark_line = next(line for line in out.splitlines() if "mark F(v)" in line)
+        mark = mark_line.split(":")[1].strip()
+        assert len(mark) == 20 and set(mark) <= {"0", "1"}
+
+        exit_code = main(["detect", protected_csv, "--expected-mark", mark, *COMMON])
+        detect_out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "mark loss      : 0%" in detect_out
+
+    def test_detect_with_wrong_secret_fails_threshold(self, raw_csv, tmp_path, capsys):
+        protected_csv = str(tmp_path / "protected.csv")
+        main(["protect", raw_csv, protected_csv, *COMMON])
+        out = capsys.readouterr().out
+        mark = next(line for line in out.splitlines() if "mark F(v)" in line).split(":")[1].strip()
+
+        wrong = [arg if arg != "cli-wm-secret" else "some-other-secret" for arg in COMMON]
+        exit_code = main(["detect", protected_csv, "--expected-mark", mark, *wrong])
+        capsys.readouterr()
+        assert exit_code == 1
+
+    def test_protect_writes_encrypted_identifiers(self, raw_csv, tmp_path, capsys):
+        protected_csv = str(tmp_path / "protected.csv")
+        main(["protect", raw_csv, protected_csv, *COMMON])
+        capsys.readouterr()
+        with open(raw_csv, encoding="utf-8") as raw, open(protected_csv, encoding="utf-8") as protected:
+            raw_ssns = {line.split(",")[0] for line in raw.readlines()[1:]}
+            protected_ssns = {line.split(",")[0] for line in protected.readlines()[1:]}
+        assert raw_ssns.isdisjoint(protected_ssns)
+
+    def test_missing_required_arguments(self):
+        with pytest.raises(SystemExit):
+            main(["protect", "in.csv", "out.csv"])  # secrets missing

@@ -1,0 +1,138 @@
+"""Tests for the information-loss metrics (Equations 1–3)."""
+
+import pytest
+
+from repro.dht.builders import binary_numeric_tree
+from repro.metrics.information_loss import (
+    categorical_cut_loss,
+    column_information_loss,
+    leaf_counts,
+    numeric_cut_loss,
+    specificity_loss,
+    table_information_loss,
+    total_information_loss,
+)
+
+
+class TestLeafCounts:
+    def test_counts_by_leaf(self, role_tree):
+        counts = leaf_counts(role_tree, ["Nurse", "Nurse", "Surgeon", "Clerk"])
+        assert counts[role_tree.node("Nurse")] == 2
+        assert counts[role_tree.node("Surgeon")] == 1
+        assert counts[role_tree.node("Physician")] == 0
+        assert sum(counts.values()) == 4
+
+    def test_numeric_values_map_to_interval_leaves(self, age8_tree):
+        counts = leaf_counts(age8_tree, [5, 7, 25, 78])
+        assert counts[age8_tree.leaf_for_raw(5)] == 2
+        assert counts[age8_tree.leaf_for_raw(25)] == 1
+
+    def test_unknown_value_raises(self, role_tree):
+        with pytest.raises(ValueError):
+            leaf_counts(role_tree, ["not-a-role"])
+
+
+class TestCategoricalLoss:
+    def test_leaf_cut_has_zero_loss(self, role_tree):
+        counts = leaf_counts(role_tree, ["Nurse", "Surgeon", "Clerk"])
+        assert categorical_cut_loss(role_tree, role_tree.leaf_cut(), counts) == 0.0
+
+    def test_root_cut_loss(self, role_tree):
+        counts = leaf_counts(role_tree, ["Nurse"] * 10)
+        # Root cut: every entry loses (|S|-1)/|S| = 9/10.
+        assert categorical_cut_loss(role_tree, role_tree.root_cut(), counts) == pytest.approx(0.9)
+
+    def test_equation1_hand_computed(self, role_tree):
+        """Generalize Pharmacist/Nurse/Consultant to Paramedic (the paper's example)."""
+        counts = leaf_counts(role_tree, ["Pharmacist", "Nurse", "Nurse", "Surgeon"])
+        cut = [
+            role_tree.node("Paramedic"),  # covers 3 leaves, 3 entries
+            role_tree.node("Surgeon"),
+            role_tree.node("Physician"),
+            role_tree.node("Radiologist"),
+            role_tree.node("Clerk"),
+            role_tree.node("Receptionist"),
+            role_tree.node("Administrator"),
+            role_tree.node("Director"),
+        ]
+        # |S| = 10 leaves, generalized entries: 3 with |Si|=3, 1 with |Si|=1.
+        expected = (3 * (3 - 1) / 10 + 1 * 0) / 4
+        assert categorical_cut_loss(role_tree, cut, counts) == pytest.approx(expected)
+
+    def test_loss_monotone_in_generalization(self, role_tree):
+        counts = leaf_counts(role_tree, ["Nurse", "Surgeon", "Clerk", "Director", "Pharmacist"])
+        mid_cut = [role_tree.node("Medical staff"), role_tree.node("Administrative staff")]
+        low = categorical_cut_loss(role_tree, role_tree.leaf_cut(), counts)
+        mid = categorical_cut_loss(role_tree, mid_cut, counts)
+        high = categorical_cut_loss(role_tree, role_tree.root_cut(), counts)
+        assert low < mid < high
+
+    def test_empty_column_has_zero_loss(self, role_tree):
+        counts = leaf_counts(role_tree, [])
+        assert categorical_cut_loss(role_tree, role_tree.root_cut(), counts) == 0.0
+
+    def test_invalid_cut_rejected(self, role_tree):
+        counts = leaf_counts(role_tree, ["Nurse"])
+        with pytest.raises(ValueError):
+            categorical_cut_loss(role_tree, [role_tree.node("Medical staff")], counts)
+
+
+class TestNumericLoss:
+    def test_equation2_hand_computed(self, age8_tree):
+        counts = leaf_counts(age8_tree, [5, 15, 72])
+        # Generalize [0,10) and [10,20) to [0,20); keep the rest as leaves.
+        twenty = next(node for node in age8_tree.nodes if str(node.value) == "[0,20)")
+        rest = [leaf for leaf in age8_tree.leaves() if leaf.value.lower >= 20]
+        cut = [twenty, *rest]
+        # Entries: two in [0,20) lose 20/80 each, one in [70,80) loses 10/80.
+        expected = (2 * (20 / 80) + 1 * (10 / 80)) / 3
+        assert numeric_cut_loss(age8_tree, cut, counts) == pytest.approx(expected)
+
+    def test_leaf_cut_loss_is_leaf_width_fraction(self, age8_tree):
+        counts = leaf_counts(age8_tree, [5, 15])
+        assert numeric_cut_loss(age8_tree, age8_tree.leaf_cut(), counts) == pytest.approx(10 / 80)
+
+    def test_root_cut_loss_is_one(self, age8_tree):
+        counts = leaf_counts(age8_tree, [5, 15, 73])
+        assert numeric_cut_loss(age8_tree, age8_tree.root_cut(), counts) == pytest.approx(1.0)
+
+    def test_rejects_categorical_tree(self, role_tree):
+        counts = leaf_counts(role_tree, ["Nurse"])
+        with pytest.raises(ValueError):
+            numeric_cut_loss(role_tree, role_tree.root_cut(), counts)
+
+    def test_dispatch(self, role_tree, age8_tree):
+        role_counts = leaf_counts(role_tree, ["Nurse"])
+        age_counts = leaf_counts(age8_tree, [5])
+        assert column_information_loss(role_tree, role_tree.root_cut(), role_counts) == pytest.approx(0.9)
+        assert column_information_loss(age8_tree, age8_tree.root_cut(), age_counts) == pytest.approx(1.0)
+
+
+class TestTableLevel:
+    def test_normalized_loss_is_average(self):
+        assert table_information_loss({"a": 0.2, "b": 0.4}) == pytest.approx(0.3)
+        assert table_information_loss({}) == 0.0
+
+    def test_total_loss_is_sum(self):
+        assert total_information_loss({"a": 0.2, "b": 0.4}) == pytest.approx(0.6)
+
+    def test_out_of_range_losses_rejected(self):
+        with pytest.raises(ValueError):
+            table_information_loss({"a": 1.5})
+        with pytest.raises(ValueError):
+            table_information_loss({"a": -0.1})
+
+
+class TestSpecificityLoss:
+    def test_bounds(self, role_tree):
+        assert specificity_loss(role_tree, role_tree.leaf_cut()) == 0.0
+        n = len(role_tree.leaves())
+        assert specificity_loss(role_tree, role_tree.root_cut()) == pytest.approx((n - 1) / n)
+
+    def test_intermediate_cut(self, role_tree):
+        cut = [role_tree.node("Medical staff"), role_tree.node("Administrative staff")]
+        assert specificity_loss(role_tree, cut) == pytest.approx((10 - 2) / 10)
+
+    def test_invalid_cut_rejected(self, role_tree):
+        with pytest.raises(ValueError):
+            specificity_loss(role_tree, [role_tree.node("Doctor")])

@@ -1,0 +1,98 @@
+"""Tests for the concrete medical ontologies."""
+
+import pytest
+
+from repro.dht.node import Interval
+from repro.ontology.age import age_tree
+from repro.ontology.drugs import prescription_tree
+from repro.ontology.geography import zip_code_tree, zip_leaves
+from repro.ontology.icd9 import symptom_tree
+from repro.ontology.practitioners import doctor_tree
+from repro.ontology.registry import OntologyRegistry, roles_tree, standard_ontology
+
+
+class TestAgeTree:
+    def test_default_shape(self):
+        tree = age_tree()
+        assert tree.is_numeric
+        assert tree.root.value == Interval(0, 150)
+        assert len(tree.leaves()) == 30
+
+    def test_figure3_width(self):
+        tree = age_tree(leaf_width=25)
+        assert len(tree.leaves()) == 6
+
+    def test_rejects_non_dividing_width(self):
+        with pytest.raises(ValueError):
+            age_tree(leaf_width=7)
+        with pytest.raises(ValueError):
+            age_tree(leaf_width=0)
+
+
+class TestCategoricalOntologies:
+    @pytest.mark.parametrize(
+        "factory, attribute, min_leaves, height",
+        [
+            (symptom_tree, "symptom", 100, 3),
+            (prescription_tree, "prescription", 80, 3),
+            (doctor_tree, "doctor", 50, 3),
+            (zip_code_tree, "zip_code", 100, 4),
+        ],
+    )
+    def test_shape(self, factory, attribute, min_leaves, height):
+        tree = factory()
+        assert tree.attribute == attribute
+        assert len(tree.leaves()) >= min_leaves
+        assert tree.height == height
+        assert not tree.is_numeric
+
+    def test_zip_leaves_are_five_digits(self):
+        assert all(len(leaf) == 5 and leaf.isdigit() for leaf in zip_leaves())
+
+    def test_zip_leaves_match_tree(self):
+        tree = zip_code_tree()
+        assert {leaf.value for leaf in tree.leaves()} == set(zip_leaves())
+
+    def test_symptom_chapters_have_multiple_categories(self):
+        tree = symptom_tree()
+        for chapter in tree.children(tree.root):
+            assert len(tree.children(chapter)) >= 2
+
+    def test_every_node_reachable_as_value(self):
+        tree = doctor_tree()
+        for node in tree.nodes:
+            assert tree.value_to_node(node.value) is not None
+
+
+class TestRegistry:
+    def test_standard_ontology_covers_schema(self):
+        registry = standard_ontology()
+        assert set(registry.columns) == {"age", "zip_code", "doctor", "symptom", "prescription"}
+        assert len(registry) == 5
+        for column in registry:
+            assert registry[column].attribute == column
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(KeyError):
+            standard_ontology()["ssn"]
+
+    def test_registry_rejects_mismatched_attribute(self):
+        with pytest.raises(ValueError):
+            OntologyRegistry({"age": symptom_tree()})
+
+    def test_age_leaf_width_parameter(self):
+        registry = standard_ontology(age_leaf_width=25)
+        assert len(registry["age"].leaves()) == 6
+
+    def test_roles_tree_matches_figure1(self):
+        tree = roles_tree()
+        assert tree.root.name == "Person"
+        assert {child.name for child in tree.children(tree.root)} == {
+            "Medical staff",
+            "Administrative staff",
+        }
+        assert {child.name for child in tree.children(tree.node("Paramedic"))} == {
+            "Pharmacist",
+            "Nurse",
+            "Consultant",
+        }

@@ -1,0 +1,84 @@
+"""Property-based tests for the binning invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.binning.errors import NotBinnableError
+from repro.binning.generalization import Generalization
+from repro.binning.mono import gen_min_nodes, num_tuples_under
+from repro.dht.builders import from_nested_mapping
+from repro.metrics.information_loss import column_information_loss, leaf_counts
+
+
+@st.composite
+def tree_and_counts(draw):
+    """A random 3-level hierarchy plus random per-leaf counts."""
+    n_groups = draw(st.integers(2, 4))
+    spec = {}
+    label = 0
+    for group_index in range(n_groups):
+        n_leaves = draw(st.integers(1, 4))
+        spec[f"group-{group_index}"] = [f"leaf-{label + i}" for i in range(n_leaves)]
+        label += n_leaves
+    tree = from_nested_mapping("attr", "root", spec)
+    counts = {leaf: draw(st.integers(0, 30)) for leaf in tree.leaves()}
+    return tree, counts
+
+
+class TestMonoBinningInvariants:
+    @given(payload=tree_and_counts(), k=st.integers(1, 40))
+    @settings(max_examples=60, deadline=None)
+    def test_minimal_nodes_form_a_valid_k_anonymous_cut(self, payload, k):
+        tree, counts = payload
+        try:
+            minimal = gen_min_nodes(tree, [tree.root], counts, k)
+        except NotBinnableError:
+            # Only legitimate when the whole table is smaller than k.
+            assert sum(counts.values()) < k
+            return
+        assert tree.is_valid_cut(minimal)
+        for node in minimal:
+            covered = num_tuples_under(node, counts)
+            assert covered == 0 or covered >= k
+
+    @given(payload=tree_and_counts(), k=st.integers(1, 40))
+    @settings(max_examples=60, deadline=None)
+    def test_no_child_of_a_refined_minimal_node_could_do_better(self, payload, k):
+        """Minimality: an internal minimal node has at least one undersized child."""
+        tree, counts = payload
+        try:
+            minimal = gen_min_nodes(tree, [tree.root], counts, k)
+        except NotBinnableError:
+            return
+        for node in minimal:
+            if node.is_leaf or num_tuples_under(node, counts) == 0:
+                continue
+            children = tree.children(node)
+            assert any(num_tuples_under(child, counts) < k for child in children)
+
+    @given(payload=tree_and_counts(), small_k=st.integers(1, 10), extra=st.integers(1, 20))
+    @settings(max_examples=40, deadline=None)
+    def test_information_loss_is_monotone_in_k(self, payload, small_k, extra):
+        tree, counts = payload
+        big_k = small_k + extra
+        try:
+            fine = gen_min_nodes(tree, [tree.root], counts, small_k)
+            coarse = gen_min_nodes(tree, [tree.root], counts, big_k)
+        except NotBinnableError:
+            return
+        fine_loss = column_information_loss(tree, fine, counts)
+        coarse_loss = column_information_loss(tree, coarse, counts)
+        assert fine_loss <= coarse_loss + 1e-12
+
+    @given(payload=tree_and_counts(), k=st.integers(1, 40))
+    @settings(max_examples=40, deadline=None)
+    def test_minimal_cut_refines_the_maximal_frontier(self, payload, k):
+        tree, counts = payload
+        maximal = tree.children(tree.root) if not tree.root.is_leaf else [tree.root]
+        try:
+            minimal = gen_min_nodes(tree, maximal, counts, k)
+        except NotBinnableError:
+            return
+        minimal_gen = Generalization(tree, minimal)
+        maximal_gen = Generalization(tree, maximal)
+        assert minimal_gen.is_refinement_of(maximal_gen)

@@ -1,0 +1,106 @@
+"""Property-based tests for domain hierarchy trees and generalization cuts."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.binning.generalization import Generalization
+from repro.dht.builders import binary_numeric_tree, from_nested_mapping
+from repro.dht.cuts import enumerate_cuts
+from repro.metrics.information_loss import column_information_loss, leaf_counts, specificity_loss
+
+
+@st.composite
+def categorical_trees(draw):
+    """Random 3-level categorical hierarchies with unique labels."""
+    n_groups = draw(st.integers(2, 4))
+    spec = {}
+    label = 0
+    for group_index in range(n_groups):
+        n_leaves = draw(st.integers(1, 4))
+        spec[f"group-{group_index}"] = [f"leaf-{label + i}" for i in range(n_leaves)]
+        label += n_leaves
+    return from_nested_mapping("attr", "root", spec)
+
+
+@st.composite
+def numeric_trees(draw):
+    lower = draw(st.integers(0, 50))
+    width = draw(st.integers(2, 16))
+    n_intervals = draw(st.integers(1, 12))
+    return binary_numeric_tree("num", lower, lower + width * n_intervals, n_intervals=n_intervals)
+
+
+class TestTreeInvariants:
+    @given(tree=categorical_trees())
+    @settings(max_examples=40, deadline=None)
+    def test_every_leaf_resolves_to_itself(self, tree):
+        for leaf in tree.leaves():
+            assert tree.leaf_for_raw(leaf.value) is leaf
+
+    @given(tree=numeric_trees(), offset=st.floats(0, 0.999))
+    @settings(max_examples=40, deadline=None)
+    def test_numeric_leaves_partition_domain(self, tree, offset):
+        domain = tree.root.value
+        probe = domain.lower + offset * domain.width
+        leaf = tree.leaf_for_raw(probe)
+        assert leaf.value.contains(probe)
+        covered = sum(leaf.value.width for leaf in tree.leaves())
+        assert abs(covered - domain.width) < 1e-9
+
+    @given(tree=st.one_of(categorical_trees(), numeric_trees()))
+    @settings(max_examples=40, deadline=None)
+    def test_siblings_always_contain_the_node(self, tree):
+        for node in tree.nodes:
+            siblings = tree.siblings(node)
+            assert node in siblings
+            assert siblings == sorted(siblings, key=lambda n: n.sort_key)
+
+    @given(tree=st.one_of(categorical_trees(), numeric_trees()))
+    @settings(max_examples=30, deadline=None)
+    def test_all_enumerated_cuts_are_valid(self, tree):
+        for cut in enumerate_cuts(tree, limit=400):
+            assert tree.is_valid_cut(cut)
+
+    @given(tree=categorical_trees())
+    @settings(max_examples=30, deadline=None)
+    def test_root_and_leaf_cuts_bound_specificity_loss(self, tree):
+        for cut in enumerate_cuts(tree, limit=400):
+            loss = specificity_loss(tree, cut)
+            assert 0.0 <= loss <= specificity_loss(tree, tree.root_cut()) + 1e-12
+
+
+class TestGeneralizationInvariants:
+    @given(tree=categorical_trees(), data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_generalized_value_is_ancestor_of_raw(self, tree, data):
+        cuts = enumerate_cuts(tree, limit=400)
+        cut = data.draw(st.sampled_from(cuts))
+        generalization = Generalization(tree, cut)
+        leaf = data.draw(st.sampled_from(tree.leaves()))
+        node = generalization.node_for_raw(leaf.value)
+        assert node is leaf or node.is_ancestor_of(leaf)
+
+    @given(tree=categorical_trees(), data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_information_loss_within_unit_interval_and_monotone(self, tree, data):
+        leaves = tree.leaves()
+        values = data.draw(st.lists(st.sampled_from([leaf.value for leaf in leaves]), min_size=1, max_size=40))
+        counts = leaf_counts(tree, values)
+        cuts = enumerate_cuts(tree, limit=400)
+        cut = data.draw(st.sampled_from(cuts))
+        loss = column_information_loss(tree, cut, counts)
+        root_loss = column_information_loss(tree, tree.root_cut(), counts)
+        leaf_loss = column_information_loss(tree, tree.leaf_cut(), counts)
+        assert 0.0 <= loss <= 1.0
+        assert leaf_loss <= loss + 1e-12
+        assert loss <= root_loss + 1e-12
+
+    @given(tree=categorical_trees(), data=st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_cut_mapping_is_total_and_consistent(self, tree, data):
+        cuts = enumerate_cuts(tree, limit=400)
+        cut = data.draw(st.sampled_from(cuts))
+        mapping = tree.cut_mapping(cut)
+        assert set(mapping) == set(tree.leaves())
+        for leaf, node in mapping.items():
+            assert node is leaf or node.is_ancestor_of(leaf)

@@ -1,0 +1,82 @@
+"""Property-based tests for marks, voting and the embedding primitive."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.watermarking.hierarchical import HierarchicalWatermarker
+from repro.watermarking.mark import Mark, majority_vote, mark_loss, replicate_mark
+
+BITS = st.lists(st.integers(0, 1), min_size=1, max_size=64)
+
+
+class TestMarkProperties:
+    @given(bits=BITS)
+    @settings(max_examples=80, deadline=None)
+    def test_string_roundtrip(self, bits):
+        mark = Mark.from_bits(bits)
+        assert Mark.from_string(str(mark)) == mark
+
+    @given(bits=BITS)
+    @settings(max_examples=80, deadline=None)
+    def test_self_loss_is_zero(self, bits):
+        mark = Mark.from_bits(bits)
+        assert mark_loss(mark, mark) == 0.0
+
+    @given(bits=BITS)
+    @settings(max_examples=80, deadline=None)
+    def test_loss_against_complement_is_one(self, bits):
+        mark = Mark.from_bits(bits)
+        complement = Mark.from_bits(1 - bit for bit in bits)
+        assert mark_loss(mark, complement) == 1.0
+
+    @given(a=BITS, data=st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_loss_is_symmetric_and_bounded(self, a, data):
+        b = data.draw(st.lists(st.integers(0, 1), min_size=len(a), max_size=len(a)))
+        mark_a, mark_b = Mark.from_bits(a), Mark.from_bits(b)
+        assert mark_loss(mark_a, mark_b) == mark_loss(mark_b, mark_a)
+        assert 0.0 <= mark_loss(mark_a, mark_b) <= 1.0
+
+    @given(bits=BITS, copies=st.integers(1, 6))
+    @settings(max_examples=60, deadline=None)
+    def test_replication_length_and_content(self, bits, copies):
+        replicated = replicate_mark(Mark.from_bits(bits), copies)
+        assert len(replicated) == copies * len(bits)
+        for index, bit in enumerate(replicated):
+            assert bit == bits[index % len(bits)]
+
+
+class TestMajorityVoteProperties:
+    @given(votes=st.lists(st.integers(0, 1), min_size=1, max_size=25))
+    @settings(max_examples=80, deadline=None)
+    def test_unanimous_votes_win(self, votes):
+        assert majority_vote([votes[0]] * len(votes)) == votes[0]
+
+    @given(votes=st.lists(st.integers(0, 1), min_size=1, max_size=25), tie=st.integers(0, 1))
+    @settings(max_examples=80, deadline=None)
+    def test_result_is_a_bit_and_respects_strict_majority(self, votes, tie):
+        result = majority_vote(votes, tie_value=tie)
+        assert result in (0, 1)
+        ones = sum(votes)
+        zeros = len(votes) - ones
+        if ones > zeros:
+            assert result == 1
+        elif zeros > ones:
+            assert result == 0
+        else:
+            assert result == tie
+
+
+class TestEncodeParityProperties:
+    @given(size=st.integers(2, 40), base=st.data(), bit=st.integers(0, 1))
+    @settings(max_examples=120, deadline=None)
+    def test_encoded_index_in_range_with_correct_parity(self, size, base, bit):
+        index = base.draw(st.integers(0, size - 1))
+        encoded = HierarchicalWatermarker._encode_parity(index, bit, size)
+        assert 0 <= encoded < size
+        assert encoded % 2 == bit
+
+    @given(base=st.integers(0, 0), bit=st.integers(0, 1))
+    @settings(max_examples=10, deadline=None)
+    def test_singleton_sets_always_return_zero(self, base, bit):
+        assert HierarchicalWatermarker._encode_parity(base, bit, 1) == 0

@@ -1,0 +1,57 @@
+"""Tests for the query helpers."""
+
+import pytest
+
+from repro.relational.query import delete_where, equals, group_by_count, in_range, project, select_where
+from repro.relational.schema import Column, ColumnKind, ColumnType, TableSchema
+from repro.relational.table import Table
+
+
+@pytest.fixture()
+def table():
+    schema = TableSchema(
+        (
+            Column("ssn", ColumnKind.IDENTIFYING, ColumnType.CATEGORICAL),
+            Column("age", ColumnKind.QUASI_IDENTIFYING, ColumnType.NUMERIC),
+        )
+    )
+    return Table(schema, [{"ssn": f"{i:03d}", "age": 20 + i} for i in range(10)])
+
+
+class TestPredicates:
+    def test_equals(self, table):
+        assert len(select_where(table, equals("ssn", "003"))) == 1
+        assert len(select_where(table, equals("ssn", "nope"))) == 0
+
+    def test_in_range_exclusive(self, table):
+        selected = select_where(table, in_range("age", 22, 25))
+        assert sorted(row["age"] for row in selected) == [23, 24]
+
+    def test_in_range_inclusive(self, table):
+        selected = select_where(table, in_range("age", 22, 25, inclusive=True))
+        assert sorted(row["age"] for row in selected) == [22, 23, 24, 25]
+
+    def test_in_range_on_strings_matches_sql_clause(self, table):
+        # The paper's deletion attack: DELETE WHERE SSN > lval AND SSN < uval.
+        selected = select_where(table, in_range("ssn", "002", "006"))
+        assert [row["ssn"] for row in selected] == ["003", "004", "005"]
+
+
+class TestOperations:
+    def test_delete_where(self, table):
+        assert delete_where(table, in_range("age", 21, 24)) == 2
+        assert len(table) == 8
+
+    def test_project(self, table):
+        rows = project(table, ["ssn", "age"])
+        assert rows[0] == ("000", 20)
+        assert len(rows) == 10
+
+    def test_project_unknown_column(self, table):
+        with pytest.raises(KeyError):
+            project(table, ["missing"])
+
+    def test_group_by_count(self, table):
+        table.insert({"ssn": "999", "age": 20})
+        counts = group_by_count(table, ["age"])
+        assert counts[(20,)] == 2

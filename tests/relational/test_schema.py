@@ -1,0 +1,94 @@
+"""Tests for column and table schemas."""
+
+import pytest
+
+from repro.relational.schema import Column, ColumnKind, ColumnType, TableSchema, medical_schema
+
+
+def _columns():
+    return (
+        Column("ssn", ColumnKind.IDENTIFYING, ColumnType.CATEGORICAL),
+        Column("age", ColumnKind.QUASI_IDENTIFYING, ColumnType.NUMERIC),
+        Column("ward", ColumnKind.QUASI_IDENTIFYING, ColumnType.CATEGORICAL),
+        Column("note", ColumnKind.OTHER, ColumnType.CATEGORICAL),
+    )
+
+
+class TestColumn:
+    def test_flags(self):
+        ssn, age, _, note = _columns()
+        assert ssn.is_identifying and not ssn.is_quasi_identifying
+        assert age.is_quasi_identifying and age.is_numeric
+        assert not note.is_identifying and not note.is_quasi_identifying
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            Column("", ColumnKind.OTHER, ColumnType.CATEGORICAL)
+
+    def test_is_frozen(self):
+        with pytest.raises(AttributeError):
+            _columns()[0].name = "other"  # type: ignore[misc]
+
+
+class TestTableSchema:
+    def test_basic_queries(self):
+        schema = TableSchema(_columns())
+        assert len(schema) == 4
+        assert schema.column_names == ["ssn", "age", "ward", "note"]
+        assert "age" in schema
+        assert "missing" not in schema
+        assert schema.column("age").ctype is ColumnType.NUMERIC
+        assert schema.index_of("ward") == 2
+
+    def test_unknown_column_raises(self):
+        schema = TableSchema(_columns())
+        with pytest.raises(KeyError):
+            schema.column("missing")
+        with pytest.raises(KeyError):
+            schema.index_of("missing")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            TableSchema(_columns() + (Column("age", ColumnKind.OTHER, ColumnType.NUMERIC),))
+
+    def test_kind_partitions(self):
+        schema = TableSchema(_columns())
+        assert [c.name for c in schema.identifying_columns] == ["ssn"]
+        assert [c.name for c in schema.quasi_identifying_columns] == ["age", "ward"]
+        assert [c.name for c in schema.other_columns] == ["note"]
+
+    def test_validate_row(self):
+        schema = TableSchema(_columns())
+        schema.validate_row({"ssn": "1", "age": 3, "ward": "x", "note": "y"})
+        with pytest.raises(ValueError):
+            schema.validate_row({"ssn": "1", "age": 3, "ward": "x"})
+        with pytest.raises(ValueError):
+            schema.validate_row({"ssn": "1", "age": 3, "ward": "x", "note": "y", "extra": 1})
+
+    def test_with_column(self):
+        schema = TableSchema(_columns())
+        extended = schema.with_column(Column("zip", ColumnKind.QUASI_IDENTIFYING, ColumnType.CATEGORICAL))
+        assert "zip" in extended
+        assert "zip" not in schema
+
+    def test_replace_kind(self):
+        schema = TableSchema(_columns())
+        changed = schema.replace_kind("note", ColumnKind.QUASI_IDENTIFYING)
+        assert changed.column("note").kind is ColumnKind.QUASI_IDENTIFYING
+        assert schema.column("note").kind is ColumnKind.OTHER
+        with pytest.raises(KeyError):
+            schema.replace_kind("missing", ColumnKind.OTHER)
+
+    def test_iteration_order(self):
+        schema = TableSchema(_columns())
+        assert [column.name for column in schema] == schema.column_names
+
+
+class TestMedicalSchema:
+    def test_matches_the_papers_relation(self):
+        schema = medical_schema()
+        assert schema.column_names == ["ssn", "age", "zip_code", "doctor", "symptom", "prescription"]
+        assert [c.name for c in schema.identifying_columns] == ["ssn"]
+        assert len(schema.quasi_identifying_columns) == 5
+        assert schema.column("age").is_numeric
+        assert not schema.column("symptom").is_numeric

@@ -1,0 +1,138 @@
+"""Tests for the in-memory table."""
+
+import pytest
+
+from repro.relational.schema import Column, ColumnKind, ColumnType, TableSchema
+from repro.relational.table import Table
+
+
+@pytest.fixture()
+def schema():
+    return TableSchema(
+        (
+            Column("id", ColumnKind.IDENTIFYING, ColumnType.CATEGORICAL),
+            Column("age", ColumnKind.QUASI_IDENTIFYING, ColumnType.NUMERIC),
+            Column("ward", ColumnKind.QUASI_IDENTIFYING, ColumnType.CATEGORICAL),
+        )
+    )
+
+
+@pytest.fixture()
+def table(schema):
+    rows = [
+        {"id": "a", "age": 30, "ward": "Cardiology"},
+        {"id": "b", "age": 41, "ward": "Cardiology"},
+        {"id": "c", "age": 30, "ward": "Trauma"},
+        {"id": "d", "age": 65, "ward": "Trauma"},
+    ]
+    return Table(schema, rows)
+
+
+class TestInsertion:
+    def test_len_and_iteration(self, table):
+        assert len(table) == 4
+        assert [row["id"] for row in table] == ["a", "b", "c", "d"]
+
+    def test_indexing(self, table):
+        assert table[0]["id"] == "a"
+        assert table[-1]["id"] == "d"
+
+    def test_insert_validates_schema(self, table):
+        with pytest.raises(ValueError):
+            table.insert({"id": "e", "age": 10})
+        with pytest.raises(ValueError):
+            table.insert({"id": "e", "age": 10, "ward": "X", "extra": 1})
+
+    def test_insert_many(self, schema):
+        table = Table(schema)
+        table.insert_many({"id": str(i), "age": i, "ward": "W"} for i in range(5))
+        assert len(table) == 5
+
+    def test_insert_copies_row(self, schema):
+        source = {"id": "a", "age": 1, "ward": "W"}
+        table = Table(schema, [source])
+        source["age"] = 99
+        assert table[0]["age"] == 1
+
+
+class TestQueries:
+    def test_column_values(self, table):
+        assert table.column_values("age") == [30, 41, 30, 65]
+
+    def test_column_values_unknown_column(self, table):
+        with pytest.raises(KeyError):
+            table.column_values("missing")
+
+    def test_distinct_values(self, table):
+        assert table.distinct_values("ward") == {"Cardiology", "Trauma"}
+
+    def test_select_returns_new_table(self, table):
+        selected = table.select(lambda row: row["age"] == 30)
+        assert len(selected) == 2
+        assert len(table) == 4
+        selected[0]["age"] = 0
+        assert table[0]["age"] == 30
+
+    def test_group_by_count_single_column(self, table):
+        assert table.group_by_count(["ward"]) == {("Cardiology",): 2, ("Trauma",): 2}
+
+    def test_group_by_count_multi_column(self, table):
+        counts = table.group_by_count(["ward", "age"])
+        assert counts[("Cardiology", 30)] == 1
+        assert sum(counts.values()) == 4
+
+    def test_group_by_unknown_column(self, table):
+        with pytest.raises(KeyError):
+            table.group_by_count(["missing"])
+
+    def test_value_counts(self, table):
+        assert table.value_counts("age") == {30: 2, 41: 1, 65: 1}
+
+
+class TestMutation:
+    def test_delete_where(self, table):
+        deleted = table.delete_where(lambda row: row["ward"] == "Trauma")
+        assert deleted == 2
+        assert len(table) == 2
+
+    def test_delete_indices(self, table):
+        assert table.delete_indices([0, 2]) == 2
+        assert [row["id"] for row in table] == ["b", "d"]
+
+    def test_delete_indices_out_of_range(self, table):
+        with pytest.raises(IndexError):
+            table.delete_indices([99])
+
+    def test_update_where(self, table):
+        touched = table.update_where(lambda row: row["age"] < 40, lambda row: row.__setitem__("ward", "X"))
+        assert touched == 2
+        assert table[0]["ward"] == "X"
+        assert table[1]["ward"] == "Cardiology"
+
+    def test_copy_is_deep_for_rows(self, table):
+        clone = table.copy()
+        clone[0]["age"] = 999
+        assert table[0]["age"] == 30
+
+    def test_equality(self, table):
+        assert table == table.copy()
+        other = table.copy()
+        other[0]["age"] = 0
+        assert table != other
+        assert table != "not a table"
+
+
+class TestCSV:
+    def test_roundtrip(self, table, tmp_path):
+        path = tmp_path / "table.csv"
+        table.to_csv(str(path))
+        loaded = Table.from_csv(str(path), table.schema)
+        assert loaded == table
+
+    def test_numeric_coercion(self, schema, tmp_path):
+        table = Table(schema, [{"id": "a", "age": 30, "ward": "W"}, {"id": "b", "age": 2.5, "ward": "W"}])
+        path = tmp_path / "t.csv"
+        table.to_csv(str(path))
+        loaded = Table.from_csv(str(path), schema)
+        assert loaded[0]["age"] == 30 and isinstance(loaded[0]["age"], int)
+        assert loaded[1]["age"] == 2.5 and isinstance(loaded[1]["age"], float)

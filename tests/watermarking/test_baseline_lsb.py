@@ -1,0 +1,72 @@
+"""Tests for the Agrawal–Kiernan style LSB baseline."""
+
+import pytest
+
+from repro.watermarking.baseline_lsb import LSBWatermarker
+from repro.watermarking.keys import WatermarkKey
+
+
+@pytest.fixture()
+def key():
+    return WatermarkKey.from_secret("lsb-secret", eta=5)
+
+
+@pytest.fixture()
+def marker(key):
+    return LSBWatermarker(key, columns=("age",), ident_column="ssn", xi=2)
+
+
+class TestLSBWatermarker:
+    def test_embedding_changes_only_low_bits(self, small_table, marker):
+        marked = marker.embed(small_table)
+        changed = 0
+        for before, after in zip(small_table, marked):
+            if before["age"] != after["age"]:
+                changed += 1
+                assert abs(before["age"] - after["age"]) <= 3  # only the 2 LSBs move
+        assert changed > 0
+
+    def test_detection_on_marked_table(self, small_table, marker):
+        marked = marker.embed(small_table)
+        report = marker.detect(marked)
+        assert report.total_checked > 0
+        assert report.match_rate == 1.0
+        assert report.mark_present
+
+    def test_detection_on_unmarked_table_is_chance(self, small_table, marker):
+        report = marker.detect(small_table)
+        assert report.total_checked > 0
+        assert report.match_rate < 0.8
+        assert not report.mark_present
+
+    def test_lsb_flip_attack_destroys_the_mark(self, small_table, marker):
+        marked = marker.embed(small_table)
+        flipped = marked.copy()
+        for row in flipped:
+            row["age"] = row["age"] ^ 1
+        report = marker.detect(flipped)
+        assert report.match_rate < 0.8
+        assert not report.mark_present
+
+    def test_non_integer_cells_skipped(self, small_table, marker):
+        marked = marker.embed(small_table)
+        broken = marked.copy()
+        for row in broken:
+            row["age"] = float(row["age"])
+        report = marker.detect(broken)
+        assert report.total_checked == 0
+        assert not report.mark_present
+        assert report.match_rate == 0.0
+
+    def test_validation(self, key):
+        with pytest.raises(ValueError):
+            LSBWatermarker(key, columns=(), ident_column="ssn")
+        with pytest.raises(ValueError):
+            LSBWatermarker(key, columns=("age",), ident_column="ssn", xi=0)
+        with pytest.raises(ValueError):
+            LSBWatermarker(key, columns=("age",), ident_column="ssn", threshold=0.4)
+
+    def test_original_table_untouched(self, small_table, marker):
+        before = small_table.copy()
+        marker.embed(small_table)
+        assert small_table == before

@@ -1,0 +1,149 @@
+"""Tests for the hierarchical watermarking scheme (Figure 9)."""
+
+import pytest
+
+from repro.attacks.generalization_attack import GeneralizationAttack
+from repro.watermarking.hierarchical import HierarchicalWatermarker
+from repro.watermarking.keys import WatermarkKey
+from repro.watermarking.mark import Mark, mark_loss, random_mark
+
+
+@pytest.fixture(scope="module")
+def key():
+    return WatermarkKey.from_secret("module-test-secret", eta=20)
+
+
+@pytest.fixture(scope="module")
+def mark():
+    return random_mark(20, seed="hierarchical-tests")
+
+
+@pytest.fixture(scope="module")
+def embedded(binned_small, key, mark):
+    watermarker = HierarchicalWatermarker(key, copies=4)
+    return watermarker.embed(binned_small.binned, mark)
+
+
+class TestEmbedding:
+    def test_report_accounting(self, embedded, binned_small):
+        assert embedded.tuples_selected > 0
+        assert embedded.cells_embedded > 0
+        assert embedded.cells_changed <= embedded.cells_embedded
+        assert embedded.copies == 4
+        assert embedded.wmd_length == 80
+        assert set(embedded.columns) == set(binned_small.binned.quasi_columns)
+
+    def test_original_table_not_modified(self, binned_small, key, mark):
+        before = binned_small.binned.table.copy()
+        HierarchicalWatermarker(key, copies=2).embed(binned_small.binned, mark)
+        assert binned_small.binned.table == before
+
+    def test_only_selected_tuples_change(self, embedded, binned_small, key):
+        from repro.watermarking.selection import is_selected
+
+        binned = binned_small.binned
+        for row_before, row_after in zip(binned.table, embedded.watermarked.table):
+            if row_before == row_after:
+                continue
+            assert is_selected(binned.ident_value(row_before), key)
+
+    def test_identifying_column_never_touched(self, embedded, binned_small):
+        before = binned_small.binned.table.column_values("ssn")
+        after = embedded.watermarked.table.column_values("ssn")
+        assert before == after
+
+    def test_watermarked_values_stay_on_ultimate_frontier(self, embedded, binned_small):
+        binned = binned_small.binned
+        for column in binned.quasi_columns:
+            tree = binned.tree(column)
+            allowed = {tree.node(name).value for name in binned.ultimate_nodes[column]}
+            assert set(embedded.watermarked.table.column_values(column)) <= allowed
+
+    def test_column_restriction(self, binned_small, key, mark):
+        watermarker = HierarchicalWatermarker(key, columns=("symptom",), copies=4)
+        report = watermarker.embed(binned_small.binned, mark)
+        for column in binned_small.binned.quasi_columns:
+            before = binned_small.binned.table.column_values(column)
+            after = report.watermarked.table.column_values(column)
+            if column == "symptom":
+                assert before != after
+            else:
+                assert before == after
+
+    def test_unknown_column_rejected(self, binned_small, key, mark):
+        with pytest.raises(KeyError):
+            HierarchicalWatermarker(key, columns=("nope",)).embed(binned_small.binned, mark)
+
+    def test_invalid_copies_rejected(self, key):
+        with pytest.raises(ValueError):
+            HierarchicalWatermarker(key, copies=0)
+
+
+class TestDetection:
+    def test_clean_detection_recovers_mark_exactly(self, embedded, key, mark):
+        detector = HierarchicalWatermarker(key, copies=4)
+        report = detector.detect(embedded.watermarked, len(mark))
+        assert report.mark == mark
+        assert mark_loss(mark, report.mark) == 0.0
+        assert report.positions_with_votes > 0
+        assert 0.0 < report.coverage <= 1.0
+
+    def test_detection_without_key_fails(self, embedded, mark):
+        wrong = HierarchicalWatermarker(WatermarkKey.from_secret("wrong-secret", eta=20), copies=4)
+        report = wrong.detect(embedded.watermarked, len(mark))
+        # With the wrong key the detector reads essentially random bits.
+        assert mark_loss(mark, report.mark) > 0.1
+
+    def test_detection_on_unwatermarked_table_is_noise(self, binned_small, key, mark):
+        detector = HierarchicalWatermarker(key, copies=4)
+        report = detector.detect(binned_small.binned, len(mark))
+        assert mark_loss(mark, report.mark) > 0.1
+
+    def test_detection_survives_generalization_attack(self, embedded, key, mark):
+        attacked = GeneralizationAttack(levels=1).run(embedded.watermarked).attacked
+        report = HierarchicalWatermarker(key, copies=4).detect(attacked, len(mark))
+        assert mark_loss(mark, report.mark) <= 0.1
+
+    def test_mark_length_validation(self, embedded, key):
+        with pytest.raises(ValueError):
+            HierarchicalWatermarker(key).detect(embedded.watermarked, 0)
+
+    def test_level_weighting_variant_also_recovers(self, binned_small, key, mark):
+        watermarker = HierarchicalWatermarker(key, copies=4, level_weighting=True)
+        report = watermarker.embed(binned_small.binned, mark)
+        detected = watermarker.detect(report.watermarked, len(mark))
+        assert detected.mark == mark
+
+    def test_different_copies_still_recover_on_clean_table(self, binned_small, key, mark):
+        for copies in (1, 2, 6):
+            watermarker = HierarchicalWatermarker(key, copies=copies)
+            report = watermarker.embed(binned_small.binned, mark)
+            detected = watermarker.detect(report.watermarked, len(mark))
+            assert detected.mark == mark, f"copies={copies}"
+
+
+class TestEncodeParity:
+    def test_even_sized_sets(self):
+        encode = HierarchicalWatermarker._encode_parity
+        assert encode(2, 1, 4) == 3
+        assert encode(3, 0, 4) == 2
+        assert encode(0, 0, 2) == 0
+        assert encode(0, 1, 2) == 1
+
+    def test_odd_sized_sets_step_back(self):
+        encode = HierarchicalWatermarker._encode_parity
+        # base 2 in a 3-element set, bit 1 -> desired 3 is out of range -> 1.
+        assert encode(2, 1, 3) == 1
+        assert encode(2, 0, 3) == 2
+
+    def test_singleton_set(self):
+        assert HierarchicalWatermarker._encode_parity(0, 1, 1) == 0
+
+    def test_result_always_in_range_with_requested_parity(self):
+        encode = HierarchicalWatermarker._encode_parity
+        for size in range(2, 9):
+            for base in range(size):
+                for bit in (0, 1):
+                    result = encode(base, bit, size)
+                    assert 0 <= result < size
+                    assert result % 2 == bit or size == 1

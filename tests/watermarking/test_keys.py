@@ -1,0 +1,34 @@
+"""Tests for the watermarking key material."""
+
+import pytest
+
+from repro.watermarking.keys import WatermarkKey
+
+
+class TestWatermarkKey:
+    def test_from_secret_derives_distinct_subkeys(self):
+        key = WatermarkKey.from_secret("secret", eta=50)
+        assert key.k1 != key.k2
+        assert key.eta == 50
+
+    def test_from_secret_is_deterministic(self):
+        assert WatermarkKey.from_secret("s", 10) == WatermarkKey.from_secret("s", 10)
+        assert WatermarkKey.from_secret("s", 10) != WatermarkKey.from_secret("t", 10)
+
+    def test_with_eta(self):
+        key = WatermarkKey.from_secret("secret", eta=50)
+        other = key.with_eta(100)
+        assert other.eta == 100
+        assert other.k1 == key.k1 and other.k2 == key.k2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WatermarkKey(b"", b"x", 10)
+        with pytest.raises(ValueError):
+            WatermarkKey(b"x", b"x", 10)
+        with pytest.raises(ValueError):
+            WatermarkKey(b"a", b"b", 0)
+
+    def test_accepts_bytes_secret(self):
+        key = WatermarkKey.from_secret(b"binary-secret", eta=7)
+        assert key.eta == 7

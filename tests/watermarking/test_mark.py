@@ -1,0 +1,107 @@
+"""Tests for marks, replication, majority voting and mark loss."""
+
+import pytest
+
+from repro.watermarking.mark import (
+    Mark,
+    bits_to_string,
+    majority_vote,
+    mark_loss,
+    random_mark,
+    replicate_mark,
+    string_to_bits,
+)
+
+
+class TestMark:
+    def test_construction_and_access(self):
+        mark = Mark.from_bits([1, 0, 1, 1])
+        assert len(mark) == 4
+        assert mark[0] == 1 and mark[1] == 0
+        assert list(mark) == [1, 0, 1, 1]
+        assert str(mark) == "1011"
+
+    def test_from_string_roundtrip(self):
+        mark = Mark.from_string("10110")
+        assert mark.bits == (1, 0, 1, 1, 0)
+        with pytest.raises(ValueError):
+            Mark.from_string("10a")
+        with pytest.raises(ValueError):
+            Mark.from_string("")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Mark.from_bits([])
+        with pytest.raises(ValueError):
+            Mark(bits=(0, 2))
+
+    def test_from_statistic_stable_under_quantisation(self):
+        a = Mark.from_statistic(5.5e8, 20, precision=1e6)
+        b = Mark.from_statistic(5.5e8 + 1e5, 20, precision=1e6)
+        c = Mark.from_statistic(9.1e8, 20, precision=1e6)
+        assert a == b
+        assert a != c
+        assert len(a) == 20
+
+    def test_from_label_deterministic(self):
+        assert Mark.from_label("owner-a") == Mark.from_label("owner-a")
+        assert Mark.from_label("owner-a") != Mark.from_label("owner-b")
+
+    def test_hamming_and_loss(self):
+        a = Mark.from_string("1111")
+        b = Mark.from_string("1010")
+        assert a.hamming_distance(b) == 2
+        assert a.loss_against(b) == 0.5
+        assert mark_loss(a, b) == 0.5
+        with pytest.raises(ValueError):
+            a.hamming_distance(Mark.from_string("10"))
+
+    def test_random_mark_reproducible(self):
+        assert random_mark(20, seed=1) == random_mark(20, seed=1)
+        assert random_mark(20, seed=1) != random_mark(20, seed=2)
+        assert len(random_mark(31)) == 31
+
+
+class TestReplication:
+    def test_replicate(self):
+        mark = Mark.from_string("101")
+        assert replicate_mark(mark, 3) == [1, 0, 1] * 3
+        assert replicate_mark([1, 1], 2) == [1, 1, 1, 1]
+
+    def test_replicate_validation(self):
+        with pytest.raises(ValueError):
+            replicate_mark(Mark.from_string("1"), 0)
+
+
+class TestMajorityVote:
+    def test_simple_majority(self):
+        assert majority_vote([1, 1, 0]) == 1
+        assert majority_vote([0, 0, 1]) == 0
+
+    def test_tie_resolution(self):
+        assert majority_vote([0, 1]) == 0
+        assert majority_vote([0, 1], tie_value=1) == 1
+        assert majority_vote([], tie_value=1) == 1
+
+    def test_weighted(self):
+        # One heavy vote outweighs two light ones (the "higher level is more
+        # reliable" policy of Section 5.3).
+        assert majority_vote([0, 0, 1], weights=[1.0, 1.0, 5.0]) == 1
+        assert majority_vote([1, 0], weights=[0.0, 1.0]) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            majority_vote([2])
+        with pytest.raises(ValueError):
+            majority_vote([1, 0], weights=[1.0])
+        with pytest.raises(ValueError):
+            majority_vote([1], weights=[-1.0])
+
+
+class TestBitStrings:
+    def test_roundtrip(self):
+        assert string_to_bits(bits_to_string([1, 0, 1])) == [1, 0, 1]
+
+    def test_invalid_characters(self):
+        with pytest.raises(ValueError):
+            string_to_bits("012")

@@ -1,0 +1,117 @@
+"""Tests for the rightful-ownership protocol (Section 5.4)."""
+
+import pytest
+
+from repro.watermarking.mark import Mark
+from repro.watermarking.keys import WatermarkKey
+from repro.watermarking.ownership import (
+    DisputeVerdict,
+    OwnershipClaim,
+    OwnershipRegistry,
+    identifier_statistic,
+)
+
+
+class TestIdentifierStatistic:
+    def test_mean_of_numeric_identifiers(self):
+        assert identifier_statistic(["100", "200", "300"]) == pytest.approx(200.0)
+
+    def test_non_numeric_entries_ignored(self):
+        assert identifier_statistic(["100", "garbage", "300"]) == pytest.approx(200.0)
+
+    def test_all_garbage_raises(self):
+        with pytest.raises(ValueError):
+            identifier_statistic(["x", "y", ""])
+
+
+class TestRegistryConfiguration:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OwnershipRegistry(mark_length=0)
+        with pytest.raises(ValueError):
+            OwnershipRegistry(tau=0)
+        with pytest.raises(ValueError):
+            OwnershipRegistry(max_bit_errors=-1)
+
+    def test_derive_mark(self, medium_table):
+        registry = OwnershipRegistry(mark_length=20)
+        statistic, mark = registry.derive_mark(medium_table.column_values("ssn"))
+        assert isinstance(mark, Mark)
+        assert len(mark) == 20
+        assert statistic > 0
+        # Deterministic.
+        assert registry.derive_mark(medium_table.column_values("ssn")) == (statistic, mark)
+
+    def test_dispute_requires_claims(self, protected_small):
+        with pytest.raises(ValueError):
+            OwnershipRegistry().resolve_dispute(protected_small.watermarked, [])
+
+
+class TestDisputeResolution:
+    def test_owner_claim_is_valid_on_own_table(self, protection_framework, protected_small):
+        claim = protection_framework.owner_claim("hospital")
+        verdict = protection_framework.resolve_dispute(protected_small.watermarked, [claim])
+        assert isinstance(verdict, DisputeVerdict)
+        assert verdict.valid_claimants == ["hospital"]
+        assert verdict.winner == "hospital"
+        assessment = verdict.assessments[0]
+        assert assessment.decryption_ok and assessment.statistic_ok and assessment.mark_matches
+        assert assessment.mark_bit_errors == 0
+        assert assessment.recomputed_statistic == pytest.approx(
+            protected_small.registered_statistic, abs=1.0
+        )
+
+    def test_claim_with_wrong_encryption_key_fails(self, protection_framework, protected_small):
+        owner = protection_framework.owner_claim("hospital")
+        impostor = OwnershipClaim(
+            claimant="impostor",
+            registered_statistic=owner.registered_statistic,
+            mark=owner.mark,
+            watermark_key=owner.watermark_key,
+            encryption_key="not-the-owner-key",
+            copies=owner.copies,
+        )
+        verdict = protection_framework.resolve_dispute(protected_small.watermarked, [impostor])
+        assert verdict.winner is None
+        assessment = verdict.assessments[0]
+        assert not (assessment.decryption_ok and assessment.statistic_ok)
+
+    def test_claim_with_wrong_watermark_key_fails(self, protection_framework, protected_small):
+        owner = protection_framework.owner_claim("hospital")
+        impostor = OwnershipClaim(
+            claimant="impostor",
+            registered_statistic=owner.registered_statistic,
+            mark=owner.mark,
+            watermark_key=WatermarkKey.from_secret("some-other-secret", 25),
+            encryption_key=owner.encryption_key,
+            copies=owner.copies,
+        )
+        verdict = protection_framework.resolve_dispute(protected_small.watermarked, [impostor])
+        assert "impostor" not in verdict.valid_claimants
+
+    def test_claim_with_fabricated_statistic_fails(self, protection_framework, protected_small):
+        owner = protection_framework.owner_claim("hospital")
+        fabricated = OwnershipClaim(
+            claimant="fabricator",
+            registered_statistic=owner.registered_statistic + 1e9,
+            mark=Mark.from_statistic(owner.registered_statistic + 1e9, 20, precision=1e6),
+            watermark_key=owner.watermark_key,
+            encryption_key=owner.encryption_key,
+            copies=owner.copies,
+        )
+        verdict = protection_framework.resolve_dispute(protected_small.watermarked, [fabricated])
+        assert "fabricator" not in verdict.valid_claimants
+
+    def test_winner_none_when_two_claims_valid(self, protection_framework, protected_small):
+        owner = protection_framework.owner_claim("hospital")
+        duplicate = OwnershipClaim(
+            claimant="hospital-twin",
+            registered_statistic=owner.registered_statistic,
+            mark=owner.mark,
+            watermark_key=owner.watermark_key,
+            encryption_key=owner.encryption_key,
+            copies=owner.copies,
+        )
+        verdict = protection_framework.resolve_dispute(protected_small.watermarked, [owner, duplicate])
+        assert set(verdict.valid_claimants) == {"hospital", "hospital-twin"}
+        assert verdict.winner is None

@@ -1,0 +1,48 @@
+"""Tests for the keyed tuple selection (Equation 5)."""
+
+import pytest
+
+from repro.watermarking.keys import WatermarkKey
+from repro.watermarking.selection import expected_selection_count, is_selected, selected_row_indices
+
+
+class TestSelection:
+    def test_deterministic(self):
+        key = WatermarkKey.from_secret("secret", eta=10)
+        idents = [f"token-{i}" for i in range(100)]
+        assert selected_row_indices(idents, key) == selected_row_indices(idents, key)
+
+    def test_selection_rate_close_to_one_over_eta(self):
+        key = WatermarkKey.from_secret("secret", eta=20)
+        idents = [f"token-{i}" for i in range(8000)]
+        selected = selected_row_indices(idents, key)
+        rate = len(selected) / len(idents)
+        assert 0.03 < rate < 0.07  # expected 0.05
+
+    def test_eta_one_selects_everything(self):
+        key = WatermarkKey.from_secret("secret", eta=1)
+        assert all(is_selected(f"t{i}", key) for i in range(50))
+
+    def test_selection_depends_on_key(self):
+        idents = [f"token-{i}" for i in range(2000)]
+        a = set(selected_row_indices(idents, WatermarkKey.from_secret("a", eta=10)))
+        b = set(selected_row_indices(idents, WatermarkKey.from_secret("b", eta=10)))
+        assert a != b
+
+    def test_selection_depends_on_eta(self):
+        idents = [f"token-{i}" for i in range(4000)]
+        few = selected_row_indices(idents, WatermarkKey.from_secret("s", eta=100))
+        many = selected_row_indices(idents, WatermarkKey.from_secret("s", eta=10))
+        assert len(many) > len(few)
+
+    def test_expected_selection_count(self):
+        key = WatermarkKey.from_secret("s", eta=50)
+        assert expected_selection_count(1000, key) == pytest.approx(20.0)
+        with pytest.raises(ValueError):
+            expected_selection_count(-1, key)
+
+    def test_selection_uses_k1_not_k2(self):
+        base = WatermarkKey.from_secret("s", eta=10)
+        same_k1 = WatermarkKey(base.k1, b"different-k2", 10)
+        idents = [f"token-{i}" for i in range(500)]
+        assert selected_row_indices(idents, base) == selected_row_indices(idents, same_k1)

@@ -1,0 +1,68 @@
+"""Tests for the single-level baseline scheme (Section 5.2)."""
+
+import pytest
+
+from repro.attacks.generalization_attack import GeneralizationAttack
+from repro.watermarking.hierarchical import HierarchicalWatermarker
+from repro.watermarking.keys import WatermarkKey
+from repro.watermarking.mark import mark_loss, random_mark
+from repro.watermarking.single_level import SingleLevelWatermarker
+
+
+@pytest.fixture(scope="module")
+def key():
+    return WatermarkKey.from_secret("single-level-secret", eta=20)
+
+
+@pytest.fixture(scope="module")
+def mark():
+    return random_mark(20, seed="single-level-tests")
+
+
+@pytest.fixture(scope="module")
+def embedded(binned_small, key, mark):
+    return SingleLevelWatermarker(key, copies=4).embed(binned_small.binned, mark)
+
+
+class TestSingleLevelScheme:
+    def test_clean_detection_recovers_mark(self, embedded, key, mark):
+        report = SingleLevelWatermarker(key, copies=4).detect(embedded.watermarked, len(mark))
+        assert report.mark == mark
+
+    def test_embedding_respects_ultimate_frontier(self, embedded, binned_small):
+        binned = binned_small.binned
+        for column in binned.quasi_columns:
+            tree = binned.tree(column)
+            allowed = {tree.node(name).value for name in binned.ultimate_nodes[column]}
+            assert set(embedded.watermarked.table.column_values(column)) <= allowed
+
+    def test_identifying_column_untouched(self, embedded, binned_small):
+        assert embedded.watermarked.table.column_values("ssn") == binned_small.binned.table.column_values("ssn")
+
+    def test_generalization_attack_destroys_single_level_but_not_hierarchical(
+        self, binned_small, key, mark
+    ):
+        """The core claim of Section 5.2/5.3, head to head on the same data."""
+        single = SingleLevelWatermarker(key, copies=4)
+        hierarchical = HierarchicalWatermarker(key, copies=4)
+        single_embedded = single.embed(binned_small.binned, mark)
+        hier_embedded = hierarchical.embed(binned_small.binned, mark)
+
+        attack = GeneralizationAttack(levels=1)
+        single_attacked = attack.run(single_embedded.watermarked).attacked
+        hier_attacked = attack.run(hier_embedded.watermarked).attacked
+
+        single_loss = mark_loss(mark, single.detect(single_attacked, len(mark)).mark)
+        hier_loss = mark_loss(mark, hierarchical.detect(hier_attacked, len(mark)).mark)
+        assert hier_loss <= 0.1
+        assert single_loss > hier_loss
+        assert single_loss >= 0.2
+
+    def test_report_fields(self, embedded):
+        assert embedded.tuples_selected > 0
+        assert embedded.cells_embedded > 0
+        assert embedded.copies == 4
+
+    def test_mark_length_validation(self, embedded, key):
+        with pytest.raises(ValueError):
+            SingleLevelWatermarker(key).detect(embedded.watermarked, 0)
