@@ -41,7 +41,8 @@ class SubsetAdditionAttack:
 
     def run(self, binned: BinnedTable) -> AttackResult:
         rng = DeterministicPRNG(("subset-addition", self.seed, self.fraction))
-        attacked = binned.copy()
+        # Addition never touches existing rows, so sharing them is free.
+        attacked = binned.lazy_copy()
         n_new = int(round(len(attacked.table) * self.fraction))
         if len(attacked.table) == 0:
             return AttackResult(attacked, 0, "subset addition on an empty table")

@@ -48,7 +48,7 @@ class SubsetAlterationAttack:
     def run(self, binned: BinnedTable) -> AttackResult:
         """Attack a copy of *binned*."""
         rng = DeterministicPRNG(("subset-alteration", self.seed, self.fraction))
-        attacked = binned.copy()
+        attacked = binned.lazy_copy()
         columns = self.columns if self.columns is not None else attacked.quasi_columns
         # The attacker replaces values with other plausible generalized values
         # of the same column (anything else would be spotted immediately).
@@ -57,7 +57,7 @@ class SubsetAlterationAttack:
         }
         indices = rng.subset_indices(len(attacked.table), self.fraction)
         for index in indices:
-            row = attacked.table[index]
+            row = attacked.table.mutable_row(index)
             for column in columns:
                 row[column] = rng.choice(candidate_values[column])
         return AttackResult(

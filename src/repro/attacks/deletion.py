@@ -64,7 +64,8 @@ class SubsetDeletionAttack:
         self.n_ranges = n_ranges
 
     def run(self, binned: BinnedTable) -> AttackResult:
-        attacked = binned.copy()
+        # Deletion only rebuilds the row list; surviving rows stay shared.
+        attacked = binned.lazy_copy()
         n_rows = len(attacked.table)
         target = int(round(n_rows * self.fraction))
         if target == 0 or n_rows == 0:

@@ -56,24 +56,31 @@ class GeneralizationAttack:
         return current
 
     def run(self, binned: BinnedTable) -> AttackResult:
-        attacked = binned.copy()
+        attacked = binned.lazy_copy()
         columns = self.columns if self.columns is not None else attacked.quasi_columns
+        # Trees and frontiers are per-column constants; resolve them once
+        # instead of once per row.
+        trees = {column: attacked.tree(column) for column in columns}
+        maximal_sets = {column: set(attacked.maximal_node_objects(column)) for column in columns}
+        table = attacked.table
         changed = 0
         rows_touched = 0
-        for row in attacked.table:
+        for index in range(len(table)):
+            row = table[index]
             row_changed = False
             for column in columns:
-                tree = attacked.tree(column)
-                maximal = set(attacked.maximal_node_objects(column))
+                tree = trees[column]
                 try:
                     node = tree.value_to_node(row[column])
                 except ValueError:
                     continue
-                lifted = self._lift(tree, node, maximal)
+                lifted = self._lift(tree, node, maximal_sets[column])
                 if lifted is not node:
+                    if not row_changed:
+                        row = table.mutable_row(index)
+                        row_changed = True
                     row[column] = lifted.value
                     changed += 1
-                    row_changed = True
             if row_changed:
                 rows_touched += 1
         return AttackResult(

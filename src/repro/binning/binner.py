@@ -19,6 +19,7 @@ report.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from operator import itemgetter
 from typing import Mapping
 
 from repro.binning.generalization import Generalization, MultiColumnGeneralization
@@ -90,6 +91,17 @@ class BinnedTable:
         values = tuple(row[column] for column in self.identifying_columns)
         return values[0] if len(values) == 1 else values
 
+    def ident_values(self) -> list[object]:
+        """:meth:`ident_value` for every row, in one bulk projection.
+
+        The batched embed/detect sweeps feed this list straight into
+        :meth:`repro.crypto.batch.WatermarkHashEngine.tuple_coordinates`.
+        """
+        if not self.identifying_columns:
+            return [self.ident_value(row) for row in self.table]
+        getter = itemgetter(*self.identifying_columns)
+        return list(map(getter, self.table.rows))
+
     # ------------------------------------------------------------------- bins
     def bin_sizes(self, column: str) -> dict[object, int]:
         """Per-attribute bin sizes (one bin per distinct generalized value)."""
@@ -98,6 +110,25 @@ class BinnedTable:
     def joint_bin_sizes(self) -> dict[tuple[object, ...], int]:
         """Bin sizes over the combination of all binned columns."""
         return self.table.group_by_count(list(self.quasi_columns))
+
+    def lazy_copy(self) -> "BinnedTable":
+        """Copy-on-write copy: row dicts are shared until actually mutated.
+
+        The attack simulators and the embedder mutate only a fraction of the
+        rows (one in ``η`` for embedding), so sharing the rest keeps the
+        pipelines O(rows touched) instead of O(table size).  Mutations must go
+        through :meth:`repro.relational.table.Table.mutable_row`.
+        """
+        return BinnedTable(
+            table=self.table.lazy_copy(),
+            trees=self.trees,
+            identifying_columns=self.identifying_columns,
+            quasi_columns=self.quasi_columns,
+            ultimate_nodes=dict(self.ultimate_nodes),
+            maximal_nodes=dict(self.maximal_nodes),
+            minimal_nodes=dict(self.minimal_nodes),
+            k=self.k,
+        )
 
     def copy(self) -> "BinnedTable":
         """Deep copy (attacks mutate the table; the metadata is shared)."""

@@ -16,6 +16,14 @@ requires the cipher to be a deterministic, invertible, keyed pseudorandom
 permutation, which the Feistel construction provides.
 """
 
+from repro.crypto.batch import (
+    KeyedHashStream,
+    ScalarWatermarkEngine,
+    TupleCoordinates,
+    TupleHasher,
+    WatermarkHashEngine,
+    make_engine,
+)
 from repro.crypto.cipher import FeistelCipher, FieldEncryptor
 from repro.crypto.hashing import (
     derive_subkey,
@@ -23,6 +31,7 @@ from repro.crypto.hashing import (
     keyed_hash_bytes,
     mark_from_statistic,
     one_way_bits,
+    serialise_value,
 )
 from repro.crypto.prng import DeterministicPRNG
 
@@ -32,7 +41,14 @@ __all__ = [
     "DeterministicPRNG",
     "keyed_hash",
     "keyed_hash_bytes",
+    "serialise_value",
     "derive_subkey",
     "one_way_bits",
     "mark_from_statistic",
+    "KeyedHashStream",
+    "TupleHasher",
+    "TupleCoordinates",
+    "WatermarkHashEngine",
+    "ScalarWatermarkEngine",
+    "make_engine",
 ]

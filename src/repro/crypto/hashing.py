@@ -27,6 +27,7 @@ import math
 __all__ = [
     "keyed_hash_bytes",
     "keyed_hash",
+    "serialise_value",
     "derive_subkey",
     "one_way_bits",
     "mark_from_statistic",
@@ -64,6 +65,11 @@ def _to_bytes(value: object) -> bytes:
             parts.append(encoded)
         return b"".join(parts)
     raise TypeError(f"cannot hash value of type {type(value).__name__!r}")
+
+
+#: Public alias: the batched engine (:mod:`repro.crypto.batch`) reuses this
+#: serialisation so batched and scalar digests can never drift apart.
+serialise_value = _to_bytes
 
 
 def _key_bytes(key: object) -> bytes:
@@ -114,8 +120,9 @@ def one_way_bits(value: object, n_bits: int, *, salt: bytes = b"repro-mark") -> 
         raise ValueError("n_bits must be positive")
     bits: list[int] = []
     counter = 0
+    payload = b"|" + _to_bytes(value)
     while len(bits) < n_bits:
-        digest = hashlib.sha256(salt + b"|" + str(counter).encode() + b"|" + _to_bytes(value)).digest()
+        digest = hashlib.sha256(salt + b"|" + str(counter).encode() + payload).digest()
         for byte in digest:
             for shift in range(8):
                 bits.append((byte >> shift) & 1)

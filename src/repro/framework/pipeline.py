@@ -81,6 +81,7 @@ class ProtectionFramework:
         )
         self._owner_statistic: float | None = None
         self._owner_mark: Mark | None = None
+        self._watermarker: HierarchicalWatermarker | None = None
 
     # ------------------------------------------------------------- properties
     @property
@@ -96,13 +97,22 @@ class ProtectionFramework:
         return self._registry
 
     def watermarker(self) -> HierarchicalWatermarker:
-        """The configured hierarchical watermarker (shared by protect/verify)."""
-        return HierarchicalWatermarker(
-            self._watermark_key,
-            columns=self._watermark_columns,
-            copies=self._copies,
-            level_weighting=self._level_weighting,
-        )
+        """The configured hierarchical watermarker (shared by protect/verify).
+
+        One instance is kept for the framework's lifetime so the batched hash
+        engine's digest caches carry over from embedding to every later
+        detection pass — a detect on the table just protected (or on an
+        attacked variant with mostly unchanged idents) reuses the cached
+        per-tuple digests instead of recomputing them.
+        """
+        if self._watermarker is None:
+            self._watermarker = HierarchicalWatermarker(
+                self._watermark_key,
+                columns=self._watermark_columns,
+                copies=self._copies,
+                level_weighting=self._level_weighting,
+            )
+        return self._watermarker
 
     # -------------------------------------------------------------------- API
     def protect(self, table: Table) -> ProtectedData:

@@ -38,12 +38,11 @@ from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
 from repro.binning.binner import BinnedTable
-from repro.crypto.hashing import keyed_hash
+from repro.crypto.batch import ScalarWatermarkEngine, WatermarkHashEngine, make_engine
 from repro.dht.node import DHTNode
 from repro.dht.tree import DomainHierarchyTree
 from repro.watermarking.keys import WatermarkKey
 from repro.watermarking.mark import Mark, majority_vote, replicate_mark
-from repro.watermarking.selection import is_selected
 
 __all__ = ["EmbeddingReport", "DetectionReport", "HierarchicalWatermarker"]
 
@@ -87,25 +86,124 @@ class DetectionReport:
         return self.positions_with_votes / len(self.wmd_bits)
 
 
+_MISSING = object()
+
+
 @dataclass
 class _Frontiers:
-    """Per-column node sets resolved once per embed/detect call."""
+    """Per-column node sets resolved once per embed/detect call.
+
+    Also memoises the pure per-value and per-node lookups of the inner loops
+    — value-to-node resolution, the maximal generalization node covering a
+    node, sorted sibling/children sets, parity reads — because a table has
+    only a handful of distinct generalized values per column while the loops
+    visit one selected tuple in ``η`` over up to 100k rows.
+    """
 
     tree: DomainHierarchyTree
     ultimate: list[DHTNode]
     maximal: list[DHTNode]
     ultimate_set: set[DHTNode] = field(init=False)
     maximal_set: set[DHTNode] = field(init=False)
+    _ultimate_by_value: dict[object, object] = field(init=False, default_factory=dict)
+    _node_by_value: dict[object, DHTNode | None] = field(init=False, default_factory=dict)
+    _maximal_by_node: dict[DHTNode, DHTNode | None] = field(init=False, default_factory=dict)
+    _children_by_node: dict[DHTNode, list[DHTNode]] = field(init=False, default_factory=dict)
+    _siblings_by_node: dict[DHTNode, list[DHTNode]] = field(init=False, default_factory=dict)
+    _levels_by_node: dict[DHTNode, tuple[list[int], list[float]]] = field(init=False, default_factory=dict)
 
     def __post_init__(self) -> None:
         self.ultimate_set = set(self.ultimate)
         self.maximal_set = set(self.maximal)
 
+    def resolve_ultimate(self, value: object) -> DHTNode:
+        """``Val2Nd`` against the ultimate frontier, memoised per value."""
+        try:
+            hit = self._ultimate_by_value.get(value, _MISSING)
+        except TypeError:  # unhashable cell value: fall through uncached
+            return self.tree.value_to_node(value, self.ultimate)
+        if hit is _MISSING:
+            try:
+                hit = self.tree.value_to_node(value, self.ultimate)
+            except ValueError as error:
+                self._ultimate_by_value[value] = error
+                raise
+            self._ultimate_by_value[value] = hit
+        if isinstance(hit, ValueError):
+            raise hit
+        return hit  # type: ignore[return-value]
+
+    def resolve_cell(self, value: object) -> DHTNode | None:
+        """Best-effort value resolution (``None`` for foreign values), memoised."""
+        try:
+            hit = self._node_by_value.get(value, _MISSING)
+        except TypeError:
+            return _resolve_value(self.tree, value)
+        if hit is _MISSING:
+            hit = _resolve_value(self.tree, value)
+            self._node_by_value[value] = hit
+        return hit
+
     def maximal_for(self, node: DHTNode) -> DHTNode | None:
         """``MaxGNd``: the maximal generalization node covering *node*."""
-        for step in node.ancestors(include_self=True):
-            if step in self.maximal_set:
-                return step
+        hit = self._maximal_by_node.get(node, _MISSING)
+        if hit is _MISSING:
+            hit = next(
+                (step for step in node.ancestors(include_self=True) if step in self.maximal_set),
+                None,
+            )
+            self._maximal_by_node[node] = hit
+        return hit  # type: ignore[return-value]
+
+    def children(self, node: DHTNode) -> list[DHTNode]:
+        """Sorted children of *node* (the tree re-sorts on every call)."""
+        hit = self._children_by_node.get(node)
+        if hit is None:
+            hit = self.tree.children(node)
+            self._children_by_node[node] = hit
+        return hit
+
+    def siblings(self, node: DHTNode) -> list[DHTNode]:
+        """Sorted sibling set of *node* (including the node itself)."""
+        hit = self._siblings_by_node.get(node)
+        if hit is None:
+            hit = self.tree.siblings(node)
+            self._siblings_by_node[node] = hit
+        return hit
+
+    def read_levels(self, node: DHTNode) -> tuple[list[int], list[float]]:
+        """Parity bits from *node* up to the maximal frontier, memoised per node.
+
+        Values already at or above the maximal frontier yield nothing (the
+        loop of Figure 9 never starts); lower levels are read bottom-up, with
+        weights growing toward the top when level weighting is enabled.
+        Callers must not mutate the returned lists.
+        """
+        hit = self._levels_by_node.get(node)
+        if hit is not None:
+            return hit
+        bits: list[int] = []
+        current: DHTNode | None = node
+        while current is not None and current not in self.maximal_set and current.parent is not None:
+            siblings = self.siblings(current)
+            bits.append(siblings.index(current) & 1)
+            current = current.parent
+        if current is None or current not in self.maximal_set:
+            # The walk ran past the root without meeting the maximal frontier:
+            # the value lies outside the watermarked region (e.g. replaced by
+            # an attacker with something above the frontier).
+            result: tuple[list[int], list[float]] = ([], [])
+        else:
+            result = (bits, [float(level + 1) for level in range(len(bits))])
+        self._levels_by_node[node] = result
+        return result
+
+
+def _resolve_value(tree: DomainHierarchyTree, value: object) -> DHTNode | None:
+    """Map a (possibly attacked) cell value to a tree node, or ``None``."""
+    try:
+        return tree.value_to_node(value)
+    except (ValueError, TypeError):
         return None
 
 
@@ -119,6 +217,8 @@ class HierarchicalWatermarker:
         columns: Sequence[str] | None = None,
         copies: int = DEFAULT_COPIES,
         level_weighting: bool = False,
+        batch: bool = True,
+        engine: "WatermarkHashEngine | ScalarWatermarkEngine | None" = None,
     ) -> None:
         """
         Parameters
@@ -138,6 +238,17 @@ class HierarchicalWatermarker:
             larger weights in the per-tuple majority vote, implementing the
             "copies from a higher level are more reliable" policy of
             Section 5.3.
+        batch:
+            When true (the default) all keyed-hash arithmetic goes through the
+            batched :class:`~repro.crypto.batch.WatermarkHashEngine` — HMAC
+            pads built once, idents serialised once per tuple, digests cached
+            across embed/detect — and :meth:`embed` writes into a
+            copy-on-write table.  ``False`` reproduces the seed's scalar
+            per-call path (the baseline of the scaling benchmark); both paths
+            are bit-identical.
+        engine:
+            Explicit hash engine, overriding the one *batch* would build.
+            Must be keyed with the same ``(k1, k2, η)``.
         """
         if copies < 1:
             raise ValueError("copies must be at least 1")
@@ -145,6 +256,8 @@ class HierarchicalWatermarker:
         self._columns = tuple(columns) if columns is not None else None
         self._copies = copies
         self._level_weighting = level_weighting
+        self._batch = batch
+        self._engine = engine if engine is not None else make_engine(key, batch=batch)
 
     @property
     def key(self) -> WatermarkKey:
@@ -153,6 +266,11 @@ class HierarchicalWatermarker:
     @property
     def copies(self) -> int:
         return self._copies
+
+    @property
+    def engine(self) -> "WatermarkHashEngine | ScalarWatermarkEngine":
+        """The keyed-hash engine driving selection, positions and permutations."""
+        return self._engine
 
     # ---------------------------------------------------------------- helpers
     def _resolve_columns(self, binned: BinnedTable) -> tuple[str, ...]:
@@ -175,11 +293,15 @@ class HierarchicalWatermarker:
 
     def _position(self, ident: object, column: str, wmd_length: int) -> int:
         """Position of this cell's bit within the replicated mark ``wmd``."""
-        return keyed_hash((ident, column, "position"), self._key.k2) % wmd_length
+        return self._engine.position(ident, column, wmd_length)
 
     def _base_index(self, ident: object, column: str, level: int, size: int) -> int:
         """The keyed base index ``H(t.ident, k2) mod |S|`` of the permutation."""
-        return keyed_hash((ident, column, "index", level), self._key.k2) % size
+        return self._engine.base_index(ident, column, level, size)
+
+    def _copy_for_embedding(self, binned: BinnedTable) -> BinnedTable:
+        """Copy-on-write on the batched path, deep copy on the seed path."""
+        return binned.lazy_copy() if self._batch else binned.copy()
 
     @staticmethod
     def _encode_parity(base_index: int, bit: int, size: int) -> int:
@@ -205,7 +327,7 @@ class HierarchicalWatermarker:
         """Embed *mark* into a copy of *binned* (the original is left untouched)."""
         columns = self._resolve_columns(binned)
         frontiers = self._frontiers(binned, columns)
-        watermarked = binned.copy()
+        watermarked = self._copy_for_embedding(binned)
         wmd = replicate_mark(mark, self._copies)
 
         tuples_selected = 0
@@ -213,15 +335,17 @@ class HierarchicalWatermarker:
         cells_changed = 0
         cells_skipped = 0
 
-        for row in watermarked.table:
-            ident = watermarked.ident_value(row)
-            if not is_selected(ident, self._key):
+        table = watermarked.table
+        idents = watermarked.ident_values()
+        for index, coords in enumerate(self._engine.tuple_coordinates(idents, columns, len(wmd))):
+            if coords is None:
                 continue
             tuples_selected += 1
+            row = table[index]
             for column in columns:
                 front = frontiers[column]
                 try:
-                    current = front.tree.value_to_node(row[column], front.ultimate)
+                    current = front.resolve_ultimate(row[column])
                 except ValueError:
                     # The cell does not carry an ultimate-generalization value
                     # (should not happen right after binning); leave it alone.
@@ -233,23 +357,24 @@ class HierarchicalWatermarker:
                     # this branch: no bandwidth, nothing to embed.
                     cells_skipped += 1
                     continue
-                bit = wmd[self._position(ident, column, len(wmd))]
+                bit = wmd[coords.position(column)]
                 target = maximal
                 level = 0
                 while target not in front.ultimate_set:
-                    siblings = front.tree.children(target)
+                    siblings = front.children(target)
                     if not siblings:
                         # Reached a leaf that is not an ultimate node; should
                         # not happen for valid frontiers, but never loop.
                         break
-                    base = self._base_index(ident, column, level, len(siblings))
+                    base = coords.base_index(column, level, len(siblings))
                     target = siblings[self._encode_parity(base, bit, len(siblings))]
                     level += 1
                 if target in front.ultimate_set:
                     cells_embedded += 1
                     if row[column] != target.value:
                         cells_changed += 1
-                    row[column] = target.value
+                        row = table.mutable_row(index)
+                        row[column] = target.value
                 else:  # pragma: no cover - defensive, see break above
                     cells_skipped += 1
 
@@ -279,21 +404,23 @@ class HierarchicalWatermarker:
         cells_read = 0
         votes_cast = 0
 
-        for row in binned.table:
-            ident = binned.ident_value(row)
-            if not is_selected(ident, self._key):
+        table = binned.table
+        idents = binned.ident_values()
+        for index, coords in enumerate(self._engine.tuple_coordinates(idents, columns, wmd_length)):
+            if coords is None:
                 continue
             tuples_selected += 1
+            row = table[index]
             for column in columns:
                 front = frontiers[column]
-                node = self._resolve_cell(front.tree, row[column])
+                node = front.resolve_cell(row[column])
                 if node is None:
                     continue
-                bits, weights = self._read_levels(front, node)
+                bits, weights = front.read_levels(node)
                 if not bits:
                     continue
                 cells_read += 1
-                position = self._position(ident, column, wmd_length)
+                position = coords.position(column)
                 # Ties among levels are broken in favour of the highest level
                 # read (the copy "from a higher level is more reliable",
                 # Section 5.3); bits are collected bottom-up, so that is the
@@ -331,29 +458,8 @@ class HierarchicalWatermarker:
     @staticmethod
     def _resolve_cell(tree: DomainHierarchyTree, value: object) -> DHTNode | None:
         """Map a (possibly attacked) cell value to a tree node, or ``None``."""
-        try:
-            return tree.value_to_node(value)
-        except (ValueError, TypeError):
-            return None
+        return _resolve_value(tree, value)
 
     def _read_levels(self, front: _Frontiers, node: DHTNode) -> tuple[list[int], list[float]]:
-        """Read the index parity at every level from *node* up to the maximal frontier.
-
-        Values already at or above the maximal frontier yield nothing (the
-        loop of Figure 9 never starts); lower levels are read bottom-up, with
-        weights growing toward the top when level weighting is enabled.
-        """
-        bits: list[int] = []
-        current = node
-        while current is not None and current not in front.maximal_set and current.parent is not None:
-            siblings = front.tree.siblings(current)
-            index = siblings.index(current)
-            bits.append(index & 1)
-            current = current.parent
-        if current is None or current not in front.maximal_set:
-            # The walk ran past the root without meeting the maximal frontier:
-            # the value lies outside the watermarked region (e.g. replaced by
-            # an attacker with something above the frontier).
-            return [], []
-        weights = [float(level + 1) for level in range(len(bits))]
-        return bits, weights
+        """Read the index parity at every level from *node* up to the maximal frontier."""
+        return front.read_levels(node)

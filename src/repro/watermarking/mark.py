@@ -15,6 +15,7 @@ detector gets wrong after an attack.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from operator import xor
 from typing import Iterable, Sequence
 
 from repro.crypto.hashing import mark_from_statistic, one_way_bits
@@ -80,7 +81,7 @@ class Mark:
     def hamming_distance(self, other: "Mark") -> int:
         if len(self) != len(other):
             raise ValueError("marks must have the same length")
-        return sum(1 for a, b in zip(self.bits, other.bits) if a != b)
+        return sum(map(xor, self.bits, other.bits))
 
     def loss_against(self, other: "Mark") -> float:
         """Fraction of bits differing from *other* (the evaluation's mark loss)."""
@@ -108,17 +109,20 @@ def majority_vote(votes: Sequence[int], *, weights: Sequence[float] | None = Non
     from (Section 5.3 notes that copies from higher levels may be considered
     more reliable); unweighted voting is the default.
     """
+    # Validate once, up front, so the accumulation loop below stays free of
+    # per-vote branching (this function sits inside the detector's per-cell
+    # voting loops).
+    if any(vote not in (0, 1) for vote in votes):
+        raise ValueError("votes must be 0 or 1")
     if weights is None:
-        weights = [1.0] * len(votes)
-    if len(weights) != len(votes):
-        raise ValueError("votes and weights must have the same length")
-    score = 0.0
-    for vote, weight in zip(votes, weights):
-        if vote not in (0, 1):
-            raise ValueError("votes must be 0 or 1")
-        if weight < 0:
+        ones = sum(votes)
+        score: float = 2 * ones - len(votes)
+    else:
+        if len(weights) != len(votes):
+            raise ValueError("votes and weights must have the same length")
+        if any(weight < 0 for weight in weights):
             raise ValueError("weights must be non-negative")
-        score += weight if vote == 1 else -weight
+        score = sum(weight if vote else -weight for vote, weight in zip(votes, weights))
     if score > 0:
         return 1
     if score < 0:

@@ -7,26 +7,44 @@ To keep the alteration small and its location secret, only tuples satisfying
 are used for embedding, where ``t.ident`` is the (encrypted) identifying
 value of the tuple.  On average one tuple in ``η`` is selected; because the
 hash is keyed, an attacker cannot tell which tuples carry mark bits.
+
+Both helpers are backed by the batched :class:`~repro.crypto.batch.KeyedHashStream`
+(one per ``k1``, memoised): the HMAC key schedule is computed once per key
+instead of once per call, and digests are cached so repeated sweeps over the
+same identifiers cost a dictionary lookup.
 """
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Iterable
 
-from repro.crypto.hashing import keyed_hash
+from repro.crypto.batch import KeyedHashStream
 from repro.watermarking.keys import WatermarkKey
 
 __all__ = ["is_selected", "selected_row_indices", "expected_selection_count"]
 
 
+# These module-level streams live for the process lifetime, so their digest
+# caches are kept small (a few MB per key); the embed/detect hot paths use a
+# per-watermarker WatermarkHashEngine with the full-size cache instead.
+_MODULE_CACHE_SIZE = 1 << 16
+
+
+@lru_cache(maxsize=64)
+def _selection_stream(k1: bytes) -> KeyedHashStream:
+    """The shared selection stream for *k1* (pads built once, digests cached)."""
+    return KeyedHashStream(k1, cache_size=_MODULE_CACHE_SIZE)
+
+
 def is_selected(ident_value: object, key: WatermarkKey) -> bool:
     """Whether the tuple with (encrypted) identifier *ident_value* is selected."""
-    return keyed_hash(ident_value, key.k1) % key.eta == 0
+    return _selection_stream(key.k1).hash_one(ident_value) % key.eta == 0
 
 
 def selected_row_indices(ident_values: Iterable[object], key: WatermarkKey) -> list[int]:
     """Indices of the selected tuples among *ident_values* (in order)."""
-    return [index for index, ident in enumerate(ident_values) if is_selected(ident, key)]
+    return _selection_stream(key.k1).select_indices(ident_values, key.eta)
 
 
 def expected_selection_count(n_rows: int, key: WatermarkKey) -> float:

@@ -25,9 +25,7 @@ from repro.watermarking.hierarchical import (
     HierarchicalWatermarker,
     _Frontiers,
 )
-from repro.watermarking.keys import WatermarkKey
 from repro.watermarking.mark import Mark, majority_vote, replicate_mark
-from repro.watermarking.selection import is_selected
 
 __all__ = ["SingleLevelWatermarker"]
 
@@ -35,16 +33,16 @@ __all__ = ["SingleLevelWatermarker"]
 class SingleLevelWatermarker(HierarchicalWatermarker):
     """Sion-style categorical embedding at a single tree level.
 
-    Shares tuple selection, replication and majority voting with the
-    hierarchical scheme; only the embedding primitive and the per-cell read
-    differ.
+    Shares tuple selection, replication, majority voting and the batched hash
+    engine with the hierarchical scheme; only the embedding primitive and the
+    per-cell read differ.
     """
 
     # -------------------------------------------------------------- embedding
     def embed(self, binned: BinnedTable, mark: Mark) -> EmbeddingReport:
         columns = self._resolve_columns(binned)
         frontiers = self._frontiers(binned, columns)
-        watermarked = binned.copy()
+        watermarked = self._copy_for_embedding(binned)
         wmd = replicate_mark(mark, self._copies)
 
         tuples_selected = 0
@@ -52,32 +50,34 @@ class SingleLevelWatermarker(HierarchicalWatermarker):
         cells_changed = 0
         cells_skipped = 0
 
-        for row in watermarked.table:
-            ident = watermarked.ident_value(row)
-            if not is_selected(ident, self._key):
+        table = watermarked.table
+        idents = watermarked.ident_values()
+        for index, coords in enumerate(self._engine.tuple_coordinates(idents, columns, len(wmd))):
+            if coords is None:
                 continue
             tuples_selected += 1
+            row = table[index]
             for column in columns:
                 front = frontiers[column]
                 try:
-                    current = front.tree.value_to_node(row[column], front.ultimate)
+                    current = front.resolve_ultimate(row[column])
                 except ValueError:
                     cells_skipped += 1
                     continue
-                siblings = front.tree.siblings(current)
+                siblings = front.siblings(current)
                 if len(siblings) < 2:
                     cells_skipped += 1
                     continue
-                bit = wmd[self._position(ident, column, len(wmd))]
-                base = self._base_index(ident, column, 0, len(siblings))
+                bit = wmd[coords.position(column)]
+                base = coords.base_index(column, 0, len(siblings))
                 target = siblings[self._encode_parity(base, bit, len(siblings))]
                 # Keep the generalization valid: if the chosen sibling is not
                 # an ultimate node, descend (keyed, without parity coding)
                 # until one is reached.
                 level = 1
                 while target not in front.ultimate_set and not target.is_leaf:
-                    children = front.tree.children(target)
-                    target = children[self._base_index(ident, column, level, len(children))]
+                    children = front.children(target)
+                    target = children[coords.base_index(column, level, len(children))]
                     level += 1
                 if target not in front.ultimate_set:
                     cells_skipped += 1
@@ -85,7 +85,8 @@ class SingleLevelWatermarker(HierarchicalWatermarker):
                 cells_embedded += 1
                 if row[column] != target.value:
                     cells_changed += 1
-                row[column] = target.value
+                    row = table.mutable_row(index)
+                    row[column] = target.value
 
         return EmbeddingReport(
             watermarked=watermarked,
@@ -111,14 +112,16 @@ class SingleLevelWatermarker(HierarchicalWatermarker):
         cells_read = 0
         votes_cast = 0
 
-        for row in binned.table:
-            ident = binned.ident_value(row)
-            if not is_selected(ident, self._key):
+        table = binned.table
+        idents = binned.ident_values()
+        for index, coords in enumerate(self._engine.tuple_coordinates(idents, columns, wmd_length)):
+            if coords is None:
                 continue
             tuples_selected += 1
+            row = table[index]
             for column in columns:
                 front = frontiers[column]
-                node = self._resolve_cell(front.tree, row[column])
+                node = front.resolve_cell(row[column])
                 if node is None:
                     continue
                 vote = self._read_single_level(front, node)
@@ -126,8 +129,7 @@ class SingleLevelWatermarker(HierarchicalWatermarker):
                     continue
                 cells_read += 1
                 votes_cast += 1
-                position = self._position(ident, column, wmd_length)
-                votes.setdefault(position, []).append(vote)
+                votes.setdefault(coords.position(column), []).append(vote)
 
         wmd_bits = [
             majority_vote(votes[position]) if position in votes else 0 for position in range(wmd_length)
@@ -155,7 +157,7 @@ class SingleLevelWatermarker(HierarchicalWatermarker):
         """Read the single-level parity of *node* among its siblings."""
         if node.parent is None:
             return None
-        siblings = front.tree.siblings(node)
+        siblings = front.siblings(node)
         if len(siblings) < 2:
             return None
         return siblings.index(node) & 1

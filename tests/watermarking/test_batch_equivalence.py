@@ -1,0 +1,119 @@
+"""Golden end-to-end equivalence: batched pipeline vs the seed scalar path.
+
+``batch=True`` (the default) must produce **bit-identical** watermarked
+tables, detection reports and LSB marks compared to ``batch=False``, which
+reproduces the seed implementation's per-call hashing and deep copies — under
+clean detection and after every attack.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks.addition import SubsetAdditionAttack
+from repro.attacks.alteration import SubsetAlterationAttack
+from repro.attacks.deletion import DeletionMode, SubsetDeletionAttack
+from repro.attacks.generalization_attack import GeneralizationAttack
+from repro.watermarking.baseline_lsb import LSBWatermarker
+from repro.watermarking.hierarchical import HierarchicalWatermarker
+from repro.watermarking.keys import WatermarkKey
+from repro.watermarking.mark import random_mark
+from repro.watermarking.single_level import SingleLevelWatermarker
+
+MARK = random_mark(20, seed="batch-equivalence")
+KEY = WatermarkKey.from_secret("batch-equivalence-secret", eta=10)
+
+
+def _pair(cls):
+    return (
+        cls(KEY, copies=3, batch=True),
+        cls(KEY, copies=3, batch=False),
+    )
+
+
+def _assert_embeddings_equal(batched, scalar):
+    assert batched.watermarked.table == scalar.watermarked.table
+    assert batched.tuples_selected == scalar.tuples_selected
+    assert batched.cells_embedded == scalar.cells_embedded
+    assert batched.cells_changed == scalar.cells_changed
+    assert batched.cells_skipped_no_bandwidth == scalar.cells_skipped_no_bandwidth
+
+
+def _assert_detections_equal(batched, scalar):
+    assert batched.mark.bits == scalar.mark.bits
+    assert batched.wmd_bits == scalar.wmd_bits
+    assert batched.positions_with_votes == scalar.positions_with_votes
+    assert batched.tuples_selected == scalar.tuples_selected
+    assert batched.cells_read == scalar.cells_read
+    assert batched.votes_cast == scalar.votes_cast
+
+
+@pytest.mark.parametrize("scheme", [HierarchicalWatermarker, SingleLevelWatermarker])
+class TestGoldenEmbedDetect:
+    def test_embed_is_bit_identical(self, binned_small, scheme):
+        batched_wm, scalar_wm = _pair(scheme)
+        _assert_embeddings_equal(
+            batched_wm.embed(binned_small.binned, MARK),
+            scalar_wm.embed(binned_small.binned, MARK),
+        )
+
+    def test_clean_detection_is_bit_identical(self, binned_small, scheme):
+        batched_wm, scalar_wm = _pair(scheme)
+        watermarked = batched_wm.embed(binned_small.binned, MARK).watermarked
+        _assert_detections_equal(
+            batched_wm.detect(watermarked, len(MARK)),
+            scalar_wm.detect(watermarked, len(MARK)),
+        )
+
+    @pytest.mark.parametrize(
+        "attack",
+        [
+            SubsetAlterationAttack(0.4, seed=5),
+            SubsetAdditionAttack(0.4, seed=5),
+            SubsetDeletionAttack(0.4, seed=5, mode=DeletionMode.RANDOM),
+            GeneralizationAttack(levels=1),
+        ],
+        ids=["alteration", "addition", "deletion", "generalization"],
+    )
+    def test_detection_after_attack_is_bit_identical(self, binned_small, scheme, attack):
+        batched_wm, scalar_wm = _pair(scheme)
+        watermarked = batched_wm.embed(binned_small.binned, MARK).watermarked
+        attacked = attack.run(watermarked).attacked
+        _assert_detections_equal(
+            batched_wm.detect(attacked, len(MARK)),
+            scalar_wm.detect(attacked, len(MARK)),
+        )
+
+    def test_embedding_leaves_the_source_untouched(self, binned_small, scheme):
+        batched_wm, _ = _pair(scheme)
+        before = binned_small.binned.table.copy()
+        embedding = batched_wm.embed(binned_small.binned, MARK)
+        assert binned_small.binned.table == before
+        # And mutating the watermarked copy does not leak back either.
+        embedding.watermarked.table.mutable_row(0)["symptom"] = "poisoned"
+        assert binned_small.binned.table == before
+
+
+class TestGoldenLSB:
+    def _pair(self):
+        key = WatermarkKey.from_secret("lsb-equivalence", eta=4)
+        kwargs = dict(columns=("age",), ident_column="ssn", xi=2)
+        return LSBWatermarker(key, batch=True, **kwargs), LSBWatermarker(key, batch=False, **kwargs)
+
+    def test_embed_and_detect_are_bit_identical(self, medium_table):
+        batched_wm, scalar_wm = self._pair()
+        batched_marked = batched_wm.embed(medium_table)
+        scalar_marked = scalar_wm.embed(medium_table)
+        assert batched_marked == scalar_marked
+        batched_report = batched_wm.detect(batched_marked)
+        scalar_report = scalar_wm.detect(scalar_marked)
+        assert batched_report.total_checked == scalar_report.total_checked
+        assert batched_report.matches == scalar_report.matches
+
+    def test_embed_leaves_the_source_untouched(self, medium_table):
+        batched_wm, _ = self._pair()
+        before = medium_table.copy()
+        marked = batched_wm.embed(medium_table)
+        assert medium_table == before
+        marked.mutable_row(0)["age"] = -1
+        assert medium_table == before
