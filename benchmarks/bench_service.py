@@ -1,0 +1,190 @@
+"""Service benchmark: streaming protect throughput and shard-parallel detect.
+
+Measures the :class:`~repro.service.api.ProtectionService` paths on a table
+of ``REPRO_BENCH_SIZE`` rows (default 2 500; the service targets 100k+):
+
+* **streaming protect** — two-pass chunked ingest -> bin -> embed -> emit,
+  reported as rows/s (the constant-memory path a million-row file takes);
+* **detect, serial vs shard-parallel** — cold-vault detection over the
+  protected CSV with 1 and 4 workers; the recovered marks are asserted
+  identical (the executor's merge is bit-identical by construction) and the
+  measured ratio lands in ``extra_info`` like ``bench_scaling.py``'s
+  ``speedup``.
+
+Run standalone for a plain-text sweep over several sizes::
+
+    PYTHONPATH=src python benchmarks/bench_service.py            # 2.5k/20k/100k
+    REPRO_BENCH_SIZES=1000,20000 PYTHONPATH=src python benchmarks/bench_service.py
+
+or through pytest-benchmark at a single size::
+
+    REPRO_BENCH_SIZE=20000 PYTHONPATH=src python -m pytest benchmarks/bench_service.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import tempfile
+import time
+from dataclasses import dataclass
+
+import pytest
+
+from repro.datagen.medical import generate_medical_table
+from repro.service import KeyVault, ProtectionService
+
+TIMING_ROUNDS = 3
+DETECT_WORKERS = 4
+BENCH_CHUNK_SIZE = 10_000
+
+
+@dataclass
+class ServiceEnv:
+    """A vault, a service and one protected dataset on disk."""
+
+    base: str
+    service: ProtectionService
+    raw_csv: str
+    protected_csv: str
+    rows: int
+
+
+def _build_env(base: str, size: int, *, k: int, eta: int) -> ServiceEnv:
+    raw_csv = os.path.join(base, "raw.csv")
+    protected_csv = os.path.join(base, "protected.csv")
+    generate_medical_table(size=size, seed=2005).to_csv(raw_csv)
+    vault = KeyVault.init(os.path.join(base, "vault"))
+    service = ProtectionService(vault, chunk_size=BENCH_CHUNK_SIZE)
+    service.register_tenant("owner", k=k, eta=eta, epsilon=5)
+    service.protect("owner", raw_csv, protected_csv, dataset_id="bench")
+    return ServiceEnv(
+        base=base, service=service, raw_csv=raw_csv, protected_csv=protected_csv, rows=size
+    )
+
+
+def _best_of(func, rounds: int = TIMING_ROUNDS) -> float:
+    """Best wall-clock of *rounds* runs (this host shows heavy timer noise)."""
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        func()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+# --------------------------------------------------------------------- pytest
+@pytest.fixture(scope="module")
+def service_env(bench_config, tmp_path_factory):
+    base = str(tmp_path_factory.mktemp("service-bench"))
+    return _build_env(base, bench_config.table_size, k=bench_config.k, eta=bench_config.eta)
+
+
+def test_streaming_protect_throughput(benchmark, service_env):
+    out = os.path.join(service_env.base, "protect_rerun.csv")
+    benchmark.pedantic(
+        service_env.service.protect,
+        args=("owner", service_env.raw_csv, out),
+        kwargs={"dataset_id": "bench"},
+        rounds=TIMING_ROUNDS,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    seconds = _best_of(
+        lambda: service_env.service.protect(
+            "owner", service_env.raw_csv, out, dataset_id="bench"
+        )
+    )
+    benchmark.extra_info["rows"] = service_env.rows
+    benchmark.extra_info["rows_per_second"] = round(service_env.rows / seconds)
+
+
+def test_detect_serial(benchmark, service_env):
+    benchmark.pedantic(
+        service_env.service.detect,
+        args=("owner", service_env.protected_csv),
+        kwargs={"dataset_id": "bench", "workers": 1},
+        rounds=TIMING_ROUNDS,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    benchmark.extra_info["rows"] = service_env.rows
+
+
+def test_detect_shard_parallel(benchmark, service_env):
+    outcome = benchmark.pedantic(
+        service_env.service.detect,
+        args=("owner", service_env.protected_csv),
+        kwargs={"dataset_id": "bench", "workers": DETECT_WORKERS},
+        rounds=TIMING_ROUNDS,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    benchmark.extra_info["rows"] = service_env.rows
+    benchmark.extra_info["workers"] = DETECT_WORKERS
+    assert outcome.mark_loss == 0.0
+
+
+def test_detect_parallel_equivalence_and_ratio(benchmark, service_env):
+    """Shard-parallel vs serial: identical mark, ratio recorded for the trajectory."""
+    service = service_env.service
+    serial = service.detect("owner", service_env.protected_csv, dataset_id="bench", workers=1)
+    parallel = service.detect(
+        "owner", service_env.protected_csv, dataset_id="bench", workers=DETECT_WORKERS
+    )
+    assert parallel.mark == serial.mark
+    assert parallel.tuples_selected == serial.tuples_selected
+    assert parallel.mark_loss == 0.0
+
+    serial_time = _best_of(
+        lambda: service.detect("owner", service_env.protected_csv, dataset_id="bench", workers=1)
+    )
+    parallel_time = _best_of(
+        lambda: service.detect(
+            "owner", service_env.protected_csv, dataset_id="bench", workers=DETECT_WORKERS
+        )
+    )
+    benchmark.extra_info["rows"] = service_env.rows
+    benchmark.extra_info["workers"] = DETECT_WORKERS
+    benchmark.extra_info["serial_seconds"] = round(serial_time, 4)
+    benchmark.extra_info["parallel_seconds"] = round(parallel_time, 4)
+    benchmark.extra_info["parallel_over_serial"] = round(serial_time / parallel_time, 2)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+# ----------------------------------------------------------------- standalone
+def _standalone_sizes() -> list[int]:
+    raw = os.environ.get("REPRO_BENCH_SIZES", "2500,20000,100000")
+    return [int(part) for part in raw.split(",") if part.strip()]
+
+
+def main() -> int:
+    print(
+        f"{'rows':>8} {'protect s':>10} {'rows/s':>9} "
+        f"{'detect-1 s':>11} {'detect-4 s':>11} {'ratio':>6}"
+    )
+    for size in _standalone_sizes():
+        with tempfile.TemporaryDirectory(prefix="repro-service-bench-") as base:
+            env = _build_env(base, size, k=20, eta=50)
+            out = os.path.join(base, "rerun.csv")
+            protect_time = _best_of(
+                lambda: env.service.protect("owner", env.raw_csv, out, dataset_id="bench")
+            )
+            serial_time = _best_of(
+                lambda: env.service.detect("owner", env.protected_csv, dataset_id="bench", workers=1)
+            )
+            parallel_time = _best_of(
+                lambda: env.service.detect(
+                    "owner", env.protected_csv, dataset_id="bench", workers=DETECT_WORKERS
+                )
+            )
+            print(
+                f"{size:>8} {protect_time:>10.3f} {size / protect_time:>9.0f} "
+                f"{serial_time:>11.3f} {parallel_time:>11.3f} "
+                f"{serial_time / parallel_time:>5.2f}x"
+            )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from operator import itemgetter
-from typing import Mapping
+from typing import Iterable, Mapping, Sequence
 
 from repro.binning.generalization import Generalization, MultiColumnGeneralization
 from repro.binning.kanonymity import ColumnIndex, EnforcementMode, KAnonymitySpec
@@ -33,7 +33,7 @@ from repro.metrics.information_loss import table_information_loss
 from repro.metrics.usage_metrics import UsageMetrics
 from repro.relational.table import Row, Table
 
-__all__ = ["BinnedTable", "BinningResult", "BinningAgent"]
+__all__ = ["BinnedTable", "BinningResult", "BinningAgent", "BinPlan"]
 
 
 @dataclass
@@ -130,6 +130,26 @@ class BinnedTable:
             k=self.k,
         )
 
+    def slice(self, start: int, stop: int) -> "BinnedTable":
+        """A shard over rows ``[start, stop)`` sharing row dicts and metadata.
+
+        The row shards the shard-parallel executor distributes: the underlying
+        :meth:`Table.slice_view` shares the row dicts copy-on-write, and the
+        frontier metadata (trees, ultimate/maximal nodes) is identical by
+        construction, so a detect over the shard reads exactly the votes the
+        serial detect reads for those rows.
+        """
+        return BinnedTable(
+            table=self.table.slice_view(start, stop),
+            trees=self.trees,
+            identifying_columns=self.identifying_columns,
+            quasi_columns=self.quasi_columns,
+            ultimate_nodes=dict(self.ultimate_nodes),
+            maximal_nodes=dict(self.maximal_nodes),
+            minimal_nodes=dict(self.minimal_nodes),
+            k=self.k,
+        )
+
     def copy(self) -> "BinnedTable":
         """Deep copy (attacks mutate the table; the metadata is shared)."""
         return BinnedTable(
@@ -142,6 +162,35 @@ class BinnedTable:
             minimal_nodes=dict(self.minimal_nodes),
             k=self.k,
         )
+
+
+@dataclass(frozen=True)
+class BinPlan:
+    """The generalizations binning will apply, derived from per-leaf counts.
+
+    A plan separates the *global* half of binning (frontier derivation, which
+    needs only per-column leaf counts) from the *per-row* half (encrypt +
+    generalise, which is embarrassingly streamable).  The service's streaming
+    ingest computes the counts in a first constant-memory pass, builds one
+    plan, then rewrites and embeds chunk by chunk in a second pass.
+    """
+
+    columns: tuple[str, ...]
+    ultimate: MultiColumnGeneralization
+    maximal: dict[str, tuple[str, ...]]
+    minimal: dict[str, tuple[str, ...]]
+    k: int
+
+    def metadata_for(self, trees: Mapping[str, DomainHierarchyTree]) -> dict[str, object]:
+        """The :class:`BinnedTable` metadata fields this plan determines."""
+        return {
+            "trees": {column: trees[column] for column in self.columns},
+            "quasi_columns": self.columns,
+            "ultimate_nodes": {column: self.ultimate[column].node_names for column in self.columns},
+            "maximal_nodes": dict(self.maximal),
+            "minimal_nodes": dict(self.minimal),
+            "k": self.k,
+        }
 
 
 @dataclass(frozen=True)
@@ -252,17 +301,67 @@ class BinningAgent:
             candidates_examined=candidates,
         )
 
-    # --------------------------------------------------------------- internals
-    def _rewrite(self, table: Table, ultimate: MultiColumnGeneralization) -> Table:
-        """``Binning(tbl, ultigen)`` of Figure 8: encrypt + generalise each tuple."""
-        identifying = [column.name for column in table.schema.identifying_columns]
-        rewritten = Table(table.schema)
-        for row in table:
+    # -------------------------------------------------------- streaming halves
+    def plan_from_counts(
+        self,
+        leaf_counts: Mapping[str, Mapping[DHTNode, int]],
+        columns: Sequence[str] | None = None,
+    ) -> BinPlan:
+        """Derive the binning plan from per-column leaf counts alone.
+
+        This is the global half of :meth:`bin` for mono-attribute enforcement:
+        the maximal frontier comes from the usage metrics, the minimal (and,
+        in MONO mode, ultimate) frontier from ``GenMinNd`` — both consume only
+        the per-leaf row counts, which a streaming ingest can accumulate
+        without holding the table.  Joint enforcement needs the full row-level
+        :class:`~repro.binning.kanonymity.ColumnIndex` and is rejected here.
+        """
+        if self._k_spec.mode is not EnforcementMode.MONO:
+            raise ValueError("plan_from_counts supports mono-attribute enforcement only")
+        resolved = tuple(columns) if columns is not None else tuple(leaf_counts)
+        missing = [column for column in resolved if column not in self._trees]
+        if missing:
+            raise KeyError(f"no domain hierarchy tree for columns {missing}")
+        k = self._k_spec.effective_k
+        maximal: dict[str, list[DHTNode]] = {}
+        minimal: dict[str, list[DHTNode]] = {}
+        for column in resolved:
+            tree = self._trees[column]
+            counts = dict(leaf_counts[column])
+            maximal[column] = self._usage_metrics.maximal_nodes(column, tree, counts)
+            minimal[column] = gen_min_nodes(tree, maximal[column], counts, k)
+        ultimate = MultiColumnGeneralization(
+            {column: Generalization(self._trees[column], minimal[column]) for column in resolved}
+        )
+        return BinPlan(
+            columns=resolved,
+            ultimate=ultimate,
+            maximal={column: tuple(node.name for node in maximal[column]) for column in resolved},
+            minimal={column: tuple(node.name for node in minimal[column]) for column in resolved},
+            k=self._k_spec.k,
+        )
+
+    def rewrite_rows(self, rows: Iterable[Row], schema, ultimate: MultiColumnGeneralization):
+        """``Binning(tbl, ultigen)`` row by row: encrypt + generalise, streamed.
+
+        Yields new row dicts; the input rows are never mutated.  This is the
+        per-row half of :meth:`bin`, factored out so chunked ingest can apply
+        it without materialising the whole table.
+        """
+        identifying = [column.name for column in schema.identifying_columns]
+        for row in rows:
             new_row = dict(row)
             for column in identifying:
                 new_row[column] = self._encryptor.encrypt(row[column])
             for column, generalization in ultimate.items():
                 new_row[column] = generalization.generalize(row[column])
+            yield new_row
+
+    # --------------------------------------------------------------- internals
+    def _rewrite(self, table: Table, ultimate: MultiColumnGeneralization) -> Table:
+        """``Binning(tbl, ultigen)`` of Figure 8: encrypt + generalise each tuple."""
+        rewritten = Table(table.schema)
+        for new_row in self.rewrite_rows(table, table.schema, ultimate):
             rewritten.insert(new_row)
         return rewritten
 

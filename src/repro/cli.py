@@ -1,39 +1,61 @@
-"""Command-line interface: protect and verify CSV tables from the shell.
+"""Command-line interface: protect, detect and litigate CSV tables from the shell.
 
-Two subcommands wrap the :class:`~repro.framework.pipeline.ProtectionFramework`
-for operators who work with flat files rather than Python code::
+Two ways to hold the secrets:
+
+**Vault mode** (recommended) — a persistent vault directory owns the secrets,
+the registered statistics and the ownership claims, so every command works
+from a cold process::
+
+    python -m repro vault init V --tenant owner --k 20 --eta 75
+    python -m repro protect raw.csv protected.csv --vault V
+    python -m repro detect suspect.csv --vault V --dataset raw --workers 4
+    python -m repro dispute suspect.csv --vault V --dataset raw
+
+**Explicit-secret mode** (legacy) — the operator passes both secrets on every
+invocation and retains the printed mark themselves::
 
     python -m repro protect raw.csv protected.csv \
         --k 20 --eta 75 --encryption-key E --watermark-secret W
-
     python -m repro detect protected.csv \
         --eta 75 --encryption-key E --watermark-secret W --expected-mark 1010...
 
-``protect`` reads a CSV with the paper's schema
-``ssn, age, zip_code, doctor, symptom, prescription``, runs binning +
-watermarking, writes the outsourced CSV and prints the mark the owner must
-retain.  ``detect`` re-derives the embedding parameters from the same secrets
-and reports the recovered mark (and, when ``--expected-mark`` is given, the
-mark loss).  The framework is deterministic, so the same secrets always
-reproduce the same keys.
+Every subcommand accepts ``--json`` for a machine-readable report on stdout
+(one JSON object; human text goes to stdout only in the default mode), which
+is what the CI smoke job and the service frontends consume.  The framework is
+deterministic, so the same secrets always reproduce the same keys.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.binning.binner import BinnedTable
 from repro.binning.kanonymity import EnforcementMode, KAnonymitySpec
-from repro.dht.node import Interval
 from repro.framework.pipeline import ProtectionFramework
 from repro.metrics.usage_metrics import UsageMetrics
 from repro.ontology.registry import standard_ontology
+from repro.relational.io import iter_csv_rows, write_csv_rows
 from repro.relational.schema import medical_schema
 from repro.relational.table import Table
+from repro.service.api import DEFAULT_TENANT, ProtectionService, dataset_id_for, suspect_view
+from repro.service.vault import KeyVault, VaultError
 from repro.watermarking.mark import Mark, mark_loss
 
 __all__ = ["main", "build_parser"]
+
+#: Embedding parameters shared by protect/detect (explicit-secret mode) and
+#: ``vault init``.  In vault mode the tenant record owns them, so passing any
+#: of these flags alongside ``--vault`` is rejected rather than ignored.
+PARAM_DEFAULTS = {
+    "k": 20,
+    "epsilon": 5,
+    "eta": 75,
+    "mark_length": 20,
+    "copies": 4,
+    "metrics_depth": 1,
+}
 
 
 def _framework(args: argparse.Namespace) -> ProtectionFramework:
@@ -54,116 +76,330 @@ def _load_raw_table(path: str) -> Table:
     return Table.from_csv(path, medical_schema())
 
 
-def _load_protected_table(path: str, framework: ProtectionFramework, k: int) -> BinnedTable:
+def _load_protected_table(path: str, k: int, metrics_depth: int = 1) -> BinnedTable:
     """Rebuild a :class:`BinnedTable` view of an outsourced CSV for detection.
 
-    Detection only needs the trees and the two frontiers; the ultimate
-    frontier is not stored in the CSV, so the root-to-leaf resolution of each
-    cell value (``Val2Nd`` without candidates) is used instead — which is
-    exactly what an owner examining a table found in the wild has to do.
+    Parsing (including the ``[lower,upper)`` interval round trip) lives in
+    :mod:`repro.relational.io`; the frontier stand-ins for a table found in
+    the wild live in :func:`repro.service.api.suspect_view`.
     """
-    trees = dict(standard_ontology().items())
     schema = medical_schema()
-    import csv
-
-    table = Table(schema)
-    with open(path, newline="", encoding="utf-8") as handle:
-        for raw in csv.DictReader(handle):
-            row = dict(raw)
-            # Age cells are serialised intervals like "[25,30)"; keep them as
-            # Interval objects so the DHT can resolve them.
-            age = row["age"]
-            if isinstance(age, str) and age.startswith("["):
-                lower, upper = age.strip("[)").split(",")
-                row["age"] = Interval(float(lower), float(upper))
-            table.insert(row)
-    quasi = tuple(column.name for column in schema.quasi_identifying_columns)
-    return BinnedTable(
-        table=table,
-        trees={column: trees[column] for column in quasi},
-        identifying_columns=tuple(column.name for column in schema.identifying_columns),
-        quasi_columns=quasi,
-        # The detector walks up from whatever node a cell resolves to, so the
-        # leaf cut is a safe stand-in for the (unknown) ultimate frontier.
-        ultimate_nodes={column: tuple(leaf.name for leaf in trees[column].leaves()) for column in quasi},
-        maximal_nodes={
-            column: tuple(
-                node.name
-                for node in UsageMetrics.uniform_depth(trees, 1).maximal_nodes(column, trees[column])
-            )
-            for column in quasi
-        },
-        k=k,
+    table = Table(schema, iter_csv_rows(path, schema))
+    return suspect_view(
+        table, dict(standard_ontology().items()), schema, k=k, metrics_depth=metrics_depth
     )
 
 
+def _emit(args: argparse.Namespace, payload: dict, human_lines: list[str]) -> None:
+    """One JSON object in ``--json`` mode, the human report otherwise."""
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for line in human_lines:
+            print(line)
+
+
+def _service(args: argparse.Namespace) -> ProtectionService:
+    return ProtectionService(KeyVault(args.vault))
+
+
+# ------------------------------------------------------------------- commands
+def _cmd_vault_init(args: argparse.Namespace) -> int:
+    vault = KeyVault.init(args.path)
+    record = vault.register_tenant(
+        args.tenant,
+        encryption_key=args.encryption_key,
+        watermark_secret=args.watermark_secret,
+        eta=args.eta,
+        k=args.k,
+        epsilon=args.epsilon,
+        mark_length=args.mark_length,
+        copies=args.copies,
+        metrics_depth=args.metrics_depth,
+    )
+    _emit(
+        args,
+        {
+            "vault": vault.root,
+            "tenant": record.tenant_id,
+            "eta": record.eta,
+            "k": record.k,
+            "mark_length": record.mark_length,
+            "copies": record.copies,
+        },
+        [
+            f"initialised vault {vault.root}",
+            f"  tenant     : {record.tenant_id}",
+            f"  parameters : k={record.k} eta={record.eta} "
+            f"mark_length={record.mark_length} copies={record.copies}",
+            "  secrets    : stored in the vault (mode 0600); back the directory up securely",
+        ],
+    )
+    return 0
+
+
+def _cmd_vault_status(args: argparse.Namespace) -> int:
+    status = ProtectionService(KeyVault(args.path)).status()
+    if args.json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+        return 0
+    print(f"vault {status['vault']}")
+    for tenant, info in status["tenants"].items():
+        print(f"  tenant {tenant}: k={info['k']} eta={info['eta']}")
+        for dataset, details in info["datasets"].items():
+            print(
+                f"    dataset {dataset}: {details['rows']} rows, mark {details['mark']}, "
+                f"claimants {', '.join(details['claimants']) or '-'}"
+            )
+    return 0
+
+
 def _cmd_protect(args: argparse.Namespace) -> int:
+    if args.vault:
+        outcome = _service(args).protect(
+            args.tenant, args.input, args.output, dataset_id=args.dataset
+        )
+        _emit(
+            args,
+            outcome.to_json(),
+            [
+                f"protected {outcome.rows} rows -> {outcome.output}",
+                f"  tenant / dataset          : {outcome.tenant} / {outcome.dataset}",
+                f"  binning information loss  : {outcome.information_loss:.2%}",
+                f"  cells changed by watermark: {outcome.cells_changed}",
+                f"  registered statistic v    : {outcome.registered_statistic:.0f}",
+                f"  mark F(v) (vaulted)       : {outcome.mark}",
+            ],
+        )
+        return 0
+
     framework = _framework(args)
     table = _load_raw_table(args.input)
     protected = framework.protect(table)
-
-    export = protected.outsourced_table.copy()
-    for row in export:
-        row["age"] = str(row["age"])
-    export.to_csv(args.output)
+    write_csv_rows(args.output, table.schema, protected.outsourced_table)
 
     result = protected.binning_result
-    print(f"protected {len(table)} rows -> {args.output}")
-    print(f"  binning information loss : {result.normalized_information_loss:.2%}")
-    print(f"  cells changed by watermark: {protected.embedding_report.cells_changed}")
-    print(f"  registered statistic v    : {protected.registered_statistic:.0f}")
-    print(f"  mark F(v) (retain this)   : {protected.mark}")
+    _emit(
+        args,
+        {
+            "rows": len(table),
+            "output": args.output,
+            "information_loss": result.normalized_information_loss,
+            "cells_changed": protected.embedding_report.cells_changed,
+            "registered_statistic": protected.registered_statistic,
+            "mark": str(protected.mark),
+        },
+        [
+            f"protected {len(table)} rows -> {args.output}",
+            f"  binning information loss : {result.normalized_information_loss:.2%}",
+            f"  cells changed by watermark: {protected.embedding_report.cells_changed}",
+            f"  registered statistic v    : {protected.registered_statistic:.0f}",
+            f"  mark F(v) (retain this)   : {protected.mark}",
+        ],
+    )
     return 0
 
 
 def _cmd_detect(args: argparse.Namespace) -> int:
+    if args.vault:
+        outcome = _service(args).detect(
+            args.tenant, args.input, dataset_id=args.dataset, workers=args.workers
+        )
+        expected = (
+            Mark.from_string(args.expected_mark)
+            if args.expected_mark
+            else (Mark.from_string(outcome.expected_mark) if outcome.expected_mark else None)
+        )
+        loss = mark_loss(expected, Mark.from_string(outcome.mark)) if expected else None
+        payload = outcome.to_json()
+        payload["mark_loss"] = loss
+        # None = nothing to compare against (unregistered dataset), matching
+        # the explicit-secret path; only an actual comparison yields a bool.
+        payload["ok"] = None if loss is None else loss <= args.max_loss
+        lines = [
+            f"examined {outcome.rows} rows from {args.input}",
+            f"  recovered mark : {outcome.mark}",
+            f"  positions voted: {outcome.positions_with_votes} (coverage {outcome.coverage:.0%})",
+        ]
+        if expected is not None:
+            lines += [f"  expected mark  : {expected}", f"  mark loss      : {loss:.0%}"]
+        _emit(args, payload, lines)
+        if loss is not None:
+            return 0 if loss <= args.max_loss else 1
+        return 0
+
     framework = _framework(args)
-    binned = _load_protected_table(args.input, framework, args.k)
+    binned = _load_protected_table(args.input, args.k, args.metrics_depth)
     report = framework.detect(binned)
-    print(f"examined {len(binned.table)} rows from {args.input}")
-    print(f"  recovered mark : {report.mark}")
-    print(f"  positions voted: {report.positions_with_votes} (coverage {report.coverage:.0%})")
+    payload: dict = {
+        "rows": len(binned.table),
+        "mark": str(report.mark),
+        "coverage": report.coverage,
+        "positions_with_votes": report.positions_with_votes,
+        "expected_mark": args.expected_mark or None,
+        "mark_loss": None,
+        "ok": None,
+    }
+    lines = [
+        f"examined {len(binned.table)} rows from {args.input}",
+        f"  recovered mark : {report.mark}",
+        f"  positions voted: {report.positions_with_votes} (coverage {report.coverage:.0%})",
+    ]
+    exit_code = 0
     if args.expected_mark:
         expected = Mark.from_string(args.expected_mark)
         loss = mark_loss(expected, report.mark)
-        print(f"  expected mark  : {expected}")
-        print(f"  mark loss      : {loss:.0%}")
-        return 0 if loss <= args.max_loss else 1
-    return 0
+        payload["mark_loss"] = loss
+        payload["ok"] = loss <= args.max_loss
+        lines += [f"  expected mark  : {expected}", f"  mark loss      : {loss:.0%}"]
+        exit_code = 0 if loss <= args.max_loss else 1
+    _emit(args, payload, lines)
+    return exit_code
 
 
+def _cmd_dispute(args: argparse.Namespace) -> int:
+    service = _service(args)
+    dataset = args.dataset or dataset_id_for(args.input)
+    verdict = service.dispute(args.tenant, args.input, dataset_id=dataset)
+    payload = {
+        "dataset": dataset,
+        "winner": verdict.winner,
+        "valid_claimants": verdict.valid_claimants,
+        "assessments": [
+            {
+                "claimant": assessment.claimant,
+                "valid": assessment.valid,
+                "decryption_ok": assessment.decryption_ok,
+                "statistic_ok": assessment.statistic_ok,
+                "mark_matches": assessment.mark_matches,
+                "mark_bit_errors": assessment.mark_bit_errors,
+            }
+            for assessment in verdict.assessments
+        ],
+    }
+    lines = [f"dispute over {args.input}"]
+    for assessment in verdict.assessments:
+        state = "VALID" if assessment.valid else "rejected"
+        lines.append(
+            f"  claim by {assessment.claimant:<12}: {state} "
+            f"(decrypt={assessment.decryption_ok} statistic={assessment.statistic_ok} "
+            f"mark={assessment.mark_matches})"
+        )
+    lines.append(f"  winner: {verdict.winner or 'none (zero or several valid claims)'}")
+    _emit(args, payload, lines)
+    return 0 if verdict.winner == args.tenant else 1
+
+
+# --------------------------------------------------------------------- parser
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    def add_common(sub: argparse.ArgumentParser) -> None:
-        sub.add_argument("--k", type=int, default=20, help="k-anonymity parameter (default 20)")
-        sub.add_argument("--epsilon", type=int, default=5, help="k + epsilon margin of Section 6")
-        sub.add_argument("--eta", type=int, default=75, help="selection modulus (default 75)")
-        sub.add_argument("--mark-length", type=int, default=20, help="mark length in bits")
-        sub.add_argument("--copies", type=int, default=4, help="mark replication factor")
-        sub.add_argument("--metrics-depth", type=int, default=1, help="usage-metric frontier depth")
-        sub.add_argument("--encryption-key", required=True, help="identifier encryption secret")
-        sub.add_argument("--watermark-secret", required=True, help="watermarking master secret")
+    def add_params(sub: argparse.ArgumentParser, *, vault_aware: bool = False) -> None:
+        # Vault-aware subcommands take their parameters from the tenant record;
+        # explicit values there are a conflict (caught in main()), so the
+        # parser-level default must be "not given" rather than the constant.
+        def default_for(name: str):
+            return None if vault_aware else PARAM_DEFAULTS[name]
+
+        sub.add_argument("--k", type=int, default=default_for("k"), help="k-anonymity parameter (default 20)")
+        sub.add_argument("--epsilon", type=int, default=default_for("epsilon"), help="k + epsilon margin of Section 6")
+        sub.add_argument("--eta", type=int, default=default_for("eta"), help="selection modulus (default 75)")
+        sub.add_argument("--mark-length", type=int, default=default_for("mark_length"), help="mark length in bits")
+        sub.add_argument("--copies", type=int, default=default_for("copies"), help="mark replication factor")
+        sub.add_argument("--metrics-depth", type=int, default=default_for("metrics_depth"), help="usage-metric frontier depth")
+
+    def add_secrets(sub: argparse.ArgumentParser, *, required_without_vault: bool) -> None:
+        help_suffix = " (required unless --vault is given)" if required_without_vault else ""
+        sub.add_argument("--encryption-key", help="identifier encryption secret" + help_suffix)
+        sub.add_argument("--watermark-secret", help="watermarking master secret" + help_suffix)
+
+    def add_vault(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--vault", help="vault directory holding secrets and ownership records")
+        sub.add_argument("--tenant", default=DEFAULT_TENANT, help="tenant id within the vault")
+        sub.add_argument("--dataset", help="dataset id within the vault (default: input file stem)")
+
+    def add_json(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--json", action="store_true", help="emit a machine-readable JSON report")
+
+    vault = subparsers.add_parser("vault", help="manage persistent protection vaults")
+    vault_sub = vault.add_subparsers(dest="vault_command", required=True)
+    vault_init = vault_sub.add_parser("init", help="create a vault and register its first tenant")
+    vault_init.add_argument("path", help="vault directory to create")
+    vault_init.add_argument("--tenant", default=DEFAULT_TENANT, help="tenant id to register")
+    add_params(vault_init)
+    add_secrets(vault_init, required_without_vault=False)
+    add_json(vault_init)
+    vault_init.set_defaults(func=_cmd_vault_init)
+    vault_status = vault_sub.add_parser("status", help="list a vault's tenants and datasets")
+    vault_status.add_argument("path", help="vault directory to inspect")
+    add_json(vault_status)
+    vault_status.set_defaults(func=_cmd_vault_status)
 
     protect = subparsers.add_parser("protect", help="bin + watermark a raw CSV table")
     protect.add_argument("input", help="raw CSV with columns ssn,age,zip_code,doctor,symptom,prescription")
     protect.add_argument("output", help="path of the outsourced CSV to write")
-    add_common(protect)
+    add_params(protect, vault_aware=True)
+    add_secrets(protect, required_without_vault=True)
+    add_vault(protect)
+    add_json(protect)
     protect.set_defaults(func=_cmd_protect)
 
     detect = subparsers.add_parser("detect", help="recover the mark from an outsourced CSV table")
     detect.add_argument("input", help="outsourced CSV to examine")
     detect.add_argument("--expected-mark", help="bit string to compare the recovered mark against")
     detect.add_argument("--max-loss", type=float, default=0.1, help="mark-loss threshold for exit status")
-    add_common(detect)
+    detect.add_argument("--workers", type=int, help="shard-parallel detection workers (vault mode)")
+    add_params(detect, vault_aware=True)
+    add_secrets(detect, required_without_vault=True)
+    add_vault(detect)
+    add_json(detect)
     detect.set_defaults(func=_cmd_detect)
+
+    dispute = subparsers.add_parser(
+        "dispute", help="resolve ownership of a disputed CSV from vaulted claims"
+    )
+    dispute.add_argument("input", help="disputed CSV to assess")
+    dispute.add_argument("--vault", required=True, help="vault directory holding the claims")
+    dispute.add_argument("--tenant", default=DEFAULT_TENANT, help="tenant expected to prevail")
+    dispute.add_argument("--dataset", help="dataset id of the claims (default: input file stem)")
+    add_json(dispute)
+    dispute.set_defaults(func=_cmd_dispute)
+
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
-    return args.func(args)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command in ("protect", "detect"):
+        if args.vault:
+            # In vault mode the tenant record owns parameters and secrets;
+            # silently ignoring explicit flags would misattribute the result.
+            conflicting = [name for name in PARAM_DEFAULTS if getattr(args, name) is not None]
+            conflicting += [
+                name for name in ("encryption_key", "watermark_secret") if getattr(args, name)
+            ]
+            if conflicting:
+                flags = ", ".join("--" + name.replace("_", "-") for name in conflicting)
+                parser.error(
+                    f"{args.command}: {flags} conflict with --vault "
+                    "(the tenant record in the vault owns these settings)"
+                )
+        else:
+            if not args.encryption_key or not args.watermark_secret:
+                parser.error(
+                    f"{args.command}: --encryption-key and --watermark-secret are required "
+                    "when no --vault is given"
+                )
+            for name, value in PARAM_DEFAULTS.items():
+                if getattr(args, name) is None:
+                    setattr(args, name, value)
+    try:
+        return args.func(args)
+    except VaultError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro

@@ -26,6 +26,28 @@ class Interval:
         if not self.upper > self.lower:
             raise ValueError(f"interval upper bound must exceed lower bound, got [{self.lower}, {self.upper})")
 
+    @classmethod
+    def from_string(cls, text: str) -> "Interval":
+        """Parse every textual form :meth:`__str__` (and hand-written CSVs) produce.
+
+        Accepts ``[25,30)``, ``[25.0, 30.0)``, ``[2.5e1,3e1)`` and negative
+        bounds; surrounding whitespace is ignored.  Raises ``ValueError`` for
+        anything that is not a well-formed half-open interval, so callers can
+        fall back to scalar parsing.
+        """
+        stripped = text.strip()
+        if not (stripped.startswith("[") and stripped.endswith(")")):
+            raise ValueError(f"not an interval literal: {text!r}")
+        body = stripped[1:-1]
+        parts = body.split(",")
+        if len(parts) != 2:
+            raise ValueError(f"interval literal must have exactly two bounds: {text!r}")
+        try:
+            lower, upper = (float(part.strip()) for part in parts)
+        except ValueError:
+            raise ValueError(f"interval bounds must be numeric: {text!r}") from None
+        return cls(lower, upper)
+
     @property
     def width(self) -> float:
         return self.upper - self.lower

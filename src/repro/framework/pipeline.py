@@ -96,6 +96,33 @@ class ProtectionFramework:
     def registry(self) -> OwnershipRegistry:
         return self._registry
 
+    @property
+    def binning_agent(self) -> BinningAgent:
+        """The binning half of the pipeline (the service streams through it)."""
+        return self._binning_agent
+
+    @property
+    def encryption_key(self) -> bytes | str:
+        return self._encryption_key
+
+    @property
+    def copies(self) -> int:
+        return self._copies
+
+    @property
+    def watermark_columns(self) -> tuple[str, ...] | None:
+        return self._watermark_columns
+
+    @property
+    def registered_statistic(self) -> float | None:
+        """The owner statistic ``v`` of the last/restored registration."""
+        return self._owner_statistic
+
+    @property
+    def registered_mark(self) -> Mark | None:
+        """The owner mark ``F(v)`` of the last/restored registration."""
+        return self._owner_mark
+
     def watermarker(self) -> HierarchicalWatermarker:
         """The configured hierarchical watermarker (shared by protect/verify).
 
@@ -135,6 +162,35 @@ class ProtectionFramework:
             mark=mark,
             registered_statistic=statistic,
         )
+
+    def register_statistic(self, statistic: float) -> Mark:
+        """Register ownership from an already-computed identifier statistic.
+
+        The streaming ingest accumulates the statistic in its first pass
+        (identical, float for float, to what :meth:`protect` computes over a
+        materialised table) and registers it here before embedding.
+        """
+        mark = self._registry.mark_for_statistic(statistic)
+        self._owner_statistic, self._owner_mark = statistic, mark
+        return mark
+
+    def restore_registration(self, statistic: float, mark: Mark | None = None) -> Mark:
+        """Re-hydrate the court-critical owner state from persistent storage.
+
+        A fresh process holding only the vault record (statistic + secrets)
+        calls this so :meth:`owner_claim` and mark comparisons work without a
+        prior :meth:`protect`.  When *mark* is given it must equal ``F(v)``
+        for the stored statistic — a mismatch means the vault record was
+        corrupted or belongs to different registry parameters.
+        """
+        expected = self._registry.mark_for_statistic(statistic)
+        if mark is not None and mark.bits != expected.bits:
+            raise ValueError(
+                "stored mark does not match F(statistic) under the registry parameters; "
+                "the vault record is corrupt or was written with different settings"
+            )
+        self._owner_statistic, self._owner_mark = statistic, expected
+        return expected
 
     def detect(self, suspect: BinnedTable) -> DetectionReport:
         """Run mark detection on a (possibly attacked) table."""

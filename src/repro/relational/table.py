@@ -30,30 +30,16 @@ whenever the table may be a lazy copy.
 
 from __future__ import annotations
 
-import csv
 from collections import Counter
 from operator import itemgetter
 from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
-from repro.relational.schema import ColumnType, TableSchema
+from repro.relational.io import iter_csv_rows, write_csv_rows
+from repro.relational.schema import TableSchema
 
 __all__ = ["Row", "Table"]
 
 Row = dict[str, object]
-
-
-def _coerce_numeric(text: str) -> object:
-    """Parse a CSV cell of a numeric column: int first, float as fallback.
-
-    Handles every textual form :meth:`Table.to_csv` can produce — plain
-    integers, decimals, scientific notation (``1e5``), negatives (``-2.0``)
-    and the IEEE specials (``nan``, ``inf``) — unlike a ``"." in text``
-    heuristic, which mis-routes the latter three to ``int()``.
-    """
-    try:
-        return int(text)
-    except ValueError:
-        return float(text)
 
 
 class Table:
@@ -216,28 +202,41 @@ class Table:
         """Return a copy re-validated against a (compatible) new schema."""
         return Table(schema, (dict(row) for row in self._rows))
 
+    @classmethod
+    def from_validated_rows(cls, schema: TableSchema, rows: Iterable[Row]) -> "Table":
+        """A table over already-validated row dicts, shared rather than copied.
+
+        For internal merges (e.g. concatenating shard results whose rows came
+        out of validated tables): skips per-row validation and dict copies.
+        The rows are marked shared, so any mutation through this table's API
+        copies first — the source tables are never written through.
+        """
+        table = cls(schema)
+        table._rows = list(rows)
+        table._owned = [False] * len(table._rows)
+        return table
+
+    def slice_view(self, start: int, stop: int) -> "Table":
+        """A table over rows ``[start, stop)`` sharing this table's row dicts.
+
+        The view is what the shard-parallel executor hands each worker: O(1)
+        per row, no dict copies.  Mutations through the view's own API
+        (:meth:`mutable_row` etc.) copy the affected row first, so the parent
+        table is never written through a view; direct mutation of the parent's
+        rows, however, is visible through existing views — shard first, then
+        treat the parent as frozen for the duration.
+        """
+        view = Table(self._schema)
+        view._rows = self._rows[start:stop]
+        view._owned = [False] * len(view._rows)
+        return view
+
     # --------------------------------------------------------------------- IO
     def to_csv(self, path: str) -> None:
         """Write the table to *path* as CSV with a header row."""
-        with open(path, "w", newline="", encoding="utf-8") as handle:
-            writer = csv.DictWriter(handle, fieldnames=self._schema.column_names)
-            writer.writeheader()
-            for row in self._rows:
-                writer.writerow({name: row[name] for name in self._schema.column_names})
+        write_csv_rows(path, self._schema, self._rows)
 
     @classmethod
     def from_csv(cls, path: str, schema: TableSchema) -> "Table":
-        """Read a CSV written by :meth:`to_csv`, coercing numeric columns."""
-        numeric_columns = {c.name for c in schema if c.ctype is ColumnType.NUMERIC}
-        table = cls(schema)
-        with open(path, newline="", encoding="utf-8") as handle:
-            reader = csv.DictReader(handle)
-            for raw in reader:
-                row: Row = {}
-                for name in schema.column_names:
-                    value: object = raw[name]
-                    if name in numeric_columns:
-                        value = _coerce_numeric(str(value))
-                    row[name] = value
-                table.insert(row)
-        return table
+        """Read a CSV written by :meth:`to_csv`, coercing cells by column type."""
+        return cls(schema, iter_csv_rows(path, schema))

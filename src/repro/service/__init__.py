@@ -1,0 +1,38 @@
+"""Persistent multi-tenant protection service.
+
+The library's :class:`~repro.framework.pipeline.ProtectionFramework` is a
+single in-process object: its court-critical state (registered statistic,
+mark, secrets) evaporates with the process.  This package turns it into an
+operable service for the paper's actual threat model — a data *owner* who
+protects many outsourced datasets and must later detect and litigate from a
+cold process:
+
+* :mod:`repro.service.vault` — atomic, file-backed per-tenant/per-dataset
+  secrets, registered statistics and marks;
+* :mod:`repro.service.store` — persistent ownership claims backing the
+  dispute flow of Section 5.4;
+* :mod:`repro.service.streaming` — chunked CSV ingest/emit so million-row
+  files never materialise as a full table;
+* :mod:`repro.service.executor` — shard-parallel embed/detect, bit-identical
+  to the serial batched path;
+* :mod:`repro.service.api` — the :class:`ProtectionService` facade the CLI
+  (and a future HTTP frontend) drives.
+"""
+
+from repro.service.api import DetectOutcome, ProtectOutcome, ProtectionService, suspect_view
+from repro.service.executor import ShardExecutor, shard_spans
+from repro.service.store import ClaimStore
+from repro.service.vault import DatasetRecord, KeyVault, TenantRecord
+
+__all__ = [
+    "ProtectionService",
+    "ProtectOutcome",
+    "DetectOutcome",
+    "suspect_view",
+    "ShardExecutor",
+    "shard_spans",
+    "ClaimStore",
+    "KeyVault",
+    "TenantRecord",
+    "DatasetRecord",
+]

@@ -1,0 +1,205 @@
+"""Shard-parallel embed/detect, bit-identical to the serial batched path.
+
+Both halves of the watermarking algorithm are per-row computations: whether a
+tuple is selected, where its bit lives in the replicated mark and which
+sibling index encodes it depend only on that tuple's (encrypted) identifier.
+A table can therefore be split into contiguous row shards, each shard
+embedded/vote-collected independently, and the results merged:
+
+* **detect** — each shard produces a
+  :class:`~repro.watermarking.hierarchical.DetectionVotes`; merging them in
+  shard order reproduces the serial per-position vote lists exactly, so the
+  finalised :class:`DetectionReport` (mark, wmd bits, counters) is
+  bit-identical to a serial :meth:`detect` — asserted by the service tests on
+  clean and attacked tables.
+* **embed** — each shard embeds into its own copy-on-write slice; the merged
+  table is the shard tables' rows concatenated in shard order, equal row for
+  row to a serial embed.
+
+Workers are threads (:class:`concurrent.futures.ThreadPoolExecutor`): the
+row shards share the engine's digest caches and the interpreter, so shard
+parallelism today buys overlap only where the C hashing primitives release
+the GIL — the merge machinery, not the thread pool, is the load-bearing part
+(the streaming ingest reuses it chunk by chunk, and a process-based runner
+can swap in behind the same interface).
+"""
+
+from __future__ import annotations
+
+import os
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from typing import Iterable, Sequence
+
+_SENTINEL = object()
+
+from repro.binning.binner import BinnedTable
+from repro.relational.table import Table
+from repro.watermarking.hierarchical import (
+    DetectionReport,
+    DetectionVotes,
+    EmbeddingReport,
+    HierarchicalWatermarker,
+)
+from repro.watermarking.mark import Mark
+
+__all__ = ["shard_spans", "shard_binned", "ShardExecutor"]
+
+#: Shards below this many rows are not worth the pool dispatch overhead.
+MIN_ROWS_PER_SHARD = 256
+
+
+def shard_spans(n_rows: int, shards: int) -> list[tuple[int, int]]:
+    """Split ``range(n_rows)`` into *shards* contiguous, near-equal spans.
+
+    The first ``n_rows % shards`` spans carry one extra row; empty spans are
+    never produced (fewer spans come back when there are fewer rows than
+    shards).
+    """
+    if shards < 1:
+        raise ValueError("shards must be at least 1")
+    shards = min(shards, n_rows) if n_rows else 0
+    spans: list[tuple[int, int]] = []
+    start = 0
+    for index in range(shards):
+        size = n_rows // shards + (1 if index < n_rows % shards else 0)
+        spans.append((start, start + size))
+        start += size
+    return spans
+
+
+def shard_binned(binned: BinnedTable, shards: int) -> list[BinnedTable]:
+    """Contiguous row shards of *binned* sharing row dicts and metadata."""
+    return [binned.slice(start, stop) for start, stop in shard_spans(len(binned.table), shards)]
+
+
+class ShardExecutor:
+    """Runs embed/detect over row shards on a thread pool and merges results."""
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        cpu = os.cpu_count() or 1
+        self._max_workers = max_workers if max_workers is not None else min(8, cpu)
+        if self._max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+
+    @property
+    def max_workers(self) -> int:
+        return self._max_workers
+
+    # ---------------------------------------------------------------- detection
+    def detect(
+        self,
+        watermarker: HierarchicalWatermarker,
+        binned: BinnedTable,
+        mark_length: int,
+        *,
+        shards: int | None = None,
+    ) -> DetectionReport:
+        """Shard-parallel :meth:`HierarchicalWatermarker.detect` over *binned*."""
+        shards = self._effective_shards(len(binned.table), shards)
+        if shards <= 1:
+            return watermarker.detect(binned, mark_length)
+        pieces = shard_binned(binned, shards)
+        with ThreadPoolExecutor(max_workers=self._max_workers) as pool:
+            collected = list(
+                pool.map(lambda piece: watermarker.collect_votes(piece, mark_length), pieces)
+            )
+        return watermarker.finalize_votes(_merge_votes(collected), mark_length)
+
+    def detect_stream(
+        self,
+        watermarker: HierarchicalWatermarker,
+        chunks: Iterable[BinnedTable],
+        mark_length: int,
+    ) -> DetectionReport:
+        """Detect over a stream of chunk views of one table, merging votes.
+
+        The chunks must cover the table's rows in order (the streaming
+        ingest's contract).  Chunks are pulled from the iterable only as pool
+        slots free up (at most ``max_workers + 1`` in flight — a plain
+        ``Executor.map`` would drain the whole generator up front), so memory
+        stays bounded by in-flight chunks + the vote state regardless of file
+        size; votes are still merged in chunk order.
+        """
+        merged: DetectionVotes | None = None
+        iterator = iter(chunks)
+        with ThreadPoolExecutor(max_workers=self._max_workers) as pool:
+            window: deque = deque()
+            exhausted = False
+            while True:
+                while not exhausted and len(window) <= self._max_workers:
+                    chunk = next(iterator, _SENTINEL)
+                    if chunk is _SENTINEL:
+                        exhausted = True
+                        break
+                    window.append(pool.submit(watermarker.collect_votes, chunk, mark_length))
+                if not window:
+                    break
+                votes = window.popleft().result()
+                merged = votes if merged is None else merged.merge(votes)
+        if merged is None:
+            merged = DetectionVotes(wmd_length=mark_length * watermarker.copies)
+        return watermarker.finalize_votes(merged, mark_length)
+
+    # ---------------------------------------------------------------- embedding
+    def embed(
+        self,
+        watermarker: HierarchicalWatermarker,
+        binned: BinnedTable,
+        mark: Mark,
+        *,
+        shards: int | None = None,
+    ) -> EmbeddingReport:
+        """Shard-parallel :meth:`HierarchicalWatermarker.embed` over *binned*."""
+        shards = self._effective_shards(len(binned.table), shards)
+        if shards <= 1:
+            return watermarker.embed(binned, mark)
+        pieces = shard_binned(binned, shards)
+        with ThreadPoolExecutor(max_workers=self._max_workers) as pool:
+            reports = list(pool.map(lambda piece: watermarker.embed(piece, mark), pieces))
+
+        merged_table = Table.from_validated_rows(
+            binned.table.schema,
+            (row for report in reports for row in report.watermarked.table.rows),
+        )
+        watermarked = BinnedTable(
+            table=merged_table,
+            trees=binned.trees,
+            identifying_columns=binned.identifying_columns,
+            quasi_columns=binned.quasi_columns,
+            ultimate_nodes=dict(binned.ultimate_nodes),
+            maximal_nodes=dict(binned.maximal_nodes),
+            minimal_nodes=dict(binned.minimal_nodes),
+            k=binned.k,
+        )
+        first = reports[0]
+        return EmbeddingReport(
+            watermarked=watermarked,
+            mark=mark,
+            copies=first.copies,
+            columns=first.columns,
+            tuples_selected=sum(report.tuples_selected for report in reports),
+            cells_embedded=sum(report.cells_embedded for report in reports),
+            cells_changed=sum(report.cells_changed for report in reports),
+            cells_skipped_no_bandwidth=sum(report.cells_skipped_no_bandwidth for report in reports),
+        )
+
+    # ----------------------------------------------------------------- helpers
+    def _effective_shards(self, n_rows: int, shards: int | None) -> int:
+        if shards is not None:
+            if shards < 1:
+                raise ValueError("shards must be at least 1")
+            # Never more shards than rows (an empty table runs serially), so
+            # shard_binned can never come back empty after the <= 1 guard.
+            return min(shards, max(1, n_rows))
+        if n_rows < 2 * MIN_ROWS_PER_SHARD:
+            return 1
+        return min(self._max_workers, max(1, n_rows // MIN_ROWS_PER_SHARD))
+
+
+def _merge_votes(collected: Sequence[DetectionVotes]) -> DetectionVotes:
+    """Fold shard votes left to right (shard order == row order)."""
+    merged = collected[0]
+    for votes in collected[1:]:
+        merged.merge(votes)
+    return merged

@@ -1,0 +1,147 @@
+"""Persistent ownership claims backing the dispute flow of Section 5.4.
+
+A dispute is resolved from :class:`~repro.watermarking.ownership.OwnershipClaim`
+objects — the registered statistic, the mark, the watermark key and the
+encryption key each claimant brings to court.  The in-memory objects die with
+the process, so the :class:`ClaimStore` serialises them to JSON next to the
+vault and re-hydrates full ``OwnershipClaim`` instances on demand: a cold
+process can call ``resolve_dispute`` with nothing but the store's path.
+
+Claims are keyed by dataset, so rival claims over the *same* disputed table
+(the paper's Attack 1/Attack 2 scenarios) naturally accumulate under one key
+and are assessed together.  Writing goes through the same atomic
+tmp-file-plus-``os.replace`` discipline as the vault.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.service.vault import _atomic_write_json
+from repro.watermarking.keys import WatermarkKey
+from repro.watermarking.mark import Mark
+from repro.watermarking.ownership import OwnershipClaim
+
+__all__ = ["ClaimStore"]
+
+CLAIMS_FILENAME = "claims.json"
+CLAIMS_VERSION = 1
+
+
+def _key_to_json(value: bytes | str) -> dict:
+    """Serialise a key that may be raw bytes or an operator-supplied string."""
+    if isinstance(value, bytes):
+        return {"kind": "hex", "value": value.hex()}
+    return {"kind": "str", "value": value}
+
+
+def _key_from_json(payload: dict) -> bytes | str:
+    if payload["kind"] == "hex":
+        return bytes.fromhex(payload["value"])
+    return payload["value"]
+
+
+def claim_to_json(claim: OwnershipClaim) -> dict:
+    """The JSON document for one claim (inverse of :func:`claim_from_json`)."""
+    return {
+        "claimant": claim.claimant,
+        "registered_statistic": claim.registered_statistic,
+        "mark": str(claim.mark),
+        "watermark_key": {
+            "k1": claim.watermark_key.k1.hex(),
+            "k2": claim.watermark_key.k2.hex(),
+            "eta": claim.watermark_key.eta,
+        },
+        "encryption_key": _key_to_json(claim.encryption_key),
+        "copies": claim.copies,
+        "columns": list(claim.columns) if claim.columns is not None else None,
+    }
+
+
+def claim_from_json(payload: dict) -> OwnershipClaim:
+    """Re-hydrate a full :class:`OwnershipClaim` from its JSON document."""
+    key = payload["watermark_key"]
+    columns = payload["columns"]
+    return OwnershipClaim(
+        claimant=payload["claimant"],
+        registered_statistic=payload["registered_statistic"],
+        mark=Mark.from_string(payload["mark"]),
+        watermark_key=WatermarkKey(
+            k1=bytes.fromhex(key["k1"]), k2=bytes.fromhex(key["k2"]), eta=key["eta"]
+        ),
+        encryption_key=_key_from_json(payload["encryption_key"]),
+        copies=payload["copies"],
+        columns=tuple(columns) if columns is not None else None,
+    )
+
+
+class ClaimStore:
+    """File-backed store of ownership claims, keyed by dataset.
+
+    One claimant holds at most one claim per dataset: re-adding (a
+    re-protect, or an attacker refreshing a bogus claim) replaces the previous
+    entry so disputes never double-count a claimant.
+    """
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self._path = os.fspath(path)
+        if os.path.exists(self._path):
+            self._load()
+        else:
+            # Created lazily on the first mutation: a store that only ever
+            # reads (detect, status, a vault on read-only media) must not
+            # write anything.
+            self._claims: dict[str, list[dict]] = {}
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    # --------------------------------------------------------------------- API
+    def add_claim(self, dataset_id: str, claim: OwnershipClaim) -> None:
+        """Persist *claim* for *dataset_id* (replacing the claimant's previous one)."""
+        if not dataset_id:
+            raise ValueError("dataset_id must be non-empty")
+        entries = self._claims.setdefault(dataset_id, [])
+        entries[:] = [entry for entry in entries if entry["claimant"] != claim.claimant]
+        entries.append(claim_to_json(claim))
+        self._save()
+
+    def claims(self, dataset_id: str) -> list[OwnershipClaim]:
+        """Every stored claim over *dataset_id*, re-hydrated."""
+        return [claim_from_json(entry) for entry in self._claims.get(dataset_id, [])]
+
+    def claimants(self, dataset_id: str) -> list[str]:
+        return [entry["claimant"] for entry in self._claims.get(dataset_id, [])]
+
+    def datasets(self) -> list[str]:
+        return sorted(self._claims)
+
+    def remove_claim(self, dataset_id: str, claimant: str) -> bool:
+        """Drop *claimant*'s claim over *dataset_id*; return whether one existed."""
+        entries = self._claims.get(dataset_id, [])
+        kept = [entry for entry in entries if entry["claimant"] != claimant]
+        removed = len(kept) != len(entries)
+        if removed:
+            if kept:
+                self._claims[dataset_id] = kept
+            else:
+                del self._claims[dataset_id]
+            self._save()
+        return removed
+
+    # ------------------------------------------------------------- persistence
+    def reload(self) -> None:
+        self._load()
+
+    def _load(self) -> None:
+        with open(self._path, encoding="utf-8") as handle:
+            document = json.load(handle)
+        version = document.get("version")
+        if version != CLAIMS_VERSION:
+            raise ValueError(f"unsupported claim store version {version!r}")
+        self._claims = document["claims"]
+
+    def _save(self) -> None:
+        _atomic_write_json(self._path, {"version": CLAIMS_VERSION, "claims": self._claims})

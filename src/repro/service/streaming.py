@@ -1,0 +1,98 @@
+"""Chunked CSV ingest and emit: million-row files without million-row tables.
+
+The readers wrap :mod:`repro.relational.io` (the single source of truth for
+cell parsing, including the ``[lower,upper)`` interval round trip) and add
+chunking: :func:`iter_tables` yields successive :class:`Table` objects of at
+most ``chunk_size`` rows, so downstream per-row work — binning's rewrite,
+embedding, vote collection — touches one bounded chunk at a time.  The
+:class:`RowWriter` is the emit-side counterpart: an incrementally fed CSV
+writer that the two-pass streaming protect keeps open across chunks.
+
+Memory profile: one chunk of parsed rows plus the constant frontier metadata,
+independent of file size.  Protect needs *two* passes over the input (the
+binning frontiers and the ownership statistic are global aggregates); detect
+needs one.
+"""
+
+from __future__ import annotations
+
+import csv
+from typing import Iterable, Iterator, Mapping
+
+from repro.relational.io import iter_csv_rows, write_csv_rows
+from repro.relational.schema import TableSchema
+from repro.relational.table import Row, Table
+
+__all__ = ["DEFAULT_CHUNK_SIZE", "iter_rows", "iter_tables", "write_rows", "RowWriter"]
+
+DEFAULT_CHUNK_SIZE = 10_000
+
+
+def iter_rows(path: str, schema: TableSchema) -> Iterator[Row]:
+    """Stream schema-parsed rows from *path*, one dict at a time."""
+    return iter_csv_rows(path, schema)
+
+
+def iter_tables(path: str, schema: TableSchema, chunk_size: int = DEFAULT_CHUNK_SIZE) -> Iterator[Table]:
+    """Stream *path* as successive tables of at most *chunk_size* rows.
+
+    Chunk boundaries are invisible to the protection pipeline: binning's
+    rewrite, mark embedding and vote collection are all per-row computations,
+    so processing chunk tables in file order is exactly equivalent to
+    processing one full table.
+    """
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be at least 1")
+    chunk = Table(schema)
+    for row in iter_csv_rows(path, schema):
+        chunk.insert(row)
+        if len(chunk) >= chunk_size:
+            yield chunk
+            chunk = Table(schema)
+    if len(chunk):
+        yield chunk
+
+
+def write_rows(path: str, schema: TableSchema, rows: Iterable[Mapping[str, object]]) -> int:
+    """Stream *rows* to a CSV at *path*; returns the number written."""
+    return write_csv_rows(path, schema, rows)
+
+
+class RowWriter:
+    """Incrementally fed CSV emitter (context manager).
+
+    ``write_table`` appends one chunk's rows; the header is written on entry.
+    Cells serialise via ``str()``, so :class:`~repro.dht.node.Interval` values
+    emit the literal the readers parse back.
+    """
+
+    def __init__(self, path: str, schema: TableSchema) -> None:
+        self._path = path
+        self._schema = schema
+        self._handle = None
+        self._writer = None
+        self._rows_written = 0
+
+    @property
+    def rows_written(self) -> int:
+        return self._rows_written
+
+    def __enter__(self) -> "RowWriter":
+        self._handle = open(self._path, "w", newline="", encoding="utf-8")
+        self._writer = csv.DictWriter(self._handle, fieldnames=self._schema.column_names)
+        self._writer.writeheader()
+        return self
+
+    def write_row(self, row: Mapping[str, object]) -> None:
+        self._writer.writerow({name: row[name] for name in self._schema.column_names})
+        self._rows_written += 1
+
+    def write_table(self, table: Table) -> None:
+        for row in table:
+            self.write_row(row)
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+            self._writer = None

@@ -1,0 +1,267 @@
+"""Atomic, file-backed vault for per-tenant secrets and ownership records.
+
+The vault is what makes the protection framework *litigable from a cold
+process*: everything the owner must retain to later detect a mark or prevail
+in court — the encryption and watermarking secrets, the embedding parameters
+and, per protected dataset, the registered statistic ``v`` and the mark
+``F(v)`` — lives in one JSON document on disk, and nothing else is needed to
+rebuild a working :class:`~repro.framework.pipeline.ProtectionFramework`.
+
+Durability contract
+-------------------
+
+Every mutation rewrites the whole document through a temporary file in the
+same directory followed by ``os.replace`` (atomic on POSIX and NT), then
+fsyncs the file.  A reader therefore always sees either the previous or the
+new state, never a torn write.  The vault file is created with mode ``0600``;
+secrets are stored in the clear — wrapping them in a KMS/HSM is a deployment
+concern outside this reproduction's scope.  Concurrent *writers* are not
+arbitrated (the service is the single writer); concurrent readers are safe.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import secrets as _secrets
+from dataclasses import asdict, dataclass
+from typing import Iterator
+
+__all__ = ["TenantRecord", "DatasetRecord", "KeyVault", "VaultError"]
+
+VAULT_FILENAME = "vault.json"
+VAULT_VERSION = 1
+#: 128-bit secrets, hex-encoded, when the operator does not supply their own.
+GENERATED_SECRET_BYTES = 16
+
+
+class VaultError(RuntimeError):
+    """Raised for vault lookups/initialisation that cannot be satisfied."""
+
+
+@dataclass(frozen=True)
+class TenantRecord:
+    """One tenant's secrets and protection parameters.
+
+    The parameters mirror :class:`~repro.framework.pipeline.ProtectionFramework`'s
+    constructor so a framework can be rebuilt from the record alone; they are
+    fixed at registration time because detection must re-derive exactly the
+    embedding-time keys.
+    """
+
+    tenant_id: str
+    encryption_key: str
+    watermark_secret: str
+    eta: int = 75
+    k: int = 20
+    epsilon: int = 5
+    mark_length: int = 20
+    copies: int = 4
+    metrics_depth: int = 1
+    watermark_columns: tuple[str, ...] | None = None
+    ownership_tau: float = 1e7
+    max_mark_bit_errors: int = 2
+
+    def __post_init__(self) -> None:
+        if not self.tenant_id:
+            raise ValueError("tenant_id must be non-empty")
+        if not self.encryption_key or not self.watermark_secret:
+            raise ValueError("tenant secrets must be non-empty")
+
+
+@dataclass(frozen=True)
+class DatasetRecord:
+    """What one ``protect`` run registers for a dataset.
+
+    ``registered_statistic`` and ``mark_bits`` are the court-critical pair of
+    Section 5.4 (``v`` and ``F(v)``); the rest is operational bookkeeping the
+    ``status`` endpoint reports.
+    """
+
+    dataset_id: str
+    registered_statistic: float
+    mark_bits: str
+    rows: int = 0
+    cells_changed: int = 0
+    information_loss: float = 0.0
+    source: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.dataset_id:
+            raise ValueError("dataset_id must be non-empty")
+        if not self.mark_bits or set(self.mark_bits) - {"0", "1"}:
+            raise ValueError("mark_bits must be a non-empty 0/1 string")
+
+
+def _tenant_to_json(record: TenantRecord) -> dict:
+    payload = asdict(record)
+    if record.watermark_columns is not None:
+        payload["watermark_columns"] = list(record.watermark_columns)
+    return payload
+
+
+def _tenant_from_json(payload: dict) -> TenantRecord:
+    columns = payload.get("watermark_columns")
+    return TenantRecord(
+        **{
+            **payload,
+            "watermark_columns": tuple(columns) if columns is not None else None,
+        }
+    )
+
+
+class KeyVault:
+    """The persistent key/claim material store, one JSON document per vault.
+
+    A vault is a *directory* (so sibling artifacts such as the claim store can
+    live next to the key material) holding ``vault.json``.  Use
+    :meth:`KeyVault.init` to create one and the constructor to open an
+    existing one.
+    """
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self._root = os.fspath(root)
+        self._file = os.path.join(self._root, VAULT_FILENAME)
+        if not os.path.exists(self._file):
+            raise VaultError(
+                f"no vault at {self._root!r} (expected {VAULT_FILENAME}; run 'repro vault init' first)"
+            )
+        self._load()
+
+    # ------------------------------------------------------------ construction
+    @classmethod
+    def init(cls, root: str | os.PathLike) -> "KeyVault":
+        """Create an empty vault at *root* (the directory is created too)."""
+        root = os.fspath(root)
+        file = os.path.join(root, VAULT_FILENAME)
+        if os.path.exists(file):
+            raise VaultError(f"vault already initialised at {root!r}")
+        os.makedirs(root, exist_ok=True)
+        _atomic_write_json(file, {"version": VAULT_VERSION, "tenants": {}})
+        return cls(root)
+
+    @classmethod
+    def open_or_init(cls, root: str | os.PathLike) -> "KeyVault":
+        """Open *root*, initialising it first when empty (service convenience)."""
+        file = os.path.join(os.fspath(root), VAULT_FILENAME)
+        return cls(root) if os.path.exists(file) else cls.init(root)
+
+    # -------------------------------------------------------------- properties
+    @property
+    def root(self) -> str:
+        return self._root
+
+    @property
+    def path(self) -> str:
+        """Path of the backing JSON document."""
+        return self._file
+
+    # ----------------------------------------------------------------- tenants
+    def register_tenant(
+        self,
+        tenant_id: str,
+        *,
+        encryption_key: str | None = None,
+        watermark_secret: str | None = None,
+        **params,
+    ) -> TenantRecord:
+        """Register *tenant_id*, generating any secret not supplied.
+
+        Generated secrets come from :mod:`secrets` (CSPRNG).  Registration is
+        write-once: the embedding parameters must never drift between protect
+        and detect, so re-registering an existing tenant is an error.
+        """
+        if tenant_id in self._tenants:
+            raise VaultError(f"tenant {tenant_id!r} is already registered")
+        record = TenantRecord(
+            tenant_id=tenant_id,
+            encryption_key=encryption_key or _secrets.token_hex(GENERATED_SECRET_BYTES),
+            watermark_secret=watermark_secret or _secrets.token_hex(GENERATED_SECRET_BYTES),
+            **params,
+        )
+        self._tenants[tenant_id] = {"record": _tenant_to_json(record), "datasets": {}}
+        self._save()
+        return record
+
+    def tenant(self, tenant_id: str) -> TenantRecord:
+        try:
+            payload = self._tenants[tenant_id]
+        except KeyError:
+            raise VaultError(f"unknown tenant {tenant_id!r} in vault {self._root!r}") from None
+        return _tenant_from_json(payload["record"])
+
+    def tenants(self) -> list[str]:
+        return sorted(self._tenants)
+
+    def __contains__(self, tenant_id: object) -> bool:
+        return tenant_id in self._tenants
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.tenants())
+
+    # ---------------------------------------------------------------- datasets
+    def record_dataset(self, tenant_id: str, record: DatasetRecord) -> None:
+        """Register (or refresh, after a re-protect) a dataset's ownership record."""
+        if tenant_id not in self._tenants:
+            raise VaultError(f"unknown tenant {tenant_id!r} in vault {self._root!r}")
+        self._tenants[tenant_id]["datasets"][record.dataset_id] = asdict(record)
+        self._save()
+
+    def dataset(self, tenant_id: str, dataset_id: str) -> DatasetRecord:
+        self.tenant(tenant_id)  # raises for unknown tenants
+        try:
+            payload = self._tenants[tenant_id]["datasets"][dataset_id]
+        except KeyError:
+            raise VaultError(
+                f"tenant {tenant_id!r} has no dataset {dataset_id!r} in vault {self._root!r}"
+            ) from None
+        return DatasetRecord(**payload)
+
+    def datasets(self, tenant_id: str) -> list[str]:
+        self.tenant(tenant_id)
+        return sorted(self._tenants[tenant_id]["datasets"])
+
+    # ------------------------------------------------------------- persistence
+    def reload(self) -> None:
+        """Re-read the backing file (another process may have written it)."""
+        self._load()
+
+    def _load(self) -> None:
+        with open(self._file, encoding="utf-8") as handle:
+            document = json.load(handle)
+        version = document.get("version")
+        if version != VAULT_VERSION:
+            raise VaultError(f"unsupported vault version {version!r} (expected {VAULT_VERSION})")
+        self._tenants: dict[str, dict] = document["tenants"]
+
+    def _save(self) -> None:
+        _atomic_write_json(self._file, {"version": VAULT_VERSION, "tenants": self._tenants})
+
+
+def _atomic_write_json(path: str, document: dict) -> None:
+    """Write *document* to *path* atomically (tmp file + ``os.replace``)."""
+    directory = os.path.dirname(path) or "."
+    tmp_path = path + ".tmp"
+    fd = os.open(tmp_path, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o600)
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    # Make the rename itself durable where the platform allows it.
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - e.g. NT has no directory fds
+        return
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)

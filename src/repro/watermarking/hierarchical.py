@@ -44,7 +44,7 @@ from repro.dht.tree import DomainHierarchyTree
 from repro.watermarking.keys import WatermarkKey
 from repro.watermarking.mark import Mark, majority_vote, replicate_mark
 
-__all__ = ["EmbeddingReport", "DetectionReport", "HierarchicalWatermarker"]
+__all__ = ["EmbeddingReport", "DetectionReport", "DetectionVotes", "HierarchicalWatermarker"]
 
 DEFAULT_COPIES = 4
 
@@ -84,6 +84,43 @@ class DetectionReport:
         if not self.wmd_bits:
             return 0.0
         return self.positions_with_votes / len(self.wmd_bits)
+
+
+@dataclass
+class DetectionVotes:
+    """Partial detection state: per-position tuple votes before majority voting.
+
+    This is the mergeable half of :meth:`HierarchicalWatermarker.detect`.  The
+    serial detector collects one ``DetectionVotes`` over the whole table; the
+    shard-parallel executor and the streaming ingest collect one per row shard
+    (or CSV chunk) and :meth:`merge` them.  Because per-position vote lists
+    are appended in row order and the position-level majority vote is a plain
+    sum, merging shard votes in shard order reproduces the serial vote lists
+    exactly — finalising a merged object is bit-identical to the serial path.
+    """
+
+    wmd_length: int
+    votes: dict[int, list[int]] = field(default_factory=dict)
+    tuples_selected: int = 0
+    cells_read: int = 0
+    votes_cast: int = 0
+
+    def merge(self, other: "DetectionVotes") -> "DetectionVotes":
+        """Fold *other*'s votes into this object (in place; returns self).
+
+        *other* must cover rows that come after this object's rows in table
+        order for the merged vote lists to equal the serial ones — the
+        position-level vote is order-independent, so this only matters for
+        exact list equality in the golden tests.
+        """
+        if other.wmd_length != self.wmd_length:
+            raise ValueError("cannot merge votes collected for different wmd lengths")
+        for position, tuple_votes in other.votes.items():
+            self.votes.setdefault(position, []).extend(tuple_votes)
+        self.tuples_selected += other.tuples_selected
+        self.cells_read += other.cells_read
+        self.votes_cast += other.votes_cast
+        return self
 
 
 _MISSING = object()
@@ -392,13 +429,24 @@ class HierarchicalWatermarker:
     # -------------------------------------------------------------- detection
     def detect(self, binned: BinnedTable, mark_length: int) -> DetectionReport:
         """Recover a mark of *mark_length* bits from a (possibly attacked) table."""
+        return self.finalize_votes(self.collect_votes(binned, mark_length), mark_length)
+
+    def collect_votes(self, binned: BinnedTable, mark_length: int) -> DetectionVotes:
+        """The vote-collection half of :meth:`detect`, over *binned*'s rows only.
+
+        Returns the per-position tuple votes without running the final
+        majority votes, so callers holding several row shards (or streamed
+        chunks) of one table can :meth:`DetectionVotes.merge` them and
+        :meth:`finalize_votes` once — bit-identically to a serial
+        :meth:`detect` over the whole table.
+        """
         if mark_length < 1:
             raise ValueError("mark_length must be at least 1")
         columns = self._resolve_columns(binned)
         frontiers = self._frontiers(binned, columns)
         wmd_length = mark_length * self._copies
-        votes: dict[int, list[int]] = {}
-        vote_weights: dict[int, list[float]] = {}
+        collected = DetectionVotes(wmd_length=wmd_length)
+        votes = collected.votes
 
         tuples_selected = 0
         cells_read = 0
@@ -431,9 +479,22 @@ class HierarchicalWatermarker:
                     tie_value=bits[-1],
                 )
                 votes.setdefault(position, []).append(tuple_vote)
-                vote_weights.setdefault(position, []).append(1.0)
                 votes_cast += len(bits)
 
+        collected.tuples_selected = tuples_selected
+        collected.cells_read = cells_read
+        collected.votes_cast = votes_cast
+        return collected
+
+    def finalize_votes(self, collected: DetectionVotes, mark_length: int) -> DetectionReport:
+        """The majority-voting half of :meth:`detect`: votes -> report."""
+        wmd_length = mark_length * self._copies
+        if collected.wmd_length != wmd_length:
+            raise ValueError(
+                f"votes were collected for wmd length {collected.wmd_length}, "
+                f"expected {wmd_length} (= {mark_length} bits x {self._copies} copies)"
+            )
+        votes = collected.votes
         wmd_bits = [
             majority_vote(votes[position]) if position in votes else 0 for position in range(wmd_length)
         ]
@@ -450,9 +511,9 @@ class HierarchicalWatermarker:
             mark=Mark.from_bits(mark_bits),
             wmd_bits=tuple(wmd_bits),
             positions_with_votes=len(votes),
-            tuples_selected=tuples_selected,
-            cells_read=cells_read,
-            votes_cast=votes_cast,
+            tuples_selected=collected.tuples_selected,
+            cells_read=collected.cells_read,
+            votes_cast=collected.votes_cast,
         )
 
     @staticmethod

@@ -151,7 +151,11 @@ class OwnershipRegistry:
     def derive_mark(self, clear_identifiers: Sequence[object]) -> tuple[float, Mark]:
         """Owner-side: compute the statistic ``v`` and the mark ``F(v)``."""
         statistic = identifier_statistic(clear_identifiers)
-        return statistic, Mark.from_statistic(statistic, self._mark_length, precision=self._precision)
+        return statistic, self.mark_for_statistic(statistic)
+
+    def mark_for_statistic(self, statistic: float) -> Mark:
+        """``F(v)`` for an already-computed statistic (vault re-hydration path)."""
+        return Mark.from_statistic(statistic, self._mark_length, precision=self._precision)
 
     # ---------------------------------------------------------------- disputes
     def assess_claim(self, disputed: BinnedTable, claim: OwnershipClaim) -> ClaimAssessment:

@@ -1,5 +1,7 @@
 """Tests for the command-line interface (protect / detect on CSV files)."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -61,4 +63,88 @@ class TestCLI:
 
     def test_missing_required_arguments(self):
         with pytest.raises(SystemExit):
-            main(["protect", "in.csv", "out.csv"])  # secrets missing
+            main(["protect", "in.csv", "out.csv"])  # secrets missing, no vault
+
+    def test_json_mode_protect_and_detect(self, raw_csv, tmp_path, capsys):
+        protected_csv = str(tmp_path / "protected.csv")
+        assert main(["protect", raw_csv, protected_csv, "--json", *COMMON]) == 0
+        protect_payload = json.loads(capsys.readouterr().out)
+        assert protect_payload["rows"] == 800
+        assert set(protect_payload["mark"]) <= {"0", "1"}
+
+        exit_code = main(
+            ["detect", protected_csv, "--expected-mark", protect_payload["mark"], "--json", *COMMON]
+        )
+        detect_payload = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert detect_payload["mark"] == protect_payload["mark"]
+        assert detect_payload["mark_loss"] == 0.0
+        assert detect_payload["ok"] is True
+
+
+class TestVaultCLI:
+    """The cold-start workflow: every command is a fresh main() invocation."""
+
+    @pytest.fixture(scope="class")
+    def vault(self, tmp_path_factory):
+        return str(tmp_path_factory.mktemp("vault-cli") / "vault")
+
+    def test_full_vault_round_trip(self, raw_csv, vault, tmp_path, capsys):
+        protected_csv = str(tmp_path / "protected.csv")
+        assert main(["vault", "init", vault, "--k", "10", "--eta", "20", "--json"]) == 0
+        init_payload = json.loads(capsys.readouterr().out)
+        assert init_payload["tenant"] == "owner"
+
+        assert main(["protect", raw_csv, protected_csv, "--vault", vault, "--dataset", "d", "--json"]) == 0
+        protect_payload = json.loads(capsys.readouterr().out)
+        assert protect_payload["rows"] == 800
+
+        # Detection re-derives everything from the vault: zero mark loss.
+        exit_code = main(
+            ["detect", protected_csv, "--vault", vault, "--dataset", "d", "--workers", "4", "--json"]
+        )
+        detect_payload = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert detect_payload["mark"] == protect_payload["mark"]
+        assert detect_payload["mark_loss"] == 0.0
+
+        # The dispute resolves from re-hydrated claims; the owner prevails.
+        assert main(["dispute", protected_csv, "--vault", vault, "--dataset", "d", "--json"]) == 0
+        dispute_payload = json.loads(capsys.readouterr().out)
+        assert dispute_payload["winner"] == "owner"
+
+        assert main(["vault", "status", vault, "--json"]) == 0
+        status_payload = json.loads(capsys.readouterr().out)
+        assert status_payload["tenants"]["owner"]["datasets"]["d"]["rows"] == 800
+
+    def test_vault_init_twice_fails_cleanly(self, vault, capsys):
+        assert main(["vault", "init", vault]) == 2
+        assert "already initialised" in capsys.readouterr().err
+
+    def test_detect_against_unknown_vault_errors(self, raw_csv, tmp_path, capsys):
+        missing = str(tmp_path / "nowhere")
+        assert main(["detect", raw_csv, "--vault", missing]) == 2
+        assert "no vault" in capsys.readouterr().err
+
+    def test_detect_unregistered_dataset_reports_ok_null(self, raw_csv, vault, tmp_path, capsys):
+        """No vault record to compare against -> ok is null, not false."""
+        protected_csv = str(tmp_path / "protected.csv")
+        main(["protect", raw_csv, protected_csv, "--vault", vault, "--dataset", "d"])
+        capsys.readouterr()
+        exit_code = main(["detect", protected_csv, "--vault", vault, "--json"])  # dataset "protected"
+        payload = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert payload["expected_mark"] is None
+        assert payload["mark_loss"] is None and payload["ok"] is None
+
+    def test_explicit_parameters_conflict_with_vault(self, raw_csv, vault, tmp_path, capsys):
+        """Vault mode must reject, not ignore, parameter and secret flags."""
+        with pytest.raises(SystemExit):
+            main(["detect", raw_csv, "--vault", vault, "--eta", "20"])
+        assert "--eta conflict with --vault" in capsys.readouterr().err
+        with pytest.raises(SystemExit):
+            main(
+                ["protect", raw_csv, str(tmp_path / "o.csv"), "--vault", vault,
+                 "--watermark-secret", "W"]
+            )
+        assert "--watermark-secret conflict with --vault" in capsys.readouterr().err

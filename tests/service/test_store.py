@@ -1,0 +1,84 @@
+"""Tests for the persistent claim store (dispute re-hydration)."""
+
+import pytest
+
+from repro.service.store import ClaimStore, claim_from_json, claim_to_json
+from repro.watermarking.keys import WatermarkKey
+from repro.watermarking.mark import Mark
+from repro.watermarking.ownership import OwnershipClaim
+
+
+def _claim(claimant="owner", encryption_key="enc-secret"):
+    return OwnershipClaim(
+        claimant=claimant,
+        registered_statistic=496540741.525,
+        mark=Mark.from_string("01011010010110100101"),
+        watermark_key=WatermarkKey.from_secret("wm-secret", eta=25),
+        encryption_key=encryption_key,
+        copies=4,
+        columns=("age", "zip_code"),
+    )
+
+
+class TestClaimSerialisation:
+    def test_round_trip_str_key(self):
+        claim = _claim()
+        assert claim_from_json(claim_to_json(claim)) == claim
+
+    def test_round_trip_bytes_key(self):
+        claim = _claim(encryption_key=b"\x00\x01binary\xff")
+        back = claim_from_json(claim_to_json(claim))
+        assert back == claim and isinstance(back.encryption_key, bytes)
+
+    def test_round_trip_none_columns(self):
+        claim = OwnershipClaim(
+            claimant="x",
+            registered_statistic=1.5,
+            mark=Mark.from_string("01"),
+            watermark_key=WatermarkKey.from_secret("s", eta=10),
+            encryption_key="e",
+        )
+        assert claim_from_json(claim_to_json(claim)) == claim
+
+
+class TestClaimStore:
+    def test_cold_process_rehydration(self, tmp_path):
+        path = tmp_path / "claims.json"
+        ClaimStore(path).add_claim("claims-2024", _claim())
+        # A fresh store instance re-reads the file and yields equal objects.
+        rehydrated = ClaimStore(path).claims("claims-2024")
+        assert rehydrated == [_claim()]
+
+    def test_rivals_accumulate_per_dataset(self, tmp_path):
+        store = ClaimStore(tmp_path / "claims.json")
+        store.add_claim("d", _claim("owner"))
+        store.add_claim("d", _claim("mallory", encryption_key="wrong"))
+        assert store.claimants("d") == ["owner", "mallory"]
+        assert store.datasets() == ["d"]
+
+    def test_same_claimant_replaces(self, tmp_path):
+        store = ClaimStore(tmp_path / "claims.json")
+        store.add_claim("d", _claim("owner"))
+        store.add_claim("d", _claim("owner"))
+        assert store.claimants("d") == ["owner"]
+
+    def test_remove_claim(self, tmp_path):
+        store = ClaimStore(tmp_path / "claims.json")
+        store.add_claim("d", _claim("owner"))
+        assert store.remove_claim("d", "owner") is True
+        assert store.remove_claim("d", "owner") is False
+        assert store.datasets() == []
+
+    def test_empty_dataset_has_no_claims(self, tmp_path):
+        assert ClaimStore(tmp_path / "claims.json").claims("nope") == []
+
+    def test_read_only_use_never_writes(self, tmp_path):
+        """A store that only reads must not create its file (read-only vaults)."""
+        path = tmp_path / "claims.json"
+        store = ClaimStore(path)
+        store.claims("d")
+        store.claimants("d")
+        store.datasets()
+        assert not path.exists()
+        store.add_claim("d", _claim())
+        assert path.exists()

@@ -1,0 +1,67 @@
+"""Tests for chunked CSV ingest/emit."""
+
+import pytest
+
+from repro.dht.node import Interval
+from repro.relational.schema import medical_schema
+from repro.service.streaming import RowWriter, iter_rows, iter_tables, write_rows
+
+
+@pytest.fixture(scope="module")
+def raw_csv(tmp_path_factory, small_table):
+    path = tmp_path_factory.mktemp("streaming") / "raw.csv"
+    small_table.to_csv(str(path))
+    return str(path)
+
+
+class TestChunkedIngest:
+    def test_chunks_cover_rows_in_order(self, raw_csv, small_table):
+        chunks = list(iter_tables(raw_csv, medical_schema(), chunk_size=64))
+        assert [len(chunk) for chunk in chunks[:-1]] == [64] * (len(chunks) - 1)
+        assert sum(len(chunk) for chunk in chunks) == len(small_table)
+        streamed = [row for chunk in chunks for row in chunk]
+        assert streamed == list(small_table.rows)
+
+    def test_exact_multiple_has_no_empty_tail(self, raw_csv):
+        chunks = list(iter_tables(raw_csv, medical_schema(), chunk_size=100))
+        assert [len(chunk) for chunk in chunks] == [100, 100, 100, 100]
+
+    def test_chunk_size_one_and_huge(self, raw_csv, small_table):
+        assert sum(1 for _ in iter_tables(raw_csv, medical_schema(), chunk_size=1)) == len(small_table)
+        whole = list(iter_tables(raw_csv, medical_schema(), chunk_size=10**6))
+        assert len(whole) == 1 and len(whole[0]) == len(small_table)
+
+    def test_invalid_chunk_size(self, raw_csv):
+        with pytest.raises(ValueError):
+            next(iter_tables(raw_csv, medical_schema(), chunk_size=0))
+
+    def test_iter_rows_matches_table(self, raw_csv, small_table):
+        assert list(iter_rows(raw_csv, medical_schema())) == list(small_table.rows)
+
+
+class TestEmit:
+    def test_row_writer_matches_bulk_writer(self, tmp_path, small_table):
+        schema = medical_schema()
+        bulk = tmp_path / "bulk.csv"
+        incremental = tmp_path / "incremental.csv"
+        write_rows(str(bulk), schema, small_table)
+        with RowWriter(str(incremental), schema) as writer:
+            for chunk_start in range(0, len(small_table), 150):
+                for row in small_table.rows[chunk_start : chunk_start + 150]:
+                    writer.write_row(row)
+        assert writer.rows_written == len(small_table)
+        assert incremental.read_bytes() == bulk.read_bytes()
+
+    def test_interval_cells_round_trip_through_emit(self, tmp_path):
+        schema = medical_schema()
+        row = {
+            "ssn": "123456789",
+            "age": Interval(25, 30),
+            "zip_code": "02139",
+            "doctor": "Dr. A",
+            "symptom": "Influenza",
+            "prescription": "Oseltamivir",
+        }
+        path = tmp_path / "one.csv"
+        write_rows(str(path), schema, [row])
+        assert list(iter_rows(str(path), schema)) == [row]

@@ -1,0 +1,136 @@
+"""Tests for the atomic file-backed key vault."""
+
+import json
+import os
+
+import pytest
+
+from repro.service.vault import DatasetRecord, KeyVault, TenantRecord, VaultError
+
+
+class TestVaultLifecycle:
+    def test_init_creates_document(self, tmp_path):
+        vault = KeyVault.init(tmp_path / "v")
+        assert os.path.exists(vault.path)
+        assert vault.tenants() == []
+
+    def test_init_twice_fails(self, tmp_path):
+        KeyVault.init(tmp_path / "v")
+        with pytest.raises(VaultError, match="already initialised"):
+            KeyVault.init(tmp_path / "v")
+
+    def test_open_missing_fails(self, tmp_path):
+        with pytest.raises(VaultError, match="no vault"):
+            KeyVault(tmp_path / "missing")
+
+    def test_open_or_init(self, tmp_path):
+        first = KeyVault.open_or_init(tmp_path / "v")
+        first.register_tenant("acme")
+        second = KeyVault.open_or_init(tmp_path / "v")
+        assert second.tenants() == ["acme"]
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        vault = KeyVault.init(tmp_path / "v")
+        with open(vault.path, "w", encoding="utf-8") as handle:
+            json.dump({"version": 99, "tenants": {}}, handle)
+        with pytest.raises(VaultError, match="version"):
+            KeyVault(tmp_path / "v")
+
+
+class TestTenants:
+    def test_secrets_generated_when_absent(self, tmp_path):
+        vault = KeyVault.init(tmp_path / "v")
+        record = vault.register_tenant("acme")
+        assert len(record.encryption_key) == 32 and len(record.watermark_secret) == 32
+        other = vault.register_tenant("globex")
+        assert other.encryption_key != record.encryption_key
+        assert other.watermark_secret != record.watermark_secret
+
+    def test_explicit_secrets_and_params_round_trip(self, tmp_path):
+        vault = KeyVault.init(tmp_path / "v")
+        vault.register_tenant(
+            "acme",
+            encryption_key="E",
+            watermark_secret="W",
+            eta=33,
+            k=12,
+            epsilon=3,
+            mark_length=16,
+            copies=6,
+            watermark_columns=("age", "zip_code"),
+        )
+        record = KeyVault(tmp_path / "v").tenant("acme")
+        assert record == TenantRecord(
+            tenant_id="acme",
+            encryption_key="E",
+            watermark_secret="W",
+            eta=33,
+            k=12,
+            epsilon=3,
+            mark_length=16,
+            copies=6,
+            watermark_columns=("age", "zip_code"),
+        )
+
+    def test_reregistration_rejected(self, tmp_path):
+        vault = KeyVault.init(tmp_path / "v")
+        vault.register_tenant("acme")
+        with pytest.raises(VaultError, match="already registered"):
+            vault.register_tenant("acme")
+
+    def test_unknown_tenant(self, tmp_path):
+        vault = KeyVault.init(tmp_path / "v")
+        with pytest.raises(VaultError, match="unknown tenant"):
+            vault.tenant("nobody")
+
+
+class TestDatasets:
+    def test_record_and_cold_read(self, tmp_path):
+        vault = KeyVault.init(tmp_path / "v")
+        vault.register_tenant("acme")
+        record = DatasetRecord(
+            dataset_id="claims",
+            registered_statistic=496540741.525,
+            mark_bits="01011010010110100101",
+            rows=100_000,
+            cells_changed=1234,
+            information_loss=0.0291,
+            source="/data/claims.csv",
+        )
+        vault.record_dataset("acme", record)
+        # A cold process sees the exact record, float for float.
+        reopened = KeyVault(tmp_path / "v")
+        assert reopened.dataset("acme", "claims") == record
+        assert reopened.datasets("acme") == ["claims"]
+
+    def test_reprotect_overwrites(self, tmp_path):
+        vault = KeyVault.init(tmp_path / "v")
+        vault.register_tenant("acme")
+        for rows in (10, 20):
+            vault.record_dataset(
+                "acme",
+                DatasetRecord(dataset_id="d", registered_statistic=1.0, mark_bits="01", rows=rows),
+            )
+        assert vault.dataset("acme", "d").rows == 20
+
+    def test_unknown_dataset(self, tmp_path):
+        vault = KeyVault.init(tmp_path / "v")
+        vault.register_tenant("acme")
+        with pytest.raises(VaultError, match="no dataset"):
+            vault.dataset("acme", "nope")
+
+
+class TestAtomicity:
+    def test_no_tmp_file_left_and_restrictive_mode(self, tmp_path):
+        vault = KeyVault.init(tmp_path / "v")
+        vault.register_tenant("acme")
+        assert not os.path.exists(vault.path + ".tmp")
+        assert (os.stat(vault.path).st_mode & 0o777) == 0o600
+
+    def test_mutations_visible_without_reload_only_after_save(self, tmp_path):
+        writer = KeyVault.init(tmp_path / "v")
+        reader = KeyVault(tmp_path / "v")
+        writer.register_tenant("acme")
+        assert "acme" not in reader.tenants()
+        reader.reload()
+        assert reader.tenants() == ["acme"]
