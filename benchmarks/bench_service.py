@@ -9,7 +9,14 @@ of ``REPRO_BENCH_SIZE`` rows (default 2 500; the service targets 100k+):
   protected CSV with 1 and 4 workers; the recovered marks are asserted
   identical (the executor's merge is bit-identical by construction) and the
   measured ratio lands in ``extra_info`` like ``bench_scaling.py``'s
-  ``speedup``.
+  ``speedup``;
+* **thread vs process runner** — the same detect with
+  ``runner="thread"`` and ``runner="process"``: the thread pool is GIL-bound
+  (historically ~1.0x), the process runner parses *and* hashes in its
+  workers, so on a multi-core host it should win.  Marks are asserted
+  bit-identical; the ratio is asserted ``> 1.1`` only at >= 100k rows on
+  >= 4 cores (the acceptance bar — smaller runs and small hosts just record
+  the numbers in the JSON artifact).
 
 Run standalone for a plain-text sweep over several sizes::
 
@@ -125,6 +132,39 @@ def test_detect_shard_parallel(benchmark, service_env):
     assert outcome.mark_loss == 0.0
 
 
+def test_detect_thread_vs_process_runner(benchmark, service_env):
+    """The PR 3 acceptance bar: ProcessRunner beats threads at scale, bit-identically."""
+    service = service_env.service
+    kwargs = {"dataset_id": "bench", "workers": DETECT_WORKERS}
+    thread = service.detect("owner", service_env.protected_csv, runner="thread", **kwargs)
+    process = service.detect("owner", service_env.protected_csv, runner="process", **kwargs)
+    assert process.mark == thread.mark
+    assert process.rows == thread.rows
+    assert process.tuples_selected == thread.tuples_selected
+    assert process.positions_with_votes == thread.positions_with_votes
+    assert process.mark_loss == 0.0
+
+    thread_time = _best_of(
+        lambda: service.detect("owner", service_env.protected_csv, runner="thread", **kwargs)
+    )
+    process_time = _best_of(
+        lambda: service.detect("owner", service_env.protected_csv, runner="process", **kwargs)
+    )
+    ratio = thread_time / process_time
+    benchmark.extra_info["rows"] = service_env.rows
+    benchmark.extra_info["workers"] = DETECT_WORKERS
+    benchmark.extra_info["cpu_count"] = os.cpu_count()
+    benchmark.extra_info["thread_seconds"] = round(thread_time, 4)
+    benchmark.extra_info["process_seconds"] = round(process_time, 4)
+    benchmark.extra_info["process_over_thread"] = round(ratio, 2)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if service_env.rows >= 100_000 and (os.cpu_count() or 1) >= 4:
+        assert ratio > 1.1, (
+            f"ProcessRunner ({process_time:.3f}s) should beat ThreadRunner "
+            f"({thread_time:.3f}s) at {service_env.rows} rows on {os.cpu_count()} cores"
+        )
+
+
 def test_detect_parallel_equivalence_and_ratio(benchmark, service_env):
     """Shard-parallel vs serial: identical mark, ratio recorded for the trajectory."""
     service = service_env.service
@@ -159,9 +199,10 @@ def _standalone_sizes() -> list[int]:
 
 
 def main() -> int:
+    print(f"cpu_count={os.cpu_count()} workers={DETECT_WORKERS}")
     print(
         f"{'rows':>8} {'protect s':>10} {'rows/s':>9} "
-        f"{'detect-1 s':>11} {'detect-4 s':>11} {'ratio':>6}"
+        f"{'detect-1 s':>11} {'thread s':>9} {'process s':>10} {'proc/thr':>9}"
     )
     for size in _standalone_sizes():
         with tempfile.TemporaryDirectory(prefix="repro-service-bench-") as base:
@@ -173,15 +214,28 @@ def main() -> int:
             serial_time = _best_of(
                 lambda: env.service.detect("owner", env.protected_csv, dataset_id="bench", workers=1)
             )
-            parallel_time = _best_of(
+            thread_time = _best_of(
                 lambda: env.service.detect(
-                    "owner", env.protected_csv, dataset_id="bench", workers=DETECT_WORKERS
+                    "owner",
+                    env.protected_csv,
+                    dataset_id="bench",
+                    workers=DETECT_WORKERS,
+                    runner="thread",
+                )
+            )
+            process_time = _best_of(
+                lambda: env.service.detect(
+                    "owner",
+                    env.protected_csv,
+                    dataset_id="bench",
+                    workers=DETECT_WORKERS,
+                    runner="process",
                 )
             )
             print(
                 f"{size:>8} {protect_time:>10.3f} {size / protect_time:>9.0f} "
-                f"{serial_time:>11.3f} {parallel_time:>11.3f} "
-                f"{serial_time / parallel_time:>5.2f}x"
+                f"{serial_time:>11.3f} {thread_time:>9.3f} {process_time:>10.3f} "
+                f"{thread_time / process_time:>8.2f}x"
             )
     return 0
 

@@ -19,10 +19,26 @@ invocation and retains the printed mark themselves::
     python -m repro detect protected.csv \
         --eta 75 --encryption-key E --watermark-secret W --expected-mark 1010...
 
+**Remote mode** — a third way to hold the secrets: a server holds the vault
+and the operator holds only a bearer token.  ``repro serve`` exposes a vault
+over HTTP (see :mod:`repro.service.http`); protect/detect/dispute/status
+then run against ``--url`` with ``--token``, streaming the CSVs both ways::
+
+    python -m repro vault token V --tenant owner           # one-time
+    python -m repro serve --vault V --port 8765 &
+    python -m repro protect raw.csv protected.csv \
+        --url http://127.0.0.1:8765 --token T
+    python -m repro detect protected.csv --url http://127.0.0.1:8765 \
+        --token T --dataset raw --runner process
+
 Every subcommand accepts ``--json`` for a machine-readable report on stdout
 (one JSON object; human text goes to stdout only in the default mode), which
-is what the CI smoke job and the service frontends consume.  The framework is
-deterministic, so the same secrets always reproduce the same keys.
+is what the CI smoke job and the service frontends consume — failures too:
+``--json`` failures print ``{"error": ...}``.  Exit codes are uniform across
+modes: 0 success, 1 negative verdict (mark loss over threshold, dispute
+lost), 2 operational error (missing vault, unknown tenant/dataset, bad CSV,
+unreachable server).  The framework is deterministic, so the same secrets
+always reproduce the same keys.
 """
 
 from __future__ import annotations
@@ -40,10 +56,21 @@ from repro.relational.io import iter_csv_rows, write_csv_rows
 from repro.relational.schema import medical_schema
 from repro.relational.table import Table
 from repro.service.api import DEFAULT_TENANT, ProtectionService, dataset_id_for, suspect_view
+from repro.service.executor import ShardExecutor
+from repro.service.http.app import ProtectionApp
+from repro.service.http.client import HTTPServiceError, ServiceClient
+from repro.service.http.server import make_http_server
+from repro.service.reports import DEFAULT_MAX_LOSS, detect_report, dispute_report, error_payload
+from repro.service.runners import RUNNER_NAMES
 from repro.service.vault import KeyVault, VaultError
 from repro.watermarking.mark import Mark, mark_loss
 
 __all__ = ["main", "build_parser"]
+
+#: Exit statuses shared by every subcommand and both transports.
+EXIT_OK = 0
+EXIT_VERDICT = 1
+EXIT_ERROR = 2
 
 #: Embedding parameters shared by protect/detect (explicit-secret mode) and
 #: ``vault init``.  In vault mode the tenant record owns them, so passing any
@@ -103,6 +130,10 @@ def _service(args: argparse.Namespace) -> ProtectionService:
     return ProtectionService(KeyVault(args.vault))
 
 
+def _client(args: argparse.Namespace) -> ServiceClient:
+    return ServiceClient(args.url, getattr(args, "token", None))
+
+
 # ------------------------------------------------------------------- commands
 def _cmd_vault_init(args: argparse.Namespace) -> int:
     vault = KeyVault.init(args.path)
@@ -139,11 +170,14 @@ def _cmd_vault_init(args: argparse.Namespace) -> int:
 
 
 def _cmd_vault_status(args: argparse.Namespace) -> int:
-    status = ProtectionService(KeyVault(args.path)).status()
+    if args.url:
+        status = _client(args).status(args.tenant)
+    else:
+        status = ProtectionService(KeyVault(args.path)).status()
     if args.json:
         print(json.dumps(status, indent=2, sort_keys=True))
-        return 0
-    print(f"vault {status['vault']}")
+        return EXIT_OK
+    print(f"vault {status.get('vault', args.url)}")
     for tenant, info in status["tenants"].items():
         print(f"  tenant {tenant}: k={info['k']} eta={info['eta']}")
         for dataset, details in info["datasets"].items():
@@ -151,27 +185,47 @@ def _cmd_vault_status(args: argparse.Namespace) -> int:
                 f"    dataset {dataset}: {details['rows']} rows, mark {details['mark']}, "
                 f"claimants {', '.join(details['claimants']) or '-'}"
             )
-    return 0
+    return EXIT_OK
+
+
+def _cmd_vault_token(args: argparse.Namespace) -> int:
+    vault = KeyVault(args.path)
+    token = vault.issue_token(args.tenant)
+    _emit(
+        args,
+        {"vault": vault.root, "tenant": args.tenant, "token": token},
+        [
+            f"issued bearer token for tenant {args.tenant}",
+            f"  token: {token}",
+            "  (only the SHA-256 digest is stored; re-run to rotate)",
+        ],
+    )
+    return EXIT_OK
+
+
+def _protect_lines(report: dict) -> list[str]:
+    return [
+        f"protected {report['rows']} rows -> {report['output']}",
+        f"  tenant / dataset          : {report['tenant']} / {report['dataset']}",
+        f"  binning information loss  : {report['information_loss']:.2%}",
+        f"  cells changed by watermark: {report['cells_changed']}",
+        f"  registered statistic v    : {report['registered_statistic']:.0f}",
+        f"  mark F(v) (vaulted)       : {report['mark']}",
+    ]
 
 
 def _cmd_protect(args: argparse.Namespace) -> int:
+    if args.url:
+        dataset = args.dataset or dataset_id_for(args.input)
+        report = _client(args).protect(args.tenant, dataset, args.input, args.output)
+        _emit(args, report, _protect_lines(report))
+        return EXIT_OK
     if args.vault:
         outcome = _service(args).protect(
             args.tenant, args.input, args.output, dataset_id=args.dataset
         )
-        _emit(
-            args,
-            outcome.to_json(),
-            [
-                f"protected {outcome.rows} rows -> {outcome.output}",
-                f"  tenant / dataset          : {outcome.tenant} / {outcome.dataset}",
-                f"  binning information loss  : {outcome.information_loss:.2%}",
-                f"  cells changed by watermark: {outcome.cells_changed}",
-                f"  registered statistic v    : {outcome.registered_statistic:.0f}",
-                f"  mark F(v) (vaulted)       : {outcome.mark}",
-            ],
-        )
-        return 0
+        _emit(args, outcome.to_json(), _protect_lines(outcome.to_json()))
+        return EXIT_OK
 
     framework = _framework(args)
     table = _load_raw_table(args.input)
@@ -200,33 +254,55 @@ def _cmd_protect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _detect_lines(args: argparse.Namespace, payload: dict) -> list[str]:
+    coverage = payload.get("coverage", 0.0)
+    lines = [
+        f"examined {payload['rows']} rows from {args.input}",
+        f"  recovered mark : {payload['mark']}",
+        f"  positions voted: {payload['positions_with_votes']} (coverage {coverage:.0%})",
+    ]
+    if payload.get("expected_mark") is not None:
+        lines += [
+            f"  expected mark  : {payload['expected_mark']}",
+            f"  mark loss      : {payload['mark_loss']:.0%}",
+        ]
+    return lines
+
+
+def _detect_exit(payload: dict) -> int:
+    # None = nothing to compare against (unregistered dataset), matching the
+    # explicit-secret path; only an actual comparison yields a verdict.
+    if payload.get("ok") is None:
+        return EXIT_OK
+    return EXIT_OK if payload["ok"] else EXIT_VERDICT
+
+
 def _cmd_detect(args: argparse.Namespace) -> int:
+    if args.url:
+        payload = _client(args).detect(
+            args.tenant,
+            args.dataset or dataset_id_for(args.input),
+            args.input,
+            workers=args.workers,
+            runner=args.runner,
+            max_loss=args.max_loss,
+            expected_mark=args.expected_mark,
+        )
+        _emit(args, payload, _detect_lines(args, payload))
+        return _detect_exit(payload)
     if args.vault:
         outcome = _service(args).detect(
-            args.tenant, args.input, dataset_id=args.dataset, workers=args.workers
+            args.tenant,
+            args.input,
+            dataset_id=args.dataset,
+            workers=args.workers,
+            runner=args.runner,
         )
-        expected = (
-            Mark.from_string(args.expected_mark)
-            if args.expected_mark
-            else (Mark.from_string(outcome.expected_mark) if outcome.expected_mark else None)
+        payload = detect_report(
+            outcome, expected_mark=args.expected_mark, max_loss=args.max_loss
         )
-        loss = mark_loss(expected, Mark.from_string(outcome.mark)) if expected else None
-        payload = outcome.to_json()
-        payload["mark_loss"] = loss
-        # None = nothing to compare against (unregistered dataset), matching
-        # the explicit-secret path; only an actual comparison yields a bool.
-        payload["ok"] = None if loss is None else loss <= args.max_loss
-        lines = [
-            f"examined {outcome.rows} rows from {args.input}",
-            f"  recovered mark : {outcome.mark}",
-            f"  positions voted: {outcome.positions_with_votes} (coverage {outcome.coverage:.0%})",
-        ]
-        if expected is not None:
-            lines += [f"  expected mark  : {expected}", f"  mark loss      : {loss:.0%}"]
-        _emit(args, payload, lines)
-        if loss is not None:
-            return 0 if loss <= args.max_loss else 1
-        return 0
+        _emit(args, payload, _detect_lines(args, payload))
+        return _detect_exit(payload)
 
     framework = _framework(args)
     binned = _load_protected_table(args.input, args.k, args.metrics_depth)
@@ -258,36 +334,60 @@ def _cmd_detect(args: argparse.Namespace) -> int:
 
 
 def _cmd_dispute(args: argparse.Namespace) -> int:
-    service = _service(args)
     dataset = args.dataset or dataset_id_for(args.input)
-    verdict = service.dispute(args.tenant, args.input, dataset_id=dataset)
-    payload = {
-        "dataset": dataset,
-        "winner": verdict.winner,
-        "valid_claimants": verdict.valid_claimants,
-        "assessments": [
-            {
-                "claimant": assessment.claimant,
-                "valid": assessment.valid,
-                "decryption_ok": assessment.decryption_ok,
-                "statistic_ok": assessment.statistic_ok,
-                "mark_matches": assessment.mark_matches,
-                "mark_bit_errors": assessment.mark_bit_errors,
-            }
-            for assessment in verdict.assessments
-        ],
-    }
+    if args.url:
+        payload = _client(args).dispute(args.tenant, dataset, args.input)
+    else:
+        verdict = _service(args).dispute(args.tenant, args.input, dataset_id=dataset)
+        payload = dispute_report(dataset, verdict)
     lines = [f"dispute over {args.input}"]
-    for assessment in verdict.assessments:
-        state = "VALID" if assessment.valid else "rejected"
+    for assessment in payload["assessments"]:
+        state = "VALID" if assessment["valid"] else "rejected"
         lines.append(
-            f"  claim by {assessment.claimant:<12}: {state} "
-            f"(decrypt={assessment.decryption_ok} statistic={assessment.statistic_ok} "
-            f"mark={assessment.mark_matches})"
+            f"  claim by {assessment['claimant']:<12}: {state} "
+            f"(decrypt={assessment['decryption_ok']} statistic={assessment['statistic_ok']} "
+            f"mark={assessment['mark_matches']})"
         )
-    lines.append(f"  winner: {verdict.winner or 'none (zero or several valid claims)'}")
+    lines.append(f"  winner: {payload['winner'] or 'none (zero or several valid claims)'}")
     _emit(args, payload, lines)
-    return 0 if verdict.winner == args.tenant else 1
+    return EXIT_OK if payload["winner"] == args.tenant else EXIT_VERDICT
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    executor = ShardExecutor(args.workers, runner=args.runner)
+    service = ProtectionService(KeyVault(args.vault), executor=executor)
+    app = ProtectionApp(
+        service,
+        admin_token=args.admin_token,
+        max_upload_bytes=args.max_upload_mb * 1024 * 1024 if args.max_upload_mb else None,
+    )
+    server = make_http_server(app, args.host, args.port, verbose=args.verbose)
+    host, port = server.server_address[:2]
+    url = f"http://{host}:{port}"
+    _emit(
+        args,
+        {
+            "url": url,
+            "vault": service.vault.root,
+            "runner": executor.runner_name,
+            "workers": executor.max_workers,
+            "registration": "admin-token" if args.admin_token else "open",
+        },
+        [
+            f"serving vault {service.vault.root} at {url}",
+            f"  runner / workers : {executor.runner_name} / {executor.max_workers}",
+            f"  registration     : {'admin-token gated' if args.admin_token else 'open'}",
+            "  stop with Ctrl-C",
+        ],
+    )
+    sys.stdout.flush()
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return EXIT_OK
 
 
 # --------------------------------------------------------------------- parser
@@ -319,6 +419,10 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--tenant", default=DEFAULT_TENANT, help="tenant id within the vault")
         sub.add_argument("--dataset", help="dataset id within the vault (default: input file stem)")
 
+    def add_url(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--url", help="protection server base URL (client mode; see 'repro serve')")
+        sub.add_argument("--token", help="bearer token for --url (see 'repro vault token')")
+
     def add_json(sub: argparse.ArgumentParser) -> None:
         sub.add_argument("--json", action="store_true", help="emit a machine-readable JSON report")
 
@@ -332,9 +436,20 @@ def build_parser() -> argparse.ArgumentParser:
     add_json(vault_init)
     vault_init.set_defaults(func=_cmd_vault_init)
     vault_status = vault_sub.add_parser("status", help="list a vault's tenants and datasets")
-    vault_status.add_argument("path", help="vault directory to inspect")
+    vault_status.add_argument("path", nargs="?", help="vault directory to inspect")
+    vault_status.add_argument(
+        "--tenant", default=None, help="restrict to one tenant (required scope in --url mode)"
+    )
+    add_url(vault_status)
     add_json(vault_status)
     vault_status.set_defaults(func=_cmd_vault_status)
+    vault_token = vault_sub.add_parser(
+        "token", help="issue (or rotate) a tenant's bearer token for the HTTP frontend"
+    )
+    vault_token.add_argument("path", help="vault directory holding the tenant")
+    vault_token.add_argument("--tenant", default=DEFAULT_TENANT, help="tenant id within the vault")
+    add_json(vault_token)
+    vault_token.set_defaults(func=_cmd_vault_token)
 
     protect = subparsers.add_parser("protect", help="bin + watermark a raw CSV table")
     protect.add_argument("input", help="raw CSV with columns ssn,age,zip_code,doctor,symptom,prescription")
@@ -342,17 +457,26 @@ def build_parser() -> argparse.ArgumentParser:
     add_params(protect, vault_aware=True)
     add_secrets(protect, required_without_vault=True)
     add_vault(protect)
+    add_url(protect)
     add_json(protect)
     protect.set_defaults(func=_cmd_protect)
 
     detect = subparsers.add_parser("detect", help="recover the mark from an outsourced CSV table")
     detect.add_argument("input", help="outsourced CSV to examine")
     detect.add_argument("--expected-mark", help="bit string to compare the recovered mark against")
-    detect.add_argument("--max-loss", type=float, default=0.1, help="mark-loss threshold for exit status")
-    detect.add_argument("--workers", type=int, help="shard-parallel detection workers (vault mode)")
+    detect.add_argument(
+        "--max-loss", type=float, default=DEFAULT_MAX_LOSS, help="mark-loss threshold for exit status"
+    )
+    detect.add_argument("--workers", type=int, help="shard-parallel detection workers")
+    detect.add_argument(
+        "--runner",
+        choices=RUNNER_NAMES,
+        help="where shard votes are collected: thread (default) or process (vault/url modes)",
+    )
     add_params(detect, vault_aware=True)
     add_secrets(detect, required_without_vault=True)
     add_vault(detect)
+    add_url(detect)
     add_json(detect)
     detect.set_defaults(func=_cmd_detect)
 
@@ -360,22 +484,46 @@ def build_parser() -> argparse.ArgumentParser:
         "dispute", help="resolve ownership of a disputed CSV from vaulted claims"
     )
     dispute.add_argument("input", help="disputed CSV to assess")
-    dispute.add_argument("--vault", required=True, help="vault directory holding the claims")
+    dispute.add_argument("--vault", help="vault directory holding the claims")
     dispute.add_argument("--tenant", default=DEFAULT_TENANT, help="tenant expected to prevail")
     dispute.add_argument("--dataset", help="dataset id of the claims (default: input file stem)")
+    add_url(dispute)
     add_json(dispute)
     dispute.set_defaults(func=_cmd_dispute)
+
+    serve = subparsers.add_parser(
+        "serve", help="expose a vault's protection service over HTTP (stdlib WSGI)"
+    )
+    serve.add_argument("--vault", required=True, help="vault directory to serve")
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8765, help="bind port (0 = ephemeral, printed)")
+    serve.add_argument(
+        "--runner", choices=RUNNER_NAMES, default="thread", help="default shard runner for detects"
+    )
+    serve.add_argument("--workers", type=int, help="shard workers per detect (default: cpu-bound)")
+    serve.add_argument(
+        "--admin-token",
+        help="gate tenant registration and vault-wide status behind this token (default: open)",
+    )
+    serve.add_argument(
+        "--max-upload-mb", type=int, help="reject uploads larger than this many MiB (413)"
+    )
+    serve.add_argument("--verbose", action="store_true", help="log one line per request to stderr")
+    add_json(serve)
+    serve.set_defaults(func=_cmd_serve)
 
     return parser
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = build_parser()
-    args = parser.parse_args(argv)
+def _validate(parser: argparse.ArgumentParser, args: argparse.Namespace) -> None:
     if args.command in ("protect", "detect"):
-        if args.vault:
-            # In vault mode the tenant record owns parameters and secrets;
-            # silently ignoring explicit flags would misattribute the result.
+        if args.url and args.vault:
+            parser.error(f"{args.command}: --url (client mode) conflicts with --vault")
+        if args.url or args.vault:
+            # The vault's tenant record — local or behind the server — owns
+            # parameters and secrets; silently ignoring explicit flags would
+            # misattribute the result.
+            owner = "--vault" if args.vault else "--url"
             conflicting = [name for name in PARAM_DEFAULTS if getattr(args, name) is not None]
             conflicting += [
                 name for name in ("encryption_key", "watermark_secret") if getattr(args, name)
@@ -383,23 +531,49 @@ def main(argv: list[str] | None = None) -> int:
             if conflicting:
                 flags = ", ".join("--" + name.replace("_", "-") for name in conflicting)
                 parser.error(
-                    f"{args.command}: {flags} conflict with --vault "
+                    f"{args.command}: {flags} conflict with {owner} "
                     "(the tenant record in the vault owns these settings)"
                 )
         else:
             if not args.encryption_key or not args.watermark_secret:
                 parser.error(
                     f"{args.command}: --encryption-key and --watermark-secret are required "
-                    "when no --vault is given"
+                    "when no --vault or --url is given"
+                )
+            if args.command == "detect" and (args.workers is not None or args.runner):
+                # The explicit-secret path detects serially in-process;
+                # silently dropping these flags would misattribute a
+                # benchmark, exactly like the parameter conflicts above.
+                parser.error(
+                    "detect: --workers/--runner require --vault or --url "
+                    "(the explicit-secret path is serial in-process)"
                 )
             for name, value in PARAM_DEFAULTS.items():
                 if getattr(args, name) is None:
                     setattr(args, name, value)
+    if args.command == "dispute" and bool(args.vault) == bool(args.url):
+        parser.error("dispute: exactly one of --vault or --url is required")
+    if args.command == "vault" and args.vault_command == "status":
+        if bool(args.path) == bool(args.url):
+            parser.error("vault status: exactly one of PATH or --url is required")
+        if args.url and not args.tenant:
+            parser.error("vault status: --url mode needs --tenant (tenant-scoped token auth)")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    _validate(parser, args)
     try:
         return args.func(args)
-    except VaultError as error:
+    except (VaultError, HTTPServiceError, OSError, ValueError) as error:
+        # Operational failures — missing vault, unknown tenant/dataset, a CSV
+        # that does not parse, an unreachable or refusing server — exit 2
+        # with the uniform {"error": ...} document in --json mode.
+        if getattr(args, "json", False):
+            print(json.dumps(error_payload(str(error)), indent=2, sort_keys=True))
         print(f"error: {error}", file=sys.stderr)
-        return 2
+        return EXIT_ERROR
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro

@@ -15,12 +15,22 @@ cold process:
   files never materialise as a full table;
 * :mod:`repro.service.executor` — shard-parallel embed/detect, bit-identical
   to the serial batched path;
+* :mod:`repro.service.runners` — pluggable vote-collection backends: the
+  GIL-bound :class:`ThreadRunner` and the engine-reconstructing
+  :class:`ProcessRunner`;
 * :mod:`repro.service.api` — the :class:`ProtectionService` facade the CLI
-  (and a future HTTP frontend) drives.
+  drives;
+* :mod:`repro.service.http` — the stdlib WSGI frontend (and client) exposing
+  the facade over the network with bearer-token tenant auth;
+* :mod:`repro.service.reports` — the ``--json`` report shapes shared by the
+  CLI and the HTTP bodies;
+* :mod:`repro.service.locking` — advisory file locks arbitrating concurrent
+  vault/claim writers.
 """
 
 from repro.service.api import DetectOutcome, ProtectOutcome, ProtectionService, suspect_view
 from repro.service.executor import ShardExecutor, shard_spans
+from repro.service.runners import ProcessRunner, ShardRunner, ThreadRunner, resolve_runner
 from repro.service.store import ClaimStore
 from repro.service.vault import DatasetRecord, KeyVault, TenantRecord
 
@@ -31,6 +41,10 @@ __all__ = [
     "suspect_view",
     "ShardExecutor",
     "shard_spans",
+    "ShardRunner",
+    "ThreadRunner",
+    "ProcessRunner",
+    "resolve_runner",
     "ClaimStore",
     "KeyVault",
     "TenantRecord",

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import asdict, dataclass
-from typing import Iterator, Mapping
+from typing import Mapping
 
 from repro.binning.binner import BinnedTable
 from repro.binning.kanonymity import EnforcementMode, KAnonymitySpec
@@ -31,6 +31,7 @@ from repro.ontology.registry import standard_ontology
 from repro.relational.schema import TableSchema, medical_schema
 from repro.relational.table import Table
 from repro.service.executor import ShardExecutor
+from repro.service.runners import ShardRunner
 from repro.service.store import CLAIMS_FILENAME, ClaimStore
 from repro.service.streaming import DEFAULT_CHUNK_SIZE, RowWriter, iter_rows, iter_tables
 from repro.service.vault import DatasetRecord, KeyVault, TenantRecord, VaultError
@@ -133,6 +134,7 @@ class DetectOutcome:
     positions_with_votes: int
     tuples_selected: int
     shards: int
+    runner: str = "thread"
 
     @property
     def matches(self) -> bool | None:
@@ -162,13 +164,16 @@ class ProtectionService:
         schema: TableSchema | None = None,
         trees: Mapping[str, DomainHierarchyTree] | None = None,
         executor: ShardExecutor | None = None,
+        runner: "str | ShardRunner | None" = None,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
     ) -> None:
+        if executor is not None and runner is not None:
+            raise ValueError("pass either executor or runner, not both")
         self._vault = vault if isinstance(vault, KeyVault) else KeyVault(vault)
         self._claims = ClaimStore(os.path.join(self._vault.root, CLAIMS_FILENAME))
         self._schema = schema if schema is not None else medical_schema()
         self._trees = dict(trees) if trees is not None else dict(standard_ontology().items())
-        self._executor = executor if executor is not None else ShardExecutor()
+        self._executor = executor if executor is not None else ShardExecutor(runner=runner)
         self._chunk_size = chunk_size
         self._frameworks: dict[str, ProtectionFramework] = {}
 
@@ -304,14 +309,17 @@ class ProtectionService:
         *,
         dataset_id: str | None = None,
         workers: int | None = None,
+        runner: "str | ShardRunner | None" = None,
         chunk_size: int | None = None,
     ) -> DetectOutcome:
         """Recover the mark from *suspect_csv* using only vault state.
 
         Streams the file chunk by chunk, collecting detection votes on the
-        executor and merging them — bit-identical to a serial detect over the
-        materialised table.  When the dataset was protected through this
-        vault, the recovered mark is compared against the registered one.
+        executor's runner and merging them — bit-identical to a serial detect
+        over the materialised table, whichever runner collects the votes.
+        When the dataset was protected through this vault, the recovered mark
+        is compared against the registered one.  An empty CSV (header only)
+        yields a clean zero-coverage report, not an error.
         """
         record = self._vault.tenant(tenant_id)
         framework = self.framework_for(tenant_id)
@@ -326,13 +334,21 @@ class ProtectionService:
                 stored.registered_statistic, Mark.from_string(stored.mark_bits)
             )
 
-        executor = ShardExecutor(workers) if workers is not None else self._executor
+        executor = self._executor_for(workers, runner)
         watermarker = framework.watermarker()
         row_counter = [0]
-        report = executor.detect_stream(
+
+        def count_rows(n: int) -> None:
+            row_counter[0] += n
+
+        report = executor.detect_csv(
             watermarker,
-            self._chunk_views(suspect_csv, record, chunk_size or self._chunk_size, row_counter),
+            suspect_csv,
+            self._schema,
+            _suspect_metadata(self._trees, self._schema, record.k, record.metrics_depth),
             record.mark_length,
+            chunk_size=chunk_size or self._chunk_size,
+            on_rows=count_rows,
         )
         loss = mark_loss(expected, report.mark) if expected is not None else None
         return DetectOutcome(
@@ -346,6 +362,7 @@ class ProtectionService:
             positions_with_votes=report.positions_with_votes,
             tuples_selected=report.tuples_selected,
             shards=executor.max_workers,
+            runner=executor.runner_name,
         )
 
     def detect_binned(
@@ -354,13 +371,25 @@ class ProtectionService:
         binned: BinnedTable,
         *,
         workers: int | None = None,
+        runner: "str | ShardRunner | None" = None,
         shards: int | None = None,
     ) -> DetectionReport:
         """Shard-parallel detect over an in-memory binned table (library callers)."""
         record = self._vault.tenant(tenant_id)
-        executor = ShardExecutor(workers) if workers is not None else self._executor
+        executor = self._executor_for(workers, runner)
         return executor.detect(
             self.framework_for(tenant_id).watermarker(), binned, record.mark_length, shards=shards
+        )
+
+    def _executor_for(
+        self, workers: int | None, runner: "str | ShardRunner | None"
+    ) -> ShardExecutor:
+        """The configured executor, or a per-call override of workers/runner."""
+        if workers is None and runner is None:
+            return self._executor
+        return ShardExecutor(
+            workers if workers is not None else self._executor.max_workers,
+            runner=runner if runner is not None else self._executor.runner,
         )
 
     # ----------------------------------------------------------------- dispute
@@ -397,7 +426,12 @@ class ProtectionService:
 
     # ------------------------------------------------------------------ status
     def status(self, tenant_id: str | None = None) -> dict:
-        """JSON-able snapshot of the vault: tenants, datasets, claimants."""
+        """JSON-able snapshot of the vault: tenants, datasets, claimants.
+
+        Picks up writes from other processes first (stat-gated reload), so a
+        long-running server reports datasets a CLI protect just registered.
+        """
+        self._vault.reload_if_changed()
         tenants = [tenant_id] if tenant_id is not None else self._vault.tenants()
         out: dict = {"vault": self._vault.root, "tenants": {}}
         for tenant in tenants:
@@ -423,18 +457,6 @@ class ProtectionService:
         return out
 
     # ----------------------------------------------------------------- helpers
-    def _chunk_views(
-        self,
-        path: str,
-        record: TenantRecord,
-        chunk_size: int,
-        row_counter: list[int],
-    ) -> Iterator[BinnedTable]:
-        metadata = _suspect_metadata(self._trees, self._schema, record.k, record.metrics_depth)
-        for chunk in iter_tables(path, self._schema, chunk_size):
-            row_counter[0] += len(chunk)
-            yield BinnedTable(table=chunk, **metadata)
-
     def _build_framework(self, record: TenantRecord) -> ProtectionFramework:
         metrics = UsageMetrics.uniform_depth(self._trees, record.metrics_depth)
         return ProtectionFramework(

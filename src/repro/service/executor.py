@@ -16,25 +16,29 @@ embedded/vote-collected independently, and the results merged:
   table is the shard tables' rows concatenated in shard order, equal row for
   row to a serial embed.
 
-Workers are threads (:class:`concurrent.futures.ThreadPoolExecutor`): the
-row shards share the engine's digest caches and the interpreter, so shard
-parallelism today buys overlap only where the C hashing primitives release
-the GIL — the merge machinery, not the thread pool, is the load-bearing part
-(the streaming ingest reuses it chunk by chunk, and a process-based runner
-can swap in behind the same interface).
+*Where* the per-shard vote collection runs is delegated to a pluggable
+:class:`~repro.service.runners.ShardRunner`: the default
+:class:`~repro.service.runners.ThreadRunner` shares the engine's digest
+caches but is GIL-bound on small hash payloads, while the
+:class:`~repro.service.runners.ProcessRunner` rebuilds engines per worker
+from picklable params and ships only ``DetectionVotes`` back — the merge
+machinery is identical either way, which is what keeps every runner
+bit-identical to serial.  Embedding always runs on threads: its result *is*
+the rows, so a process pool would pay row shipping in both directions for
+nothing.
 """
 
 from __future__ import annotations
 
 import os
-from collections import deque
 from concurrent.futures import ThreadPoolExecutor
-from typing import Iterable, Sequence
-
-_SENTINEL = object()
+from typing import Callable, Iterable, Mapping
 
 from repro.binning.binner import BinnedTable
+from repro.relational.schema import TableSchema
 from repro.relational.table import Table
+from repro.service.runners import ShardRunner, resolve_runner
+from repro.service.streaming import DEFAULT_CHUNK_SIZE
 from repro.watermarking.hierarchical import (
     DetectionReport,
     DetectionVotes,
@@ -54,7 +58,8 @@ def shard_spans(n_rows: int, shards: int) -> list[tuple[int, int]]:
 
     The first ``n_rows % shards`` spans carry one extra row; empty spans are
     never produced (fewer spans come back when there are fewer rows than
-    shards).
+    shards, and an empty table yields no spans at all — callers must treat
+    ``[]`` as "nothing to do", not index into it).
     """
     if shards < 1:
         raise ValueError("shards must be at least 1")
@@ -74,17 +79,31 @@ def shard_binned(binned: BinnedTable, shards: int) -> list[BinnedTable]:
 
 
 class ShardExecutor:
-    """Runs embed/detect over row shards on a thread pool and merges results."""
+    """Runs embed/detect over row shards on a pluggable runner and merges results."""
 
-    def __init__(self, max_workers: int | None = None) -> None:
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        *,
+        runner: "str | ShardRunner | None" = None,
+    ) -> None:
         cpu = os.cpu_count() or 1
         self._max_workers = max_workers if max_workers is not None else min(8, cpu)
         if self._max_workers < 1:
             raise ValueError("max_workers must be at least 1")
+        self._runner = resolve_runner(runner)
 
     @property
     def max_workers(self) -> int:
         return self._max_workers
+
+    @property
+    def runner(self) -> ShardRunner:
+        return self._runner
+
+    @property
+    def runner_name(self) -> str:
+        return self._runner.name
 
     # ---------------------------------------------------------------- detection
     def detect(
@@ -95,16 +114,25 @@ class ShardExecutor:
         *,
         shards: int | None = None,
     ) -> DetectionReport:
-        """Shard-parallel :meth:`HierarchicalWatermarker.detect` over *binned*."""
+        """Shard-parallel :meth:`HierarchicalWatermarker.detect` over *binned*.
+
+        An empty table short-circuits to finalising empty votes — a valid,
+        all-zero report with zero coverage — rather than sharding nothing.
+        """
+        if len(binned.table) == 0:
+            return watermarker.finalize_votes(self._empty_votes(watermarker, mark_length), mark_length)
         shards = self._effective_shards(len(binned.table), shards)
         if shards <= 1:
             return watermarker.detect(binned, mark_length)
         pieces = shard_binned(binned, shards)
-        with ThreadPoolExecutor(max_workers=self._max_workers) as pool:
-            collected = list(
-                pool.map(lambda piece: watermarker.collect_votes(piece, mark_length), pieces)
+        merged = self._merge_stream(
+            self._runner.collect_tables(
+                watermarker, pieces, mark_length, max_workers=self._max_workers
             )
-        return watermarker.finalize_votes(_merge_votes(collected), mark_length)
+        )
+        if merged is None:  # pragma: no cover - pieces is non-empty here
+            merged = self._empty_votes(watermarker, mark_length)
+        return watermarker.finalize_votes(merged, mark_length)
 
     def detect_stream(
         self,
@@ -121,24 +149,49 @@ class ShardExecutor:
         stays bounded by in-flight chunks + the vote state regardless of file
         size; votes are still merged in chunk order.
         """
-        merged: DetectionVotes | None = None
-        iterator = iter(chunks)
-        with ThreadPoolExecutor(max_workers=self._max_workers) as pool:
-            window: deque = deque()
-            exhausted = False
-            while True:
-                while not exhausted and len(window) <= self._max_workers:
-                    chunk = next(iterator, _SENTINEL)
-                    if chunk is _SENTINEL:
-                        exhausted = True
-                        break
-                    window.append(pool.submit(watermarker.collect_votes, chunk, mark_length))
-                if not window:
-                    break
-                votes = window.popleft().result()
-                merged = votes if merged is None else merged.merge(votes)
+        merged = self._merge_stream(
+            self._runner.collect_tables(
+                watermarker, chunks, mark_length, max_workers=self._max_workers
+            )
+        )
         if merged is None:
-            merged = DetectionVotes(wmd_length=mark_length * watermarker.copies)
+            merged = self._empty_votes(watermarker, mark_length)
+        return watermarker.finalize_votes(merged, mark_length)
+
+    def detect_csv(
+        self,
+        watermarker: HierarchicalWatermarker,
+        path: str,
+        schema: TableSchema,
+        metadata: Mapping[str, object],
+        mark_length: int,
+        *,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        on_rows: Callable[[int], None] | None = None,
+    ) -> DetectionReport:
+        """Detect straight off a CSV file, letting the runner own the ingest.
+
+        The thread runner parses chunk views on the calling thread exactly
+        like :meth:`detect_stream`; the process runner ships raw CSV text so
+        its workers parse too.  Either way the merged votes — and therefore
+        the report — are bit-identical to a serial detect over the
+        materialised table.  *on_rows* receives each chunk's row count (the
+        service reports total rows examined).
+        """
+        merged = self._merge_stream(
+            self._runner.collect_csv(
+                watermarker,
+                path,
+                schema,
+                metadata,
+                mark_length,
+                chunk_size=chunk_size,
+                max_workers=self._max_workers,
+                on_rows=on_rows,
+            )
+        )
+        if merged is None:
+            merged = self._empty_votes(watermarker, mark_length)
         return watermarker.finalize_votes(merged, mark_length)
 
     # ---------------------------------------------------------------- embedding
@@ -150,7 +203,12 @@ class ShardExecutor:
         *,
         shards: int | None = None,
     ) -> EmbeddingReport:
-        """Shard-parallel :meth:`HierarchicalWatermarker.embed` over *binned*."""
+        """Shard-parallel :meth:`HierarchicalWatermarker.embed` over *binned*.
+
+        Always thread-based regardless of the configured runner: embedding
+        returns the watermarked rows themselves, so crossing a process
+        boundary would serialise every row twice for no CPU win.
+        """
         shards = self._effective_shards(len(binned.table), shards)
         if shards <= 1:
             return watermarker.embed(binned, mark)
@@ -185,6 +243,17 @@ class ShardExecutor:
         )
 
     # ----------------------------------------------------------------- helpers
+    @staticmethod
+    def _empty_votes(watermarker: HierarchicalWatermarker, mark_length: int) -> DetectionVotes:
+        return DetectionVotes(wmd_length=mark_length * watermarker.copies)
+
+    @staticmethod
+    def _merge_stream(votes_stream: Iterable[DetectionVotes]) -> DetectionVotes | None:
+        merged: DetectionVotes | None = None
+        for votes in votes_stream:
+            merged = votes if merged is None else merged.merge(votes)
+        return merged
+
     def _effective_shards(self, n_rows: int, shards: int | None) -> int:
         if shards is not None:
             if shards < 1:
@@ -195,11 +264,3 @@ class ShardExecutor:
         if n_rows < 2 * MIN_ROWS_PER_SHARD:
             return 1
         return min(self._max_workers, max(1, n_rows // MIN_ROWS_PER_SHARD))
-
-
-def _merge_votes(collected: Sequence[DetectionVotes]) -> DetectionVotes:
-    """Fold shard votes left to right (shard order == row order)."""
-    merged = collected[0]
-    for votes in collected[1:]:
-        merged.merge(votes)
-    return merged

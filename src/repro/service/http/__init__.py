@@ -1,0 +1,24 @@
+"""Stdlib-only HTTP frontend over the :class:`~repro.service.api.ProtectionService`.
+
+PR 2 made protection durable across *processes*; this package makes it
+operable across *machines*: a WSGI application (no third-party dependencies
+— ``wsgiref`` serves it, any WSGI container can) exposing the service's five
+verbs with streaming CSV bodies and per-tenant bearer-token auth backed by
+the :class:`~repro.service.vault.KeyVault`:
+
+* :mod:`repro.service.http.app` — the WSGI application: routing, chunked
+  upload decoding, streaming download, JSON bodies matching the CLI's
+  ``--json`` shapes;
+* :mod:`repro.service.http.auth` — ``Authorization: Bearer`` validation
+  against the vault's token digests (401 missing / 403 wrong);
+* :mod:`repro.service.http.server` — a threading ``wsgiref`` server and the
+  ``repro serve`` entry point;
+* :mod:`repro.service.http.client` — the stdlib client the CLI's ``--url``
+  mode drives (chunked uploads via :mod:`http.client`, streamed downloads).
+"""
+
+from repro.service.http.app import ProtectionApp
+from repro.service.http.client import HTTPServiceError, ServiceClient
+from repro.service.http.server import make_http_server
+
+__all__ = ["ProtectionApp", "ServiceClient", "HTTPServiceError", "make_http_server"]

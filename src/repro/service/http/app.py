@@ -1,0 +1,425 @@
+"""The WSGI application exposing the protection service over HTTP.
+
+Routes (all ids are ``[A-Za-z0-9._-]+`` path segments)::
+
+    GET  /healthz                                     liveness, no auth
+    GET  /status                                      vault-wide status   [admin]
+    POST /tenants/{tenant}                            register + token    [admin]
+    GET  /tenants/{tenant}/status                     tenant status       [tenant]
+    POST /tenants/{tenant}/datasets/{ds}/protect      CSV in -> CSV out   [tenant]
+    POST /tenants/{tenant}/datasets/{ds}/detect       CSV in -> JSON      [tenant]
+    POST /tenants/{tenant}/datasets/{ds}/dispute      CSV in -> JSON      [tenant]
+
+CSV request bodies stream: ``Content-Length`` bodies are read in blocks,
+``Transfer-Encoding: chunked`` bodies are decoded chunk by chunk (wsgiref
+passes the raw stream through), and either way the bytes are spooled to a
+temporary file — protect needs two passes over its input and a socket can be
+read only once.  The protect response streams the protected CSV back with an
+exact ``Content-Length`` and carries the JSON report (the same document
+``repro protect --json`` prints) in the ``X-Repro-Report`` header, so one
+round trip yields both artifacts without buffering either.
+
+``detect`` accepts ``?workers=``, ``?runner=thread|process`` and
+``?max_loss=`` query parameters — the HTTP spelling of the CLI flags.
+Failures are uniform ``{"error": ...}`` JSON with 4xx/5xx statuses.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import tempfile
+import threading
+from typing import Callable, Iterable, Iterator, Mapping
+from urllib.parse import parse_qs
+
+from repro.service.api import ProtectionService
+from repro.service.http.auth import AuthError, Authenticator
+from repro.service.reports import DEFAULT_MAX_LOSS, detect_report, dispute_report, error_payload
+from repro.service.runners import RUNNER_NAMES
+from repro.service.streaming import SPOOL_CHUNK_BYTES, spool_stream
+from repro.service.vault import VaultError
+
+__all__ = ["ProtectionApp", "REPORT_HEADER"]
+
+#: Response header carrying the protect report JSON alongside the CSV body.
+REPORT_HEADER = "X-Repro-Report"
+
+_SEGMENT = r"[A-Za-z0-9._-]+"
+_TENANT_ROUTE = re.compile(rf"^/tenants/(?P<tenant>{_SEGMENT})$")
+_STATUS_ROUTE = re.compile(rf"^/tenants/(?P<tenant>{_SEGMENT})/status$")
+_DATASET_ROUTE = re.compile(
+    rf"^/tenants/(?P<tenant>{_SEGMENT})/datasets/(?P<dataset>{_SEGMENT})"
+    r"/(?P<verb>protect|detect|dispute)$"
+)
+
+_STATUS_TEXT = {
+    200: "200 OK",
+    400: "400 Bad Request",
+    401: "401 Unauthorized",
+    403: "403 Forbidden",
+    404: "404 Not Found",
+    405: "405 Method Not Allowed",
+    409: "409 Conflict",
+    413: "413 Payload Too Large",
+    500: "500 Internal Server Error",
+}
+
+#: TenantRecord fields a registration request body may set.
+_REGISTRATION_PARAMS = (
+    "encryption_key",
+    "watermark_secret",
+    "eta",
+    "k",
+    "epsilon",
+    "mark_length",
+    "copies",
+    "metrics_depth",
+    "ownership_tau",
+    "max_mark_bit_errors",
+)
+
+
+class _HTTPError(Exception):
+    """Internal: aborts request handling with a JSON error response."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class _FileBody:
+    """A WSGI response iterable streaming a temp file, deleting it on close."""
+
+    def __init__(self, path: str, *, block_size: int = SPOOL_CHUNK_BYTES) -> None:
+        self._path = path
+        self._block_size = block_size
+        self._handle = open(path, "rb")
+
+    def __iter__(self) -> Iterator[bytes]:
+        while True:
+            block = self._handle.read(self._block_size)
+            if not block:
+                return
+            yield block
+
+    def close(self) -> None:  # wsgiref calls this after the last block
+        self._handle.close()
+        _unlink_quietly(self._path)
+
+
+def _unlink_quietly(path: str) -> None:
+    try:
+        os.unlink(path)
+    except OSError:
+        pass
+
+
+def _iter_request_body(environ: Mapping[str, object]) -> Iterator[bytes]:
+    """Stream the request body, decoding chunked transfer-encoding ourselves.
+
+    ``wsgiref`` hands the application the raw socket stream; WSGI has no
+    standard chunked story, so the frontend decodes the framing here (sizes
+    line, payload, trailing CRLF, terminated by a zero-size chunk whose
+    trailers are skipped).  Bodies with ``Content-Length`` are read exactly
+    to length in blocks — never ``read()`` to EOF, which can block on a
+    keep-alive socket.
+    """
+    stream = environ["wsgi.input"]
+    encoding = str(environ.get("HTTP_TRANSFER_ENCODING", "")).lower()
+    if "chunked" in encoding:
+        while True:
+            size_line = stream.readline()
+            if not size_line:
+                raise _HTTPError(400, "truncated chunked body (missing chunk size)")
+            try:
+                size = int(size_line.split(b";", 1)[0].strip() or b"0", 16)
+            except ValueError:
+                raise _HTTPError(400, "malformed chunked body (bad chunk size)") from None
+            if size == 0:
+                # Consume trailers (rare) up to the final blank line.
+                while True:
+                    trailer = stream.readline()
+                    if trailer in (b"", b"\r\n", b"\n"):
+                        return
+            remaining = size
+            while remaining:
+                block = stream.read(min(remaining, SPOOL_CHUNK_BYTES))
+                if not block:
+                    raise _HTTPError(400, "truncated chunked body (short chunk)")
+                remaining -= len(block)
+                yield block
+            stream.readline()  # the CRLF closing this chunk
+    try:
+        remaining = int(str(environ.get("CONTENT_LENGTH") or 0))
+    except ValueError:
+        raise _HTTPError(400, "malformed Content-Length") from None
+    while remaining > 0:
+        block = stream.read(min(remaining, SPOOL_CHUNK_BYTES))
+        if not block:
+            raise _HTTPError(400, "truncated body (short read against Content-Length)")
+        remaining -= len(block)
+        yield block
+
+
+class ProtectionApp:
+    """The WSGI callable wrapping one :class:`ProtectionService`.
+
+    Thread-safe for threading WSGI servers: vault/claim writes are already
+    serialised by the advisory file locks, and the one in-process hazard —
+    two concurrent protects mutating a shared framework's registration state
+    — is serialised by an app-level lock (protect is minutes-per-call at
+    scale; the lock is not the bottleneck).
+    """
+
+    def __init__(
+        self,
+        service: ProtectionService,
+        *,
+        admin_token: str | None = None,
+        max_upload_bytes: int | None = None,
+        spool_dir: str | None = None,
+    ) -> None:
+        self._service = service
+        self._auth = Authenticator(service.vault, admin_token=admin_token)
+        self._max_upload_bytes = max_upload_bytes
+        self._spool_dir = spool_dir
+        self._protect_lock = threading.Lock()
+
+    @property
+    def service(self) -> ProtectionService:
+        return self._service
+
+    # ------------------------------------------------------------------- WSGI
+    def __call__(self, environ: Mapping[str, object], start_response: Callable) -> Iterable[bytes]:
+        try:
+            return self._route(environ, start_response)
+        except AuthError as error:
+            return _json_response(start_response, error.status, error_payload(error.message))
+        except _HTTPError as error:
+            return _json_response(start_response, error.status, error_payload(error.message))
+        except VaultError as error:
+            status = 409 if "already" in str(error) else 404
+            return _json_response(start_response, status, error_payload(str(error)))
+        except ValueError as error:
+            return _json_response(start_response, 400, error_payload(str(error)))
+        except Exception as error:  # noqa: BLE001 - the service must answer, not die
+            return _json_response(
+                start_response, 500, error_payload(f"internal error: {type(error).__name__}: {error}")
+            )
+
+    # ---------------------------------------------------------------- routing
+    def _route(self, environ: Mapping[str, object], start_response: Callable) -> Iterable[bytes]:
+        method = str(environ.get("REQUEST_METHOD", "GET")).upper()
+        path = str(environ.get("PATH_INFO", "/")) or "/"
+
+        if path == "/healthz":
+            if method != "GET":
+                raise _HTTPError(405, "healthz only answers GET")
+            return _json_response(
+                start_response, 200, {"status": "ok", "vault": self._service.vault.root}
+            )
+
+        if path == "/status":
+            if method != "GET":
+                raise _HTTPError(405, "status only answers GET")
+            self._auth.require_admin(environ)
+            return _json_response(start_response, 200, self._service.status())
+
+        match = _STATUS_ROUTE.match(path)
+        if match:
+            if method != "GET":
+                raise _HTTPError(405, "tenant status only answers GET")
+            tenant = match.group("tenant")
+            self._auth.require_tenant(environ, tenant)
+            return _json_response(start_response, 200, self._service.status(tenant))
+
+        match = _TENANT_ROUTE.match(path)
+        if match:
+            if method != "POST":
+                raise _HTTPError(405, "tenant registration only answers POST")
+            return self._handle_register(environ, start_response, match.group("tenant"))
+
+        match = _DATASET_ROUTE.match(path)
+        if match:
+            if method != "POST":
+                raise _HTTPError(405, f"{match.group('verb')} only answers POST")
+            tenant, dataset, verb = match.group("tenant", "dataset", "verb")
+            self._auth.require_tenant(environ, tenant)
+            handler = {
+                "protect": self._handle_protect,
+                "detect": self._handle_detect,
+                "dispute": self._handle_dispute,
+            }[verb]
+            return handler(environ, start_response, tenant, dataset)
+
+        raise _HTTPError(404, f"no route for {method} {path}")
+
+    # --------------------------------------------------------------- handlers
+    def _handle_register(
+        self, environ: Mapping[str, object], start_response: Callable, tenant: str
+    ) -> Iterable[bytes]:
+        self._auth.require_admin(environ)
+        body = b"".join(_iter_request_body(environ))
+        params: dict = {}
+        if body.strip():
+            try:
+                params = json.loads(body)
+            except json.JSONDecodeError:
+                raise _HTTPError(400, "registration body must be a JSON object") from None
+            if not isinstance(params, dict):
+                raise _HTTPError(400, "registration body must be a JSON object")
+            unknown = sorted(set(params) - set(_REGISTRATION_PARAMS))
+            if unknown:
+                raise _HTTPError(400, f"unknown registration parameters: {', '.join(unknown)}")
+        record = self._service.register_tenant(tenant, **params)
+        token = self._service.vault.issue_token(tenant)
+        return _json_response(
+            start_response,
+            200,
+            {
+                "tenant": record.tenant_id,
+                "token": token,
+                "eta": record.eta,
+                "k": record.k,
+                "mark_length": record.mark_length,
+                "copies": record.copies,
+            },
+        )
+
+    def _handle_protect(
+        self, environ: Mapping[str, object], start_response: Callable, tenant: str, dataset: str
+    ) -> Iterable[bytes]:
+        query = _query(environ)
+        chunk_size = _int_param(query, "chunk_size", minimum=1)
+        upload = self._spool_upload(environ)
+        output = self._temp_path("protected")
+        try:
+            with self._protect_lock:
+                outcome = self._service.protect(
+                    tenant, upload, output, dataset_id=dataset, chunk_size=chunk_size
+                )
+        except BaseException:
+            _unlink_quietly(output)
+            raise
+        finally:
+            _unlink_quietly(upload)
+        report = json.dumps(outcome.to_json(), sort_keys=True)
+        headers = [
+            ("Content-Type", "text/csv; charset=utf-8"),
+            ("Content-Length", str(os.path.getsize(output))),
+            (REPORT_HEADER, report),
+        ]
+        start_response(_STATUS_TEXT[200], headers)
+        return _FileBody(output)
+
+    def _handle_detect(
+        self, environ: Mapping[str, object], start_response: Callable, tenant: str, dataset: str
+    ) -> Iterable[bytes]:
+        query = _query(environ)
+        workers = _int_param(query, "workers", minimum=1)
+        chunk_size = _int_param(query, "chunk_size", minimum=1)
+        runner = _str_param(query, "runner")
+        if runner is not None and runner not in RUNNER_NAMES:
+            raise _HTTPError(
+                400, f"unknown runner {runner!r} (expected one of {', '.join(RUNNER_NAMES)})"
+            )
+        max_loss = _float_param(query, "max_loss", default=DEFAULT_MAX_LOSS)
+        expected_mark = _str_param(query, "expected_mark")
+        upload = self._spool_upload(environ)
+        try:
+            outcome = self._service.detect(
+                tenant,
+                upload,
+                dataset_id=dataset,
+                workers=workers,
+                runner=runner,
+                chunk_size=chunk_size,
+            )
+        finally:
+            _unlink_quietly(upload)
+        return _json_response(
+            start_response,
+            200,
+            detect_report(outcome, expected_mark=expected_mark, max_loss=max_loss),
+        )
+
+    def _handle_dispute(
+        self, environ: Mapping[str, object], start_response: Callable, tenant: str, dataset: str
+    ) -> Iterable[bytes]:
+        upload = self._spool_upload(environ)
+        try:
+            verdict = self._service.dispute(tenant, upload, dataset_id=dataset)
+        finally:
+            _unlink_quietly(upload)
+        return _json_response(start_response, 200, dispute_report(dataset, verdict))
+
+    # ----------------------------------------------------------------- helpers
+    def _spool_upload(self, environ: Mapping[str, object]) -> str:
+        """The request body, spooled to a temp CSV (caller unlinks)."""
+        path = self._temp_path("upload")
+        try:
+            written = spool_stream(
+                _iter_request_body(environ), path, max_bytes=self._max_upload_bytes
+            )
+        except ValueError as error:  # the upload cap
+            _unlink_quietly(path)
+            raise _HTTPError(413, str(error)) from None
+        except BaseException:
+            _unlink_quietly(path)
+            raise
+        if written == 0:
+            _unlink_quietly(path)
+            raise _HTTPError(400, "empty request body (expected a CSV upload)")
+        return path
+
+    def _temp_path(self, kind: str) -> str:
+        fd, path = tempfile.mkstemp(prefix=f"repro-http-{kind}-", suffix=".csv", dir=self._spool_dir)
+        os.close(fd)
+        return path
+
+
+def _json_response(start_response: Callable, status: int, payload: dict) -> Iterable[bytes]:
+    body = (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode("utf-8")
+    start_response(
+        _STATUS_TEXT.get(status, f"{status} Error"),
+        [
+            ("Content-Type", "application/json; charset=utf-8"),
+            ("Content-Length", str(len(body))),
+        ],
+    )
+    return [body]
+
+
+def _query(environ: Mapping[str, object]) -> dict[str, list[str]]:
+    return parse_qs(str(environ.get("QUERY_STRING", "")), keep_blank_values=False)
+
+
+def _str_param(query: dict[str, list[str]], name: str) -> str | None:
+    values = query.get(name)
+    return values[-1] if values else None
+
+
+def _int_param(query: dict[str, list[str]], name: str, *, minimum: int) -> int | None:
+    raw = _str_param(query, name)
+    if raw is None:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        raise _HTTPError(400, f"query parameter {name!r} must be an integer") from None
+    if value < minimum:
+        raise _HTTPError(400, f"query parameter {name!r} must be >= {minimum}")
+    return value
+
+
+def _float_param(query: dict[str, list[str]], name: str, *, default: float) -> float:
+    raw = _str_param(query, name)
+    if raw is None:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        raise _HTTPError(400, f"query parameter {name!r} must be a number") from None

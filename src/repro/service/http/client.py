@@ -1,0 +1,215 @@
+"""Stdlib HTTP client for the protection frontend (what ``--url`` drives).
+
+Uploads stream: the CSV is fed to :mod:`http.client` as a block generator,
+which transfer-encodes it chunked — constant memory on the wire no matter
+the file size.  The protect download streams too: the response body is
+copied to the output path in blocks and the JSON report is read from the
+``X-Repro-Report`` header, so a protect round trip holds at most one block
+of either CSV in memory.
+
+One connection per request (the ``wsgiref`` server speaks one request per
+connection); errors surface as :class:`HTTPServiceError` carrying the status
+and the server's ``{"error": ...}`` message.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+from typing import Iterator, Mapping
+from urllib.parse import urlencode, urlsplit
+
+from repro.service.http.app import REPORT_HEADER
+from repro.service.streaming import SPOOL_CHUNK_BYTES
+
+__all__ = ["HTTPServiceError", "ServiceClient"]
+
+DEFAULT_TIMEOUT = 600.0
+
+
+class HTTPServiceError(RuntimeError):
+    """A non-2xx response from the protection frontend."""
+
+    def __init__(self, status: int, message: str, payload: dict | None = None) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+        self.payload = payload or {}
+
+
+def _iter_file(path: str) -> Iterator[bytes]:
+    with open(path, "rb") as handle:
+        while True:
+            block = handle.read(SPOOL_CHUNK_BYTES)
+            if not block:
+                return
+            yield block
+
+
+class ServiceClient:
+    """A thin, connection-per-request client bound to one base URL + token."""
+
+    def __init__(
+        self, base_url: str, token: str | None = None, *, timeout: float = DEFAULT_TIMEOUT
+    ) -> None:
+        parts = urlsplit(base_url if "//" in base_url else f"http://{base_url}")
+        if parts.scheme not in ("", "http"):
+            raise ValueError(f"unsupported scheme {parts.scheme!r} (stdlib frontend is http)")
+        if not parts.hostname:
+            raise ValueError(f"no host in service url {base_url!r}")
+        self._host = parts.hostname
+        self._port = parts.port or 80
+        self._prefix = parts.path.rstrip("/")
+        self._token = token
+        self._timeout = timeout
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self._host}:{self._port}{self._prefix}"
+
+    # --------------------------------------------------------------------- API
+    def health(self) -> dict:
+        return self._json_request("GET", "/healthz", authenticated=False)
+
+    def status(self, tenant: str | None = None) -> dict:
+        path = f"/tenants/{tenant}/status" if tenant else "/status"
+        return self._json_request("GET", path)
+
+    def register_tenant(
+        self, tenant: str, *, admin_token: str | None = None, **params
+    ) -> dict:
+        """Register *tenant* and return the record summary incl. its bearer token."""
+        body = json.dumps(params).encode("utf-8") if params else b""
+        return self._json_request(
+            "POST",
+            f"/tenants/{tenant}",
+            body=body,
+            token=admin_token or self._token,
+            headers={"Content-Type": "application/json"},
+        )
+
+    def protect(
+        self,
+        tenant: str,
+        dataset: str,
+        input_csv: str,
+        output_csv: str,
+        *,
+        chunk_size: int | None = None,
+    ) -> dict:
+        """Stream *input_csv* up, the protected CSV down; return the report."""
+        query = {"chunk_size": chunk_size} if chunk_size else None
+        status, headers, response = self._request(
+            "POST",
+            f"/tenants/{tenant}/datasets/{dataset}/protect",
+            query=query,
+            body=_iter_file(input_csv),
+        )
+        try:
+            if status != 200:
+                raise self._error(status, response.read())
+            report_json = headers.get(REPORT_HEADER)
+            if not report_json:
+                raise HTTPServiceError(status, f"response lacks the {REPORT_HEADER} header")
+            with open(output_csv, "wb") as handle:
+                while True:
+                    block = response.read(SPOOL_CHUNK_BYTES)
+                    if not block:
+                        break
+                    handle.write(block)
+            report = json.loads(report_json)
+        finally:
+            response.close()
+        report["output"] = os.path.abspath(output_csv)
+        return report
+
+    def detect(
+        self,
+        tenant: str,
+        dataset: str,
+        suspect_csv: str,
+        *,
+        workers: int | None = None,
+        runner: str | None = None,
+        max_loss: float | None = None,
+        expected_mark: str | None = None,
+        chunk_size: int | None = None,
+    ) -> dict:
+        query = {
+            "workers": workers,
+            "runner": runner,
+            "max_loss": max_loss,
+            "expected_mark": expected_mark,
+            "chunk_size": chunk_size,
+        }
+        return self._json_request(
+            "POST",
+            f"/tenants/{tenant}/datasets/{dataset}/detect",
+            query={name: value for name, value in query.items() if value is not None},
+            body=_iter_file(suspect_csv),
+        )
+
+    def dispute(self, tenant: str, dataset: str, disputed_csv: str) -> dict:
+        return self._json_request(
+            "POST",
+            f"/tenants/{tenant}/datasets/{dataset}/dispute",
+            body=_iter_file(disputed_csv),
+        )
+
+    # ----------------------------------------------------------------- plumbing
+    def _request(
+        self,
+        method: str,
+        path: str,
+        *,
+        query: Mapping[str, object] | None = None,
+        body=None,
+        token: str | None = None,
+        headers: Mapping[str, str] | None = None,
+        authenticated: bool = True,
+    ):
+        target = self._prefix + path
+        if query:
+            target += "?" + urlencode(query)
+        request_headers = dict(headers or {})
+        bearer = token if token is not None else self._token
+        if authenticated and bearer:
+            request_headers["Authorization"] = f"Bearer {bearer}"
+        connection = http.client.HTTPConnection(self._host, self._port, timeout=self._timeout)
+        try:
+            try:
+                connection.request(method, target, body=body, headers=request_headers)
+            except (BrokenPipeError, ConnectionResetError):
+                # The server answered (e.g. 401) and closed before draining
+                # our streamed upload; the response is usually still readable.
+                pass
+            response = connection.getresponse()
+        except BaseException:
+            connection.close()
+            raise
+        # The response object owns the connection from here; closing the
+        # response closes the socket (one request per connection anyway).
+        return response.status, dict(response.getheaders()), response
+
+    def _json_request(self, method: str, path: str, **kwargs) -> dict:
+        status, _, response = self._request(method, path, **kwargs)
+        try:
+            raw = response.read()
+        finally:
+            response.close()
+        if status != 200:
+            raise self._error(status, raw)
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError:
+            raise HTTPServiceError(status, f"non-JSON response body: {raw[:200]!r}") from None
+
+    @staticmethod
+    def _error(status: int, raw: bytes) -> HTTPServiceError:
+        try:
+            payload = json.loads(raw)
+            message = payload.get("error", raw.decode("utf-8", "replace"))
+        except (json.JSONDecodeError, AttributeError):
+            payload, message = {}, raw.decode("utf-8", "replace")
+        return HTTPServiceError(status, message, payload if isinstance(payload, dict) else {})

@@ -1,0 +1,68 @@
+"""A threading ``wsgiref`` server for the protection app — stdlib only.
+
+``wsgiref.simple_server`` is single-threaded and chatty; this module gives
+the frontend what an operator actually runs: one thread per request (uploads
+are I/O-bound spools, detects fan out to the shard runner), quiet logs, and
+an ephemeral-port mode for tests and the CI smoke job.  One request per
+connection (no keep-alive) — exactly ``wsgiref``'s model — which the client
+honours by opening a fresh connection per call.
+
+Production deployments can mount :class:`~repro.service.http.app.ProtectionApp`
+in any WSGI container instead; nothing here is load-bearing beyond serving.
+"""
+
+from __future__ import annotations
+
+import threading
+from socketserver import ThreadingMixIn
+from wsgiref.simple_server import WSGIRequestHandler, WSGIServer, make_server
+
+__all__ = ["ThreadingWSGIServer", "QuietWSGIRequestHandler", "make_http_server", "serve_in_thread"]
+
+
+class ThreadingWSGIServer(ThreadingMixIn, WSGIServer):
+    """One thread per request; daemon threads so shutdown never hangs."""
+
+    daemon_threads = True
+    # Concurrent uploads otherwise queue behind the default backlog of 5.
+    request_queue_size = 32
+
+
+class QuietWSGIRequestHandler(WSGIRequestHandler):
+    """Request logging off by default — the CLI owns the operator's stdout."""
+
+    verbose = False
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002 - stdlib name
+        if self.verbose:
+            super().log_message(format, *args)
+
+
+class VerboseWSGIRequestHandler(QuietWSGIRequestHandler):
+    verbose = True
+
+
+def make_http_server(
+    app, host: str = "127.0.0.1", port: int = 0, *, verbose: bool = False
+) -> WSGIServer:
+    """A ready-to-serve threading server bound to *host*:*port* (0 = ephemeral).
+
+    The caller owns the lifecycle: ``server.serve_forever()`` to block,
+    ``server.shutdown()`` + ``server.server_close()`` to stop.  The bound
+    port is ``server.server_address[1]``.
+    """
+    handler = VerboseWSGIRequestHandler if verbose else QuietWSGIRequestHandler
+    return make_server(host, port, app, server_class=ThreadingWSGIServer, handler_class=handler)
+
+
+def serve_in_thread(app, host: str = "127.0.0.1", port: int = 0):
+    """Start a server on a daemon thread; returns ``(server, base_url)``.
+
+    The test-suite (and any embedder) helper: the server is already accepting
+    when this returns.  Stop with ``server.shutdown(); server.server_close()``.
+    """
+    server = make_http_server(app, host, port)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    bound_host, bound_port = server.server_address[:2]
+    return server, f"http://{bound_host}:{bound_port}"

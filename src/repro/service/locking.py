@@ -1,0 +1,83 @@
+"""Advisory file locking for the vault's multi-writer mutations.
+
+PR 2's durability contract made every vault/claim-store write atomic (tmp
+file + ``os.replace``), which protects *readers* from torn state but not
+*writers* from each other: two concurrent protects against one vault each
+load the document, apply their own mutation and save — the second save wins
+and the first tenant's dataset record silently vanishes.  The HTTP frontend
+makes that race real (every request may run in its own thread or process),
+so mutations now serialise through an advisory lock file next to the
+document.
+
+``fcntl.flock`` is used where available (POSIX — covers threads in one
+process *and* separate processes, because each :class:`FileLock` acquisition
+opens its own descriptor); elsewhere the lock degrades to a no-op, matching
+the seed's single-writer assumption rather than failing.  The lock file
+itself is a zero-byte sibling (``<document>.lock``) that is never deleted —
+deleting lock files is the classic unlink/flock race.
+"""
+
+from __future__ import annotations
+
+import os
+
+try:  # pragma: no cover - the import either works or the platform lacks it
+    import fcntl
+except ImportError:  # pragma: no cover - e.g. NT
+    fcntl = None  # type: ignore[assignment]
+
+__all__ = ["FileLock", "lock_path_for"]
+
+
+def lock_path_for(document_path: str | os.PathLike) -> str:
+    """The advisory lock file guarding writes to *document_path*."""
+    return os.fspath(document_path) + ".lock"
+
+
+class FileLock:
+    """Exclusive advisory lock on a sibling lock file (re-usable, not re-entrant).
+
+    Usage::
+
+        with FileLock(lock_path_for(vault_file)):
+            ...load, mutate, save...
+
+    Acquisition blocks until the holder releases.  On platforms without
+    :mod:`fcntl` the context manager still creates the lock file (so the
+    paths behave identically) but provides no exclusion.
+    """
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self._path = os.fspath(path)
+        self._fd: int | None = None
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    @property
+    def locked(self) -> bool:
+        return self._fd is not None
+
+    def __enter__(self) -> "FileLock":
+        if self._fd is not None:
+            raise RuntimeError(f"lock {self._path!r} is already held by this object")
+        fd = os.open(self._path, os.O_CREAT | os.O_RDWR, 0o600)
+        if fcntl is not None:
+            try:
+                fcntl.flock(fd, fcntl.LOCK_EX)
+            except BaseException:
+                os.close(fd)
+                raise
+        self._fd = fd
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        fd, self._fd = self._fd, None
+        if fd is None:  # pragma: no cover - defensive
+            return
+        try:
+            if fcntl is not None:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+        finally:
+            os.close(fd)

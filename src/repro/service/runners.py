@@ -1,0 +1,315 @@
+"""Pluggable shard runners: where `collect_votes` actually executes.
+
+The :class:`~repro.service.executor.ShardExecutor` owns the *semantics* of
+shard-parallel detection (split into contiguous shards, merge votes in shard
+order, finalise once — bit-identical to serial by construction).  This module
+owns the *mechanics*: a :class:`ShardRunner` maps
+:meth:`~repro.watermarking.hierarchical.HierarchicalWatermarker.collect_votes`
+over chunks and yields one
+:class:`~repro.watermarking.hierarchical.DetectionVotes` per chunk, **in
+chunk order**, with a bounded number in flight.
+
+Two implementations:
+
+* :class:`ThreadRunner` — today's behavior: a
+  :class:`~concurrent.futures.ThreadPoolExecutor` whose workers share the
+  watermarker (and its digest caches).  Cheap to start, but Python hashing
+  over small payloads holds the GIL, so parallelism buys little CPU.
+* :class:`ProcessRunner` — a :class:`~concurrent.futures.ProcessPoolExecutor`.
+  The watermarker itself cannot cross the process boundary (live HMAC objects
+  don't pickle), so each task carries a picklable :class:`WatermarkerSpec`
+  from which every worker reconstructs — and caches — its own engine.  Chunks
+  travel *to* workers either as pickled :class:`BinnedTable` shards (the
+  in-memory path) or as **raw CSV text** (the streaming path, where workers
+  also do the parsing — the dominant cost — so detection scales with cores);
+  only small :class:`DetectionVotes` travel back, never rows.
+
+Both runners are stateless and picklable-free themselves: pools live for one
+``collect*`` call, so a runner instance can be shared by many executors and
+services.
+"""
+
+from __future__ import annotations
+
+import csv
+import itertools
+from collections import deque
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Mapping
+
+from repro.binning.binner import BinnedTable
+from repro.relational.io import parse_row
+from repro.relational.schema import TableSchema
+from repro.relational.table import Table
+from repro.service.streaming import DEFAULT_CHUNK_SIZE, iter_raw_chunks, iter_tables
+from repro.watermarking.hierarchical import DetectionVotes, HierarchicalWatermarker
+from repro.watermarking.keys import WatermarkKey
+
+__all__ = [
+    "WatermarkerSpec",
+    "ShardRunner",
+    "ThreadRunner",
+    "ProcessRunner",
+    "RUNNER_NAMES",
+    "resolve_runner",
+]
+
+_SENTINEL = object()
+
+
+@dataclass(frozen=True)
+class WatermarkerSpec:
+    """Everything needed to rebuild a :class:`HierarchicalWatermarker` — picklable.
+
+    The live watermarker holds HMAC objects (C state, unpicklable); this spec
+    holds only the key bytes and construction parameters.  ``build()`` in a
+    worker process yields an engine that is bit-identical to the parent's:
+    selection, positions and permutation indices are pure functions of the
+    key material.
+    """
+
+    k1: bytes
+    k2: bytes
+    eta: int
+    columns: tuple[str, ...] | None
+    copies: int
+    level_weighting: bool
+    batch: bool
+
+    @classmethod
+    def of(cls, watermarker: HierarchicalWatermarker) -> "WatermarkerSpec":
+        key = watermarker.key
+        return cls(
+            k1=key.k1,
+            k2=key.k2,
+            eta=key.eta,
+            columns=watermarker.columns,
+            copies=watermarker.copies,
+            level_weighting=watermarker.level_weighting,
+            batch=watermarker.batched,
+        )
+
+    def build(self) -> HierarchicalWatermarker:
+        return HierarchicalWatermarker(
+            WatermarkKey(k1=self.k1, k2=self.k2, eta=self.eta),
+            columns=self.columns,
+            copies=self.copies,
+            level_weighting=self.level_weighting,
+            batch=self.batch,
+        )
+
+
+#: Per-worker-process watermarker cache: successive chunks for the same spec
+#: reuse one engine (and its digest caches) instead of re-deriving HMAC pads.
+_WORKER_WATERMARKERS: dict[WatermarkerSpec, HierarchicalWatermarker] = {}
+
+
+def _worker_watermarker(spec: WatermarkerSpec) -> HierarchicalWatermarker:
+    watermarker = _WORKER_WATERMARKERS.get(spec)
+    if watermarker is None:
+        watermarker = spec.build()
+        _WORKER_WATERMARKERS[spec] = watermarker
+    return watermarker
+
+
+def _collect_binned(spec: WatermarkerSpec, piece: BinnedTable, mark_length: int) -> DetectionVotes:
+    """Process-pool task: votes over one pickled shard."""
+    return _worker_watermarker(spec).collect_votes(piece, mark_length)
+
+
+def _collect_raw_chunk(
+    spec: WatermarkerSpec,
+    schema: TableSchema,
+    metadata: Mapping[str, object],
+    header: str,
+    lines: list[str],
+    mark_length: int,
+) -> tuple[int, DetectionVotes]:
+    """Process-pool task: parse one raw CSV chunk and collect its votes.
+
+    Parsing mirrors :func:`repro.relational.io.iter_csv_rows` exactly — the
+    same ``csv.DictReader`` over the same header + lines, the same
+    ``parse_row`` — so a worker sees cell for cell what the in-process reader
+    would have produced.  Returns ``(row_count, votes)``: the caller needs
+    the count for the detection report and must not re-scan the chunk.
+    """
+    table = Table(schema)
+    for raw in csv.DictReader(itertools.chain([header], lines)):
+        table.insert(parse_row(raw, schema))
+    binned = BinnedTable(table=table, **metadata)
+    return len(table), _worker_watermarker(spec).collect_votes(binned, mark_length)
+
+
+def _bounded_ordered(
+    submit: Callable[[object], "object"],
+    items: Iterable[object],
+    window_size: int,
+) -> Iterator[object]:
+    """Yield future results in submission order with a bounded window.
+
+    At most ``window_size + 1`` futures are in flight, so an unbounded chunk
+    stream is never drained ahead of the workers (a plain ``Executor.map``
+    would) — memory stays one window of chunks regardless of file size.
+    """
+    window: deque = deque()
+    iterator = iter(items)
+    exhausted = False
+    while True:
+        while not exhausted and len(window) <= window_size:
+            item = next(iterator, _SENTINEL)
+            if item is _SENTINEL:
+                exhausted = True
+                break
+            window.append(submit(item))
+        if not window:
+            return
+        yield window.popleft().result()
+
+
+class ShardRunner:
+    """Maps ``collect_votes`` over chunks; yields votes in chunk order.
+
+    Subclasses override :meth:`_pool` and :meth:`_submit_binned` (and, when
+    they can do better than "parse in the caller", :meth:`collect_csv`).
+    Instances hold no pool state between calls.
+    """
+
+    name: str = "?"
+
+    # ------------------------------------------------------------- primitives
+    def _pool(self, max_workers: int) -> Executor:
+        raise NotImplementedError
+
+    def _submit_binned(
+        self,
+        pool: Executor,
+        watermarker: HierarchicalWatermarker,
+        piece: BinnedTable,
+        mark_length: int,
+    ):
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------- API
+    def collect_tables(
+        self,
+        watermarker: HierarchicalWatermarker,
+        chunks: Iterable[BinnedTable],
+        mark_length: int,
+        *,
+        max_workers: int,
+    ) -> Iterator[DetectionVotes]:
+        """One :class:`DetectionVotes` per chunk, in chunk order."""
+        with self._pool(max_workers) as pool:
+            yield from _bounded_ordered(
+                lambda piece: self._submit_binned(pool, watermarker, piece, mark_length),
+                chunks,
+                max_workers,
+            )
+
+    def collect_csv(
+        self,
+        watermarker: HierarchicalWatermarker,
+        path: str,
+        schema: TableSchema,
+        metadata: Mapping[str, object],
+        mark_length: int,
+        *,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        max_workers: int,
+        on_rows: Callable[[int], None] | None = None,
+    ) -> Iterator[DetectionVotes]:
+        """Votes per CSV chunk of *path*, parsed against *schema* + *metadata*.
+
+        The base implementation parses in the calling thread (the thread
+        runner's workers share memory, so shipping parsed chunk views is
+        free); *on_rows* is invoked with each chunk's row count as it is
+        ingested.
+        """
+
+        def views() -> Iterator[BinnedTable]:
+            for chunk in iter_tables(path, schema, chunk_size):
+                if on_rows is not None:
+                    on_rows(len(chunk))
+                yield BinnedTable(table=chunk, **metadata)
+
+        yield from self.collect_tables(watermarker, views(), mark_length, max_workers=max_workers)
+
+
+class ThreadRunner(ShardRunner):
+    """PR 2's behavior: a thread pool sharing the watermarker and its caches."""
+
+    name = "thread"
+
+    def _pool(self, max_workers: int) -> Executor:
+        return ThreadPoolExecutor(max_workers=max_workers)
+
+    def _submit_binned(self, pool, watermarker, piece, mark_length):
+        return pool.submit(watermarker.collect_votes, piece, mark_length)
+
+
+class ProcessRunner(ShardRunner):
+    """GIL-free detection: engines rebuilt per worker, votes shipped back.
+
+    Workers receive a :class:`WatermarkerSpec` (hash objects don't pickle)
+    plus either a pickled shard or a raw CSV chunk, and return only the
+    chunk's :class:`DetectionVotes`.  On the CSV path the workers also parse,
+    which is where most of a detect's cycles go — the caller's thread does
+    nothing but line-splitting and merging.
+    """
+
+    name = "process"
+
+    def _pool(self, max_workers: int) -> Executor:
+        return ProcessPoolExecutor(max_workers=max_workers)
+
+    def _submit_binned(self, pool, watermarker, piece, mark_length):
+        return pool.submit(_collect_binned, WatermarkerSpec.of(watermarker), piece, mark_length)
+
+    def collect_csv(
+        self,
+        watermarker: HierarchicalWatermarker,
+        path: str,
+        schema: TableSchema,
+        metadata: Mapping[str, object],
+        mark_length: int,
+        *,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        max_workers: int,
+        on_rows: Callable[[int], None] | None = None,
+    ) -> Iterator[DetectionVotes]:
+        spec = WatermarkerSpec.of(watermarker)
+        with self._pool(max_workers) as pool:
+            results = _bounded_ordered(
+                lambda chunk: pool.submit(
+                    _collect_raw_chunk, spec, schema, metadata, chunk[0], chunk[1], mark_length
+                ),
+                iter_raw_chunks(path, chunk_size),
+                max_workers,
+            )
+            for rows, votes in results:
+                if on_rows is not None:
+                    on_rows(rows)
+                yield votes
+
+
+RUNNER_NAMES = ("thread", "process")
+
+
+def resolve_runner(runner: "str | ShardRunner | None") -> ShardRunner:
+    """A :class:`ShardRunner` instance from a name, an instance, or ``None``.
+
+    ``None`` and ``"thread"`` give the thread runner (the default);
+    ``"process"`` the process runner.  Instances pass through, so callers can
+    inject custom runners (a distributed one would ship ``DetectionVotes``
+    over the network the same way).
+    """
+    if runner is None:
+        return ThreadRunner()
+    if isinstance(runner, ShardRunner):
+        return runner
+    if runner == "thread":
+        return ThreadRunner()
+    if runner == "process":
+        return ProcessRunner()
+    raise ValueError(f"unknown runner {runner!r} (expected one of {', '.join(RUNNER_NAMES)})")

@@ -10,7 +10,11 @@ process can call ``resolve_dispute`` with nothing but the store's path.
 Claims are keyed by dataset, so rival claims over the *same* disputed table
 (the paper's Attack 1/Attack 2 scenarios) naturally accumulate under one key
 and are assessed together.  Writing goes through the same atomic
-tmp-file-plus-``os.replace`` discipline as the vault.
+tmp-file-plus-``os.replace`` discipline as the vault, and — like the vault —
+every mutation re-reads the document under an advisory
+:class:`~repro.service.locking.FileLock`, so two concurrent protects (or a
+protect racing a rival registering a bogus claim over HTTP) never lose each
+other's entries.
 """
 
 from __future__ import annotations
@@ -18,6 +22,7 @@ from __future__ import annotations
 import json
 import os
 
+from repro.service.locking import FileLock, lock_path_for
 from repro.service.vault import _atomic_write_json
 from repro.watermarking.keys import WatermarkKey
 from repro.watermarking.mark import Mark
@@ -86,6 +91,8 @@ class ClaimStore:
 
     def __init__(self, path: str | os.PathLike) -> None:
         self._path = os.fspath(path)
+        self._lock_path = lock_path_for(self._path)
+        self._loaded_signature: tuple[int, int, int] | None = None
         if os.path.exists(self._path):
             self._load()
         else:
@@ -100,48 +107,93 @@ class ClaimStore:
 
     # --------------------------------------------------------------------- API
     def add_claim(self, dataset_id: str, claim: OwnershipClaim) -> None:
-        """Persist *claim* for *dataset_id* (replacing the claimant's previous one)."""
+        """Persist *claim* for *dataset_id* (replacing the claimant's previous one).
+
+        A locked read-modify-write: concurrent writers see each other's
+        claims instead of overwriting the document wholesale.
+        """
         if not dataset_id:
             raise ValueError("dataset_id must be non-empty")
-        entries = self._claims.setdefault(dataset_id, [])
-        entries[:] = [entry for entry in entries if entry["claimant"] != claim.claimant]
-        entries.append(claim_to_json(claim))
-        self._save()
+        with FileLock(self._lock_path):
+            if os.path.exists(self._path):
+                self._load()
+            entries = self._claims.get(dataset_id, [])
+            # Rebind rather than mutate in place: a concurrent reader (a
+            # dispute on another server thread) iterating the old list keeps
+            # a consistent snapshot instead of observing the removed-but-not-
+            # yet-re-added window.
+            self._claims[dataset_id] = [
+                entry for entry in entries if entry["claimant"] != claim.claimant
+            ] + [claim_to_json(claim)]
+            self._save()
 
     def claims(self, dataset_id: str) -> list[OwnershipClaim]:
-        """Every stored claim over *dataset_id*, re-hydrated."""
+        """Every stored claim over *dataset_id*, re-hydrated.
+
+        Reads pick up writes from other processes first (gated on the file's
+        stat signature, so an unchanged store costs one ``stat``): a dispute
+        served by a long-running process must see the claim a CLI protect
+        just persisted.
+        """
+        self.reload_if_changed()
         return [claim_from_json(entry) for entry in self._claims.get(dataset_id, [])]
 
     def claimants(self, dataset_id: str) -> list[str]:
+        self.reload_if_changed()
         return [entry["claimant"] for entry in self._claims.get(dataset_id, [])]
 
     def datasets(self) -> list[str]:
+        self.reload_if_changed()
         return sorted(self._claims)
 
     def remove_claim(self, dataset_id: str, claimant: str) -> bool:
         """Drop *claimant*'s claim over *dataset_id*; return whether one existed."""
-        entries = self._claims.get(dataset_id, [])
-        kept = [entry for entry in entries if entry["claimant"] != claimant]
-        removed = len(kept) != len(entries)
-        if removed:
-            if kept:
-                self._claims[dataset_id] = kept
-            else:
-                del self._claims[dataset_id]
-            self._save()
+        with FileLock(self._lock_path):
+            if os.path.exists(self._path):
+                self._load()
+            entries = self._claims.get(dataset_id, [])
+            kept = [entry for entry in entries if entry["claimant"] != claimant]
+            removed = len(kept) != len(entries)
+            if removed:
+                if kept:
+                    self._claims[dataset_id] = kept
+                else:
+                    del self._claims[dataset_id]
+                self._save()
         return removed
 
     # ------------------------------------------------------------- persistence
     def reload(self) -> None:
         self._load()
 
+    def reload_if_changed(self) -> bool:
+        """Re-read only when the file on disk differs from what we loaded."""
+        signature = self._stat_signature()
+        if signature is None or signature == self._loaded_signature:
+            return False
+        try:
+            self._load()
+        except (OSError, ValueError):  # pragma: no cover - torn deploy
+            return False
+        return True
+
+    def _stat_signature(self) -> tuple[int, int, int] | None:
+        try:
+            stat = os.stat(self._path)
+        except OSError:
+            return None
+        return (stat.st_ino, stat.st_size, stat.st_mtime_ns)
+
     def _load(self) -> None:
+        signature = self._stat_signature()
         with open(self._path, encoding="utf-8") as handle:
             document = json.load(handle)
         version = document.get("version")
         if version != CLAIMS_VERSION:
             raise ValueError(f"unsupported claim store version {version!r}")
         self._claims = document["claims"]
+        self._loaded_signature = signature
 
     def _save(self) -> None:
         _atomic_write_json(self._path, {"version": CLAIMS_VERSION, "claims": self._claims})
+        self._loaded_signature = self._stat_signature()

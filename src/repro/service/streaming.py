@@ -23,9 +23,20 @@ from repro.relational.io import iter_csv_rows, write_csv_rows
 from repro.relational.schema import TableSchema
 from repro.relational.table import Row, Table
 
-__all__ = ["DEFAULT_CHUNK_SIZE", "iter_rows", "iter_tables", "write_rows", "RowWriter"]
+__all__ = [
+    "DEFAULT_CHUNK_SIZE",
+    "iter_rows",
+    "iter_tables",
+    "iter_raw_chunks",
+    "spool_stream",
+    "write_rows",
+    "RowWriter",
+]
 
 DEFAULT_CHUNK_SIZE = 10_000
+
+#: Socket/file copy granularity for :func:`spool_stream`.
+SPOOL_CHUNK_BYTES = 64 * 1024
 
 
 def iter_rows(path: str, schema: TableSchema) -> Iterator[Row]:
@@ -51,6 +62,68 @@ def iter_tables(path: str, schema: TableSchema, chunk_size: int = DEFAULT_CHUNK_
             chunk = Table(schema)
     if len(chunk):
         yield chunk
+
+
+def iter_raw_chunks(
+    path: str, chunk_size: int = DEFAULT_CHUNK_SIZE
+) -> Iterator[tuple[str, list[str]]]:
+    """Stream *path* as ``(header_line, data_lines)`` chunks of raw CSV text.
+
+    The unparsed counterpart of :func:`iter_tables`, for runners that move
+    parsing off the ingest thread: the main process only reads lines (cheap
+    I/O), each worker runs ``csv.DictReader`` over its own chunk — prefixed
+    with the shared header so field mapping is identical to reading the file
+    — and parses with the same :mod:`repro.relational.io` machinery.
+
+    Chunk boundaries land only where the quote parity is even: a suspect CSV
+    is attacker-supplied, and a quoted cell may legally contain a newline, so
+    a record can span physical lines.  Inside a quoted region the cumulative
+    count of ``"`` characters is odd (escaped ``""`` pairs cancel), so
+    deferring the cut until parity returns to even guarantees a chunk never
+    ends mid-record — every worker parses exactly the records a whole-file
+    reader would.
+    """
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be at least 1")
+    with open(path, newline="", encoding="utf-8") as handle:
+        header = handle.readline()
+        if not header:
+            return
+        lines: list[str] = []
+        open_quote = False
+        for line in handle:
+            lines.append(line)
+            if line.count('"') % 2:
+                open_quote = not open_quote
+            if len(lines) >= chunk_size and not open_quote:
+                yield header, lines
+                lines = []
+        if lines:
+            yield header, lines
+
+
+def spool_stream(stream, path: str, *, max_bytes: int | None = None) -> int:
+    """Copy a binary *stream* (e.g. an HTTP request body) to *path* in chunks.
+
+    Returns the number of bytes written.  Protect needs two passes over its
+    input while a socket can be read only once, so the HTTP frontend spools
+    uploads through this into a temporary file — constant memory, like every
+    other leg of the streaming path.  *max_bytes* guards against unbounded
+    uploads (``ValueError`` when exceeded).
+    """
+    if hasattr(stream, "read"):
+        reader = stream.read
+        blocks = iter(lambda: reader(SPOOL_CHUNK_BYTES), b"")
+    else:  # any iterable of byte blocks (e.g. a decoded chunked request body)
+        blocks = iter(stream)
+    written = 0
+    with open(path, "wb") as handle:
+        for block in blocks:
+            written += len(block)
+            if max_bytes is not None and written > max_bytes:
+                raise ValueError(f"upload exceeds the configured limit of {max_bytes} bytes")
+            handle.write(block)
+    return written
 
 
 def write_rows(path: str, schema: TableSchema, rows: Iterable[Mapping[str, object]]) -> int:

@@ -15,17 +15,34 @@ same directory followed by ``os.replace`` (atomic on POSIX and NT), then
 fsyncs the file.  A reader therefore always sees either the previous or the
 new state, never a torn write.  The vault file is created with mode ``0600``;
 secrets are stored in the clear — wrapping them in a KMS/HSM is a deployment
-concern outside this reproduction's scope.  Concurrent *writers* are not
-arbitrated (the service is the single writer); concurrent readers are safe.
+concern outside this reproduction's scope.
+
+Concurrent writers *are* arbitrated: every mutation runs under an advisory
+:class:`~repro.service.locking.FileLock` and re-reads the document before
+applying itself, so two protects racing against one vault (two CLI
+invocations, or two HTTP requests on different worker threads) serialise
+instead of losing the earlier update.  Concurrent readers remain safe
+without the lock.
+
+Beyond the secrets, the vault also stores one **bearer-token digest** per
+tenant for the HTTP frontend: :meth:`KeyVault.issue_token` generates a token
+and persists its SHA-256 (never the plaintext), :meth:`KeyVault.verify_token`
+checks a presented token in constant time.  Losing a token is recoverable —
+re-issuing replaces the digest — whereas the embedding secrets remain
+write-once.
 """
 
 from __future__ import annotations
 
+import hashlib
+import hmac as _hmac
 import json
 import os
 import secrets as _secrets
 from dataclasses import asdict, dataclass
 from typing import Iterator
+
+from repro.service.locking import FileLock, lock_path_for
 
 __all__ = ["TenantRecord", "DatasetRecord", "KeyVault", "VaultError"]
 
@@ -122,6 +139,7 @@ class KeyVault:
     def __init__(self, root: str | os.PathLike) -> None:
         self._root = os.fspath(root)
         self._file = os.path.join(self._root, VAULT_FILENAME)
+        self._lock_path = lock_path_for(self._file)
         if not os.path.exists(self._file):
             raise VaultError(
                 f"no vault at {self._root!r} (expected {VAULT_FILENAME}; run 'repro vault init' first)"
@@ -134,10 +152,11 @@ class KeyVault:
         """Create an empty vault at *root* (the directory is created too)."""
         root = os.fspath(root)
         file = os.path.join(root, VAULT_FILENAME)
-        if os.path.exists(file):
-            raise VaultError(f"vault already initialised at {root!r}")
         os.makedirs(root, exist_ok=True)
-        _atomic_write_json(file, {"version": VAULT_VERSION, "tenants": {}})
+        with FileLock(lock_path_for(file)):
+            if os.path.exists(file):
+                raise VaultError(f"vault already initialised at {root!r}")
+            _atomic_write_json(file, {"version": VAULT_VERSION, "tenants": {}})
         return cls(root)
 
     @classmethod
@@ -169,25 +188,30 @@ class KeyVault:
 
         Generated secrets come from :mod:`secrets` (CSPRNG).  Registration is
         write-once: the embedding parameters must never drift between protect
-        and detect, so re-registering an existing tenant is an error.
+        and detect, so re-registering an existing tenant is an error (also
+        when a concurrent writer registered it between our load and now —
+        the mutation re-reads the document under the lock).
         """
-        if tenant_id in self._tenants:
-            raise VaultError(f"tenant {tenant_id!r} is already registered")
         record = TenantRecord(
             tenant_id=tenant_id,
             encryption_key=encryption_key or _secrets.token_hex(GENERATED_SECRET_BYTES),
             watermark_secret=watermark_secret or _secrets.token_hex(GENERATED_SECRET_BYTES),
             **params,
         )
-        self._tenants[tenant_id] = {"record": _tenant_to_json(record), "datasets": {}}
-        self._save()
+        with FileLock(self._lock_path):
+            self._load()
+            if tenant_id in self._tenants:
+                raise VaultError(f"tenant {tenant_id!r} is already registered")
+            self._tenants[tenant_id] = {"record": _tenant_to_json(record), "datasets": {}}
+            self._save()
         return record
 
     def tenant(self, tenant_id: str) -> TenantRecord:
-        try:
-            payload = self._tenants[tenant_id]
-        except KeyError:
-            raise VaultError(f"unknown tenant {tenant_id!r} in vault {self._root!r}") from None
+        payload = self._tenants.get(tenant_id)
+        if payload is None and self.reload_if_changed():
+            payload = self._tenants.get(tenant_id)
+        if payload is None:
+            raise VaultError(f"unknown tenant {tenant_id!r} in vault {self._root!r}")
         return _tenant_from_json(payload["record"])
 
     def tenants(self) -> list[str]:
@@ -199,22 +223,79 @@ class KeyVault:
     def __iter__(self) -> Iterator[str]:
         return iter(self.tenants())
 
+    # ------------------------------------------------------------ bearer tokens
+    def issue_token(self, tenant_id: str) -> str:
+        """Generate a bearer token for *tenant_id*, persisting only its digest.
+
+        The plaintext is returned exactly once (hand it to the tenant); the
+        vault keeps ``sha256(token)``.  Re-issuing replaces the previous
+        digest, which is the recovery path for a lost token.
+        """
+        token = _secrets.token_urlsafe(GENERATED_SECRET_BYTES * 2)
+        digest = _token_digest(token)
+        with FileLock(self._lock_path):
+            self._load()
+            if tenant_id not in self._tenants:
+                raise VaultError(f"unknown tenant {tenant_id!r} in vault {self._root!r}")
+            self._tenants[tenant_id]["token_sha256"] = digest
+            self._save()
+        return token
+
+    def verify_token(self, tenant_id: str, token: str) -> bool:
+        """Whether *token* is the current bearer token of *tenant_id*.
+
+        Constant-time digest comparison; ``False`` for unknown tenants and
+        tenants that never had a token issued (never an exception — this is
+        the authentication hot path).  A miss against the in-memory state
+        re-reads the document once before failing, so tokens issued or
+        rotated by *another process* (``repro vault token`` against a vault a
+        server is already serving) take effect without a restart.
+        """
+        if not token:
+            return False
+        if self._token_matches(tenant_id, token):
+            return True
+        return self.reload_if_changed() and self._token_matches(tenant_id, token)
+
+    def _token_matches(self, tenant_id: str, token: str) -> bool:
+        payload = self._tenants.get(tenant_id)
+        stored = payload.get("token_sha256") if payload is not None else None
+        if not stored:
+            return False
+        return _hmac.compare_digest(stored, _token_digest(token))
+
+    def has_token(self, tenant_id: str) -> bool:
+        """Whether a bearer token has ever been issued for *tenant_id*."""
+        payload = self._tenants.get(tenant_id)
+        return bool(payload and payload.get("token_sha256"))
+
     # ---------------------------------------------------------------- datasets
     def record_dataset(self, tenant_id: str, record: DatasetRecord) -> None:
-        """Register (or refresh, after a re-protect) a dataset's ownership record."""
-        if tenant_id not in self._tenants:
-            raise VaultError(f"unknown tenant {tenant_id!r} in vault {self._root!r}")
-        self._tenants[tenant_id]["datasets"][record.dataset_id] = asdict(record)
-        self._save()
+        """Register (or refresh, after a re-protect) a dataset's ownership record.
+
+        Runs as a locked read-modify-write so a concurrent protect of a
+        *different* dataset (or by a different tenant) is never overwritten
+        by this save.
+        """
+        with FileLock(self._lock_path):
+            self._load()
+            if tenant_id not in self._tenants:
+                raise VaultError(f"unknown tenant {tenant_id!r} in vault {self._root!r}")
+            self._tenants[tenant_id]["datasets"][record.dataset_id] = asdict(record)
+            self._save()
 
     def dataset(self, tenant_id: str, dataset_id: str) -> DatasetRecord:
         self.tenant(tenant_id)  # raises for unknown tenants
-        try:
-            payload = self._tenants[tenant_id]["datasets"][dataset_id]
-        except KeyError:
+        payload = self._tenants[tenant_id]["datasets"].get(dataset_id)
+        if payload is None and self.reload_if_changed():
+            # A protect in another process (CLI against a vault a server is
+            # already serving) may have registered the dataset since we
+            # loaded; one gated re-read makes it visible without a restart.
+            payload = self._tenants.get(tenant_id, {}).get("datasets", {}).get(dataset_id)
+        if payload is None:
             raise VaultError(
                 f"tenant {tenant_id!r} has no dataset {dataset_id!r} in vault {self._root!r}"
-            ) from None
+            )
         return DatasetRecord(**payload)
 
     def datasets(self, tenant_id: str) -> list[str]:
@@ -226,16 +307,49 @@ class KeyVault:
         """Re-read the backing file (another process may have written it)."""
         self._load()
 
+    def reload_if_changed(self) -> bool:
+        """Re-read only when the file on disk differs from what we loaded.
+
+        The lookup paths fall back to this on a miss, so writes from other
+        processes become visible without a per-request parse: an unchanged
+        file (by inode/size/mtime — ``os.replace`` always changes the inode)
+        costs one ``stat``, not a JSON load.  Returns whether a reload
+        happened; a vanished or corrupt file reads as "unchanged" because the
+        in-memory state is the best remaining truth.
+        """
+        signature = self._stat_signature()
+        if signature is None or signature == self._loaded_signature:
+            return False
+        try:
+            self._load()
+        except (OSError, ValueError, VaultError):  # pragma: no cover - torn deploy
+            return False
+        return True
+
+    def _stat_signature(self) -> tuple[int, int, int] | None:
+        try:
+            stat = os.stat(self._file)
+        except OSError:
+            return None
+        return (stat.st_ino, stat.st_size, stat.st_mtime_ns)
+
     def _load(self) -> None:
+        signature = self._stat_signature()
         with open(self._file, encoding="utf-8") as handle:
             document = json.load(handle)
         version = document.get("version")
         if version != VAULT_VERSION:
             raise VaultError(f"unsupported vault version {version!r} (expected {VAULT_VERSION})")
         self._tenants: dict[str, dict] = document["tenants"]
+        self._loaded_signature = signature
 
     def _save(self) -> None:
         _atomic_write_json(self._file, {"version": VAULT_VERSION, "tenants": self._tenants})
+        self._loaded_signature = self._stat_signature()
+
+
+def _token_digest(token: str) -> str:
+    return hashlib.sha256(token.encode("utf-8")).hexdigest()
 
 
 def _atomic_write_json(path: str, document: dict) -> None:

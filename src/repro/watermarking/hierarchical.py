@@ -305,6 +305,20 @@ class HierarchicalWatermarker:
         return self._copies
 
     @property
+    def columns(self) -> tuple[str, ...] | None:
+        """The configured embedding columns (``None`` = every binned column)."""
+        return self._columns
+
+    @property
+    def level_weighting(self) -> bool:
+        return self._level_weighting
+
+    @property
+    def batched(self) -> bool:
+        """Whether the batched hash engine drives this watermarker."""
+        return self._batch
+
+    @property
     def engine(self) -> "WatermarkHashEngine | ScalarWatermarkEngine":
         """The keyed-hash engine driving selection, positions and permutations."""
         return self._engine

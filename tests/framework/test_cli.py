@@ -148,3 +148,110 @@ class TestVaultCLI:
                  "--watermark-secret", "W"]
             )
         assert "--watermark-secret conflict with --vault" in capsys.readouterr().err
+
+
+class TestExitCodesAndErrorJSON:
+    """Satellite: uniform exit codes and {"error": ...} on --json failure paths."""
+
+    def test_missing_vault_json_error(self, raw_csv, capsys):
+        assert main(["detect", raw_csv, "--vault", "does-not-exist", "--json"]) == 2
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert set(payload) == {"error"}
+        assert "no vault" in payload["error"]
+        assert "error:" in captured.err
+
+    def test_unknown_tenant_json_error(self, raw_csv, tmp_path, capsys):
+        vault = str(tmp_path / "vault")
+        main(["vault", "init", vault])
+        capsys.readouterr()
+        exit_code = main(
+            ["protect", raw_csv, str(tmp_path / "o.csv"), "--vault", vault,
+             "--tenant", "nobody", "--json"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert exit_code == 2
+        assert "unknown tenant" in payload["error"]
+
+    def test_bad_csv_json_error(self, tmp_path, capsys):
+        vault = str(tmp_path / "vault")
+        main(["vault", "init", vault])
+        capsys.readouterr()
+        bad = tmp_path / "bad.csv"
+        bad.write_text("ssn,age,zip_code,doctor,symptom,prescription\n1,notanage,z,d,s,p\n")
+        exit_code = main(
+            ["protect", str(bad), str(tmp_path / "o.csv"), "--vault", vault, "--json"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert exit_code == 2 and "error" in payload
+
+    def test_missing_input_file_json_error(self, tmp_path, capsys):
+        vault = str(tmp_path / "vault")
+        main(["vault", "init", vault])
+        capsys.readouterr()
+        exit_code = main(
+            ["detect", str(tmp_path / "nope.csv"), "--vault", vault, "--json"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert exit_code == 2 and "error" in payload
+
+    def test_url_and_vault_conflict(self, raw_csv, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["detect", raw_csv, "--vault", str(tmp_path), "--url", "http://x:1"])
+
+    def test_dispute_requires_exactly_one_mode(self, raw_csv):
+        with pytest.raises(SystemExit):
+            main(["dispute", raw_csv])
+        with pytest.raises(SystemExit):
+            main(["dispute", raw_csv, "--vault", "v", "--url", "http://x:1"])
+
+    def test_vault_status_url_needs_tenant(self):
+        with pytest.raises(SystemExit):
+            main(["vault", "status", "--url", "http://x:1", "--token", "t"])
+
+    def test_unreachable_server_json_error(self, raw_csv, tmp_path, capsys):
+        exit_code = main(
+            ["detect", raw_csv, "--url", "http://127.0.0.1:9", "--token", "t", "--json"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert exit_code == 2 and "error" in payload
+
+
+class TestVaultTokenAndRunnerCLI:
+    def test_vault_token_issues_and_rotates(self, tmp_path, capsys):
+        vault = str(tmp_path / "vault")
+        main(["vault", "init", vault])
+        capsys.readouterr()
+        assert main(["vault", "token", vault, "--json"]) == 0
+        first = json.loads(capsys.readouterr().out)["token"]
+        assert main(["vault", "token", vault, "--json"]) == 0
+        second = json.loads(capsys.readouterr().out)["token"]
+        assert first != second
+        from repro.service.vault import KeyVault
+
+        vault_obj = KeyVault(vault)
+        assert vault_obj.verify_token("owner", second)
+        assert not vault_obj.verify_token("owner", first)
+
+    def test_detect_process_runner_vault_mode(self, raw_csv, tmp_path, capsys):
+        vault = str(tmp_path / "vault")
+        protected_csv = str(tmp_path / "protected.csv")
+        main(["vault", "init", vault, "--k", "10", "--eta", "20"])
+        main(["protect", raw_csv, protected_csv, "--vault", vault, "--dataset", "d"])
+        capsys.readouterr()
+        exit_code = main(
+            ["detect", protected_csv, "--vault", vault, "--dataset", "d",
+             "--workers", "2", "--runner", "process", "--json"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert payload["runner"] == "process"
+        assert payload["mark_loss"] == 0.0 and payload["ok"] is True
+
+
+class TestExplicitModeRunnerRejected:
+    def test_workers_and_runner_need_vault_or_url(self, raw_csv):
+        with pytest.raises(SystemExit):
+            main(["detect", raw_csv, *COMMON, "--workers", "4"])
+        with pytest.raises(SystemExit):
+            main(["detect", raw_csv, *COMMON, "--runner", "process"])

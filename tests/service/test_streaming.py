@@ -65,3 +65,78 @@ class TestEmit:
         path = tmp_path / "one.csv"
         write_rows(str(path), schema, [row])
         assert list(iter_rows(str(path), schema)) == [row]
+
+
+class TestRawChunks:
+    def test_raw_chunks_reparse_identically(self, raw_csv, small_table):
+        import csv
+        import itertools
+
+        from repro.relational.io import parse_row
+        from repro.service.streaming import iter_raw_chunks
+
+        schema = medical_schema()
+        parsed = []
+        for header, lines in iter_raw_chunks(raw_csv, chunk_size=77):
+            assert len(lines) <= 77
+            for raw in csv.DictReader(itertools.chain([header], lines)):
+                parsed.append(parse_row(raw, schema))
+        assert parsed == list(small_table.rows)
+
+    def test_empty_file_yields_nothing(self, tmp_path):
+        from repro.service.streaming import iter_raw_chunks
+
+        empty = tmp_path / "empty.csv"
+        empty.write_text("")
+        assert list(iter_raw_chunks(str(empty))) == []
+        header_only = tmp_path / "header.csv"
+        header_only.write_text("ssn,age\n")
+        assert list(iter_raw_chunks(str(header_only))) == []
+
+    def test_invalid_chunk_size(self, raw_csv):
+        from repro.service.streaming import iter_raw_chunks
+
+        with pytest.raises(ValueError):
+            next(iter_raw_chunks(raw_csv, chunk_size=0))
+
+
+class TestSpool:
+    def test_spools_file_like_and_iterables(self, tmp_path):
+        import io
+
+        from repro.service.streaming import spool_stream
+
+        target = tmp_path / "spooled.bin"
+        assert spool_stream(io.BytesIO(b"abc" * 1000), str(target)) == 3000
+        assert target.read_bytes() == b"abc" * 1000
+        assert spool_stream(iter([b"one", b"", b"two"]), str(target)) == 6
+        assert target.read_bytes() == b"onetwo"
+
+    def test_max_bytes_enforced(self, tmp_path):
+        from repro.service.streaming import spool_stream
+
+        with pytest.raises(ValueError, match="exceeds"):
+            spool_stream(iter([b"x" * 10]), str(tmp_path / "capped.bin"), max_bytes=5)
+
+
+class TestQuotedNewlineChunking:
+    def test_boundary_never_splits_a_quoted_record(self, tmp_path):
+        import csv
+        import itertools
+
+        from repro.service.streaming import iter_raw_chunks
+
+        path = tmp_path / "tricky.csv"
+        with open(path, "w", newline="", encoding="utf-8") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["id", "name"])
+            for index in range(20):
+                # Every row's second cell holds a quoted newline, so every
+                # record spans two physical lines — any line-count boundary
+                # would fall mid-record without the parity guard.
+                writer.writerow([index, f"line1\nline2-{index}"])
+        expected = list(csv.DictReader(open(path, newline="", encoding="utf-8")))
+        parsed = []
+        for header, lines in iter_raw_chunks(str(path), chunk_size=3):
+            parsed.extend(csv.DictReader(itertools.chain([header], lines)))
+        assert parsed == expected
