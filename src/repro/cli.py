@@ -61,7 +61,7 @@ from repro.service.http.app import ProtectionApp
 from repro.service.http.client import HTTPServiceError, ServiceClient
 from repro.service.http.server import make_http_server
 from repro.service.reports import DEFAULT_MAX_LOSS, detect_report, dispute_report, error_payload
-from repro.service.runners import RUNNER_NAMES
+from repro.service.runners import REMOTE_RUNNER_NAME, RUNNER_NAMES, FleetError, RemoteRunner
 from repro.service.vault import KeyVault, VaultError
 from repro.watermarking.mark import Mark, mark_loss
 
@@ -132,6 +132,21 @@ def _service(args: argparse.Namespace) -> ProtectionService:
 
 def _client(args: argparse.Namespace) -> ServiceClient:
     return ServiceClient(args.url, getattr(args, "token", None))
+
+
+def _runner_for(args: argparse.Namespace):
+    """The runner to hand the service: a name, or a built :class:`RemoteRunner`.
+
+    ``--runner remote`` needs the fleet configuration (``--worker-url``,
+    ``--worker-token``) that a bare name cannot carry, so the instance is
+    constructed here; an empty fleet raises :class:`ValueError`, which
+    ``main`` turns into the uniform exit-2 ``{"error": ...}`` document.
+    """
+    if getattr(args, "runner", None) != REMOTE_RUNNER_NAME:
+        return args.runner
+    return RemoteRunner(
+        args.worker_urls or [], token=args.worker_token, timeout=args.worker_timeout
+    )
 
 
 # ------------------------------------------------------------------- commands
@@ -296,7 +311,7 @@ def _cmd_detect(args: argparse.Namespace) -> int:
             args.input,
             dataset_id=args.dataset,
             workers=args.workers,
-            runner=args.runner,
+            runner=_runner_for(args),
         )
         payload = detect_report(
             outcome, expected_mark=args.expected_mark, max_loss=args.max_loss
@@ -354,7 +369,8 @@ def _cmd_dispute(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    executor = ShardExecutor(args.workers, runner=args.runner)
+    runner = _runner_for(args)
+    executor = ShardExecutor(args.workers, runner=runner)
     service = ProtectionService(KeyVault(args.vault), executor=executor)
     app = ProtectionApp(
         service,
@@ -364,22 +380,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     server = make_http_server(app, args.host, args.port, verbose=args.verbose)
     host, port = server.server_address[:2]
     url = f"http://{host}:{port}"
-    _emit(
-        args,
-        {
-            "url": url,
-            "vault": service.vault.root,
-            "runner": executor.runner_name,
-            "workers": executor.max_workers,
-            "registration": "admin-token" if args.admin_token else "open",
-        },
-        [
-            f"serving vault {service.vault.root} at {url}",
-            f"  runner / workers : {executor.runner_name} / {executor.max_workers}",
-            f"  registration     : {'admin-token gated' if args.admin_token else 'open'}",
-            "  stop with Ctrl-C",
-        ],
-    )
+    fleet = list(getattr(runner, "worker_urls", ()))
+    payload = {
+        "url": url,
+        "vault": service.vault.root,
+        "runner": executor.runner_name,
+        "workers": executor.max_workers,
+        "registration": "admin-token" if args.admin_token else "open",
+    }
+    lines = [
+        f"serving vault {service.vault.root} at {url}",
+        f"  runner / workers : {executor.runner_name} / {executor.max_workers}",
+        f"  registration     : {'admin-token gated' if args.admin_token else 'open'}",
+    ]
+    if fleet:
+        payload["fleet"] = fleet
+        lines.append(f"  worker fleet     : {', '.join(fleet)}")
+    lines.append("  stop with Ctrl-C")
+    _emit(args, payload, lines)
     sys.stdout.flush()
     try:
         server.serve_forever()
@@ -426,6 +444,24 @@ def build_parser() -> argparse.ArgumentParser:
     def add_json(sub: argparse.ArgumentParser) -> None:
         sub.add_argument("--json", action="store_true", help="emit a machine-readable JSON report")
 
+    def add_fleet(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--worker-url",
+            action="append",
+            dest="worker_urls",
+            metavar="URL",
+            help="remote worker base URL for --runner remote (repeat per worker)",
+        )
+        sub.add_argument(
+            "--worker-token",
+            help="bearer token presented to the --worker-url fleet (the workers' admin token)",
+        )
+        sub.add_argument(
+            "--worker-timeout",
+            type=float,
+            help="per-chunk POST timeout in seconds (default 30; hung workers fail over)",
+        )
+
     vault = subparsers.add_parser("vault", help="manage persistent protection vaults")
     vault_sub = vault.add_subparsers(dest="vault_command", required=True)
     vault_init = vault_sub.add_parser("init", help="create a vault and register its first tenant")
@@ -470,9 +506,11 @@ def build_parser() -> argparse.ArgumentParser:
     detect.add_argument("--workers", type=int, help="shard-parallel detection workers")
     detect.add_argument(
         "--runner",
-        choices=RUNNER_NAMES,
-        help="where shard votes are collected: thread (default) or process (vault/url modes)",
+        choices=(*RUNNER_NAMES, REMOTE_RUNNER_NAME),
+        help="where shard votes are collected: thread (default), process, "
+        "or remote — a --worker-url fleet (vault mode)",
     )
+    add_fleet(detect)
     add_params(detect, vault_aware=True)
     add_secrets(detect, required_without_vault=True)
     add_vault(detect)
@@ -498,9 +536,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
     serve.add_argument("--port", type=int, default=8765, help="bind port (0 = ephemeral, printed)")
     serve.add_argument(
-        "--runner", choices=RUNNER_NAMES, default="thread", help="default shard runner for detects"
+        "--runner",
+        choices=(*RUNNER_NAMES, REMOTE_RUNNER_NAME),
+        default="thread",
+        help="default shard runner for detects (remote = coordinate a --worker-url fleet)",
     )
     serve.add_argument("--workers", type=int, help="shard workers per detect (default: cpu-bound)")
+    add_fleet(serve)
     serve.add_argument(
         "--admin-token",
         help="gate tenant registration and vault-wide status behind this token (default: open)",
@@ -516,6 +558,19 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _validate(parser: argparse.ArgumentParser, args: argparse.Namespace) -> None:
+    if getattr(args, "runner", None) != REMOTE_RUNNER_NAME:
+        # Reject, never silently drop, fleet flags outside remote mode.
+        for flag in ("worker_urls", "worker_token", "worker_timeout"):
+            if getattr(args, flag, None) is not None:
+                name = "--worker-url" if flag == "worker_urls" else "--" + flag.replace("_", "-")
+                parser.error(f"{args.command}: {name} requires --runner remote")
+    if args.command == "detect" and args.url and args.runner == REMOTE_RUNNER_NAME:
+        # The ?runner= query parameter cannot carry a fleet; start the server
+        # itself with --runner remote --worker-url ... instead.
+        parser.error(
+            "detect: --runner remote requires --vault (a --url client cannot "
+            "ship worker urls; configure the fleet on the server's 'repro serve')"
+        )
     if args.command in ("protect", "detect"):
         if args.url and args.vault:
             parser.error(f"{args.command}: --url (client mode) conflicts with --vault")
@@ -566,10 +621,11 @@ def main(argv: list[str] | None = None) -> int:
     _validate(parser, args)
     try:
         return args.func(args)
-    except (VaultError, HTTPServiceError, OSError, ValueError) as error:
+    except (VaultError, HTTPServiceError, FleetError, OSError, ValueError) as error:
         # Operational failures — missing vault, unknown tenant/dataset, a CSV
-        # that does not parse, an unreachable or refusing server — exit 2
-        # with the uniform {"error": ...} document in --json mode.
+        # that does not parse, an unreachable or refusing server, an empty or
+        # dead worker fleet — exit 2 with the uniform {"error": ...} document
+        # in --json mode.
         if getattr(args, "json", False):
             print(json.dumps(error_payload(str(error)), indent=2, sort_keys=True))
         print(f"error: {error}", file=sys.stderr)

@@ -16,8 +16,11 @@ cold process:
 * :mod:`repro.service.executor` — shard-parallel embed/detect, bit-identical
   to the serial batched path;
 * :mod:`repro.service.runners` — pluggable vote-collection backends: the
-  GIL-bound :class:`ThreadRunner` and the engine-reconstructing
-  :class:`ProcessRunner`;
+  GIL-bound :class:`ThreadRunner`, the engine-reconstructing
+  :class:`ProcessRunner`, and the multi-machine :class:`RemoteRunner`
+  coordinating a fleet of ``repro serve`` workers;
+* :mod:`repro.service.wire` — the JSON wire format distributed detection
+  speaks (specs, frontier metadata, votes — lossless by test);
 * :mod:`repro.service.api` — the :class:`ProtectionService` facade the CLI
   drives;
 * :mod:`repro.service.http` — the stdlib WSGI frontend (and client) exposing
@@ -30,7 +33,14 @@ cold process:
 
 from repro.service.api import DetectOutcome, ProtectOutcome, ProtectionService, suspect_view
 from repro.service.executor import ShardExecutor, shard_spans
-from repro.service.runners import ProcessRunner, ShardRunner, ThreadRunner, resolve_runner
+from repro.service.runners import (
+    FleetError,
+    ProcessRunner,
+    RemoteRunner,
+    ShardRunner,
+    ThreadRunner,
+    resolve_runner,
+)
 from repro.service.store import ClaimStore
 from repro.service.vault import DatasetRecord, KeyVault, TenantRecord
 
@@ -44,6 +54,8 @@ __all__ = [
     "ShardRunner",
     "ThreadRunner",
     "ProcessRunner",
+    "RemoteRunner",
+    "FleetError",
     "resolve_runner",
     "ClaimStore",
     "KeyVault",

@@ -190,6 +190,16 @@ class ProtectionService:
     def schema(self) -> TableSchema:
         return self._schema
 
+    @property
+    def trees(self) -> Mapping[str, DomainHierarchyTree]:
+        """The per-column domain hierarchy trees this service detects against.
+
+        Fleet workers resolve wire-format node *names* against these (the
+        trees themselves never cross the network), so every member of a
+        distributed deployment must be configured with the same ontology.
+        """
+        return self._trees
+
     # ----------------------------------------------------------------- tenants
     def register_tenant(self, tenant_id: str = DEFAULT_TENANT, **kwargs) -> TenantRecord:
         """Register a tenant (generating secrets unless supplied); see the vault."""

@@ -19,13 +19,14 @@ embedded/vote-collected independently, and the results merged:
 *Where* the per-shard vote collection runs is delegated to a pluggable
 :class:`~repro.service.runners.ShardRunner`: the default
 :class:`~repro.service.runners.ThreadRunner` shares the engine's digest
-caches but is GIL-bound on small hash payloads, while the
+caches but is GIL-bound on small hash payloads, the
 :class:`~repro.service.runners.ProcessRunner` rebuilds engines per worker
-from picklable params and ships only ``DetectionVotes`` back — the merge
-machinery is identical either way, which is what keeps every runner
-bit-identical to serial.  Embedding always runs on threads: its result *is*
-the rows, so a process pool would pay row shipping in both directions for
-nothing.
+from picklable params and ships only ``DetectionVotes`` back, and the
+:class:`~repro.service.runners.RemoteRunner` does the same over HTTP against
+a fleet of ``repro serve`` workers — the merge machinery is identical in all
+three cases, which is what keeps every runner bit-identical to serial.
+Embedding always runs on threads: its result *is* the rows, so a process
+pool (or the network) would pay row shipping in both directions for nothing.
 """
 
 from __future__ import annotations

@@ -8,17 +8,28 @@ the :class:`~repro.service.vault.KeyVault`:
 
 * :mod:`repro.service.http.app` — the WSGI application: routing, chunked
   upload decoding, streaming download, JSON bodies matching the CLI's
-  ``--json`` shapes;
+  ``--json`` shapes, plus the ``/internal/detect-votes`` worker endpoint of
+  distributed detection;
 * :mod:`repro.service.http.auth` — ``Authorization: Bearer`` validation
   against the vault's token digests (401 missing / 403 wrong);
+* :mod:`repro.service.http.metrics` — the per-process counters behind
+  ``GET /metrics`` (request/response counts, rows, per-runner timings);
 * :mod:`repro.service.http.server` — a threading ``wsgiref`` server and the
   ``repro serve`` entry point;
 * :mod:`repro.service.http.client` — the stdlib client the CLI's ``--url``
-  mode drives (chunked uploads via :mod:`http.client`, streamed downloads).
+  mode drives (chunked uploads via :mod:`http.client`, streamed downloads)
+  and the :class:`~repro.service.runners.RemoteRunner` posts chunks with.
 """
 
 from repro.service.http.app import ProtectionApp
 from repro.service.http.client import HTTPServiceError, ServiceClient
+from repro.service.http.metrics import ServiceMetrics
 from repro.service.http.server import make_http_server
 
-__all__ = ["ProtectionApp", "ServiceClient", "HTTPServiceError", "make_http_server"]
+__all__ = [
+    "ProtectionApp",
+    "ServiceClient",
+    "HTTPServiceError",
+    "ServiceMetrics",
+    "make_http_server",
+]

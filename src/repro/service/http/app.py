@@ -3,12 +3,24 @@
 Routes (all ids are ``[A-Za-z0-9._-]+`` path segments)::
 
     GET  /healthz                                     liveness, no auth
+    GET  /metrics                                     counters, no auth
     GET  /status                                      vault-wide status   [admin]
     POST /tenants/{tenant}                            register + token    [admin]
     GET  /tenants/{tenant}/status                     tenant status       [tenant]
     POST /tenants/{tenant}/datasets/{ds}/protect      CSV in -> CSV out   [tenant]
     POST /tenants/{tenant}/datasets/{ds}/detect       CSV in -> JSON      [tenant]
     POST /tenants/{tenant}/datasets/{ds}/dispute      CSV in -> JSON      [tenant]
+    POST /internal/detect-votes                       chunk -> votes      [admin]
+
+``/internal/detect-votes`` is the worker half of distributed detection (see
+:class:`~repro.service.runners.RemoteRunner` and docs/distributed.md): the
+coordinator POSTs one raw CSV chunk plus a serialized watermarker spec and
+frontier metadata (:mod:`repro.service.wire` shapes) and gets that chunk's
+``DetectionVotes`` back — rows never leave the worker in the response, and
+the vault is never consulted.  It is guarded like the other admin routes:
+gated behind ``--admin-token`` when one is configured (the fleet secret),
+open otherwise.  ``/metrics`` exposes the process's
+:class:`~repro.service.http.metrics.ServiceMetrics` snapshot.
 
 CSV request bodies stream: ``Content-Length`` bodies are read in blocks,
 ``Transfer-Encoding: chunked`` bodies are decoded chunk by chunk (wsgiref
@@ -31,15 +43,18 @@ import os
 import re
 import tempfile
 import threading
+import time
 from typing import Callable, Iterable, Iterator, Mapping
 from urllib.parse import parse_qs
 
 from repro.service.api import ProtectionService
 from repro.service.http.auth import AuthError, Authenticator
+from repro.service.http.metrics import ServiceMetrics
 from repro.service.reports import DEFAULT_MAX_LOSS, detect_report, dispute_report, error_payload
-from repro.service.runners import RUNNER_NAMES
+from repro.service.runners import RUNNER_NAMES, collect_raw_chunk
 from repro.service.streaming import SPOOL_CHUNK_BYTES, spool_stream
 from repro.service.vault import VaultError
+from repro.service.wire import metadata_from_json, spec_from_json, votes_to_json
 
 __all__ = ["ProtectionApp", "REPORT_HEADER"]
 
@@ -187,13 +202,19 @@ class ProtectionApp:
         self._max_upload_bytes = max_upload_bytes
         self._spool_dir = spool_dir
         self._protect_lock = threading.Lock()
+        self._metrics = ServiceMetrics()
 
     @property
     def service(self) -> ProtectionService:
         return self._service
 
+    @property
+    def metrics(self) -> ServiceMetrics:
+        return self._metrics
+
     # ------------------------------------------------------------------- WSGI
     def __call__(self, environ: Mapping[str, object], start_response: Callable) -> Iterable[bytes]:
+        start_response = self._recording(start_response)
         try:
             return self._route(environ, start_response)
         except AuthError as error:
@@ -210,6 +231,20 @@ class ProtectionApp:
                 start_response, 500, error_payload(f"internal error: {type(error).__name__}: {error}")
             )
 
+    def _recording(self, start_response: Callable) -> Callable:
+        """Wrap *start_response* so every sent status lands in the metrics."""
+
+        def wrapped(status: str, headers, exc_info=None):
+            try:
+                self._metrics.record_response(int(str(status).split(" ", 1)[0]))
+            except ValueError:
+                pass
+            if exc_info is not None:
+                return start_response(status, headers, exc_info)
+            return start_response(status, headers)
+
+        return wrapped
+
     # ---------------------------------------------------------------- routing
     def _route(self, environ: Mapping[str, object], start_response: Callable) -> Iterable[bytes]:
         method = str(environ.get("REQUEST_METHOD", "GET")).upper()
@@ -218,13 +253,27 @@ class ProtectionApp:
         if path == "/healthz":
             if method != "GET":
                 raise _HTTPError(405, "healthz only answers GET")
+            self._metrics.record_request("healthz")
             return _json_response(
                 start_response, 200, {"status": "ok", "vault": self._service.vault.root}
             )
 
+        if path == "/metrics":
+            if method != "GET":
+                raise _HTTPError(405, "metrics only answers GET")
+            self._metrics.record_request("metrics")
+            return _json_response(start_response, 200, self._metrics.snapshot())
+
+        if path == "/internal/detect-votes":
+            if method != "POST":
+                raise _HTTPError(405, "detect-votes only answers POST")
+            self._metrics.record_request("detect_votes")
+            return self._handle_detect_votes(environ, start_response)
+
         if path == "/status":
             if method != "GET":
                 raise _HTTPError(405, "status only answers GET")
+            self._metrics.record_request("status")
             self._auth.require_admin(environ)
             return _json_response(start_response, 200, self._service.status())
 
@@ -232,6 +281,7 @@ class ProtectionApp:
         if match:
             if method != "GET":
                 raise _HTTPError(405, "tenant status only answers GET")
+            self._metrics.record_request("tenant_status")
             tenant = match.group("tenant")
             self._auth.require_tenant(environ, tenant)
             return _json_response(start_response, 200, self._service.status(tenant))
@@ -240,6 +290,7 @@ class ProtectionApp:
         if match:
             if method != "POST":
                 raise _HTTPError(405, "tenant registration only answers POST")
+            self._metrics.record_request("register")
             return self._handle_register(environ, start_response, match.group("tenant"))
 
         match = _DATASET_ROUTE.match(path)
@@ -247,6 +298,7 @@ class ProtectionApp:
             if method != "POST":
                 raise _HTTPError(405, f"{match.group('verb')} only answers POST")
             tenant, dataset, verb = match.group("tenant", "dataset", "verb")
+            self._metrics.record_request(verb)
             self._auth.require_tenant(environ, tenant)
             handler = {
                 "protect": self._handle_protect,
@@ -262,7 +314,7 @@ class ProtectionApp:
         self, environ: Mapping[str, object], start_response: Callable, tenant: str
     ) -> Iterable[bytes]:
         self._auth.require_admin(environ)
-        body = b"".join(_iter_request_body(environ))
+        body = self._read_body(environ)
         params: dict = {}
         if body.strip():
             try:
@@ -296,6 +348,7 @@ class ProtectionApp:
         chunk_size = _int_param(query, "chunk_size", minimum=1)
         upload = self._spool_upload(environ)
         output = self._temp_path("protected")
+        started = time.perf_counter()
         try:
             with self._protect_lock:
                 outcome = self._service.protect(
@@ -306,6 +359,7 @@ class ProtectionApp:
             raise
         finally:
             _unlink_quietly(upload)
+        self._metrics.record_protect(outcome.rows, time.perf_counter() - started)
         report = json.dumps(outcome.to_json(), sort_keys=True)
         headers = [
             ("Content-Type", "text/csv; charset=utf-8"),
@@ -329,6 +383,7 @@ class ProtectionApp:
         max_loss = _float_param(query, "max_loss", default=DEFAULT_MAX_LOSS)
         expected_mark = _str_param(query, "expected_mark")
         upload = self._spool_upload(environ)
+        started = time.perf_counter()
         try:
             outcome = self._service.detect(
                 tenant,
@@ -340,11 +395,65 @@ class ProtectionApp:
             )
         finally:
             _unlink_quietly(upload)
+        self._metrics.record_detect(outcome.runner, outcome.rows, time.perf_counter() - started)
         return _json_response(
             start_response,
             200,
             detect_report(outcome, expected_mark=expected_mark, max_loss=max_loss),
         )
+
+    def _handle_detect_votes(
+        self, environ: Mapping[str, object], start_response: Callable
+    ) -> Iterable[bytes]:
+        """The worker hop of distributed detection: one chunk in, its votes out.
+
+        The request is one JSON document (:mod:`repro.service.wire` shapes):
+        ``spec`` (watermarker reconstruction material), ``metadata`` (frontier
+        node names, resolved against *this* service's trees), ``mark_length``
+        and the raw CSV chunk as ``header`` + ``lines``.  Parsing and vote
+        collection reuse :func:`repro.service.runners.collect_raw_chunk` — the
+        exact code path the in-process runners execute — and engines are
+        cached per spec across chunks, so a fleet worker behaves like one
+        long-lived process-pool worker that happens to be on another machine.
+        """
+        self._auth.require_admin(environ)
+        body = self._read_body(environ)
+        try:
+            payload = json.loads(body)
+        except json.JSONDecodeError:
+            raise _HTTPError(400, "detect-votes body must be a JSON document") from None
+        if not isinstance(payload, dict):
+            raise _HTTPError(400, "detect-votes body must be a JSON object")
+        for name in ("spec", "metadata", "mark_length", "header", "lines"):
+            if name not in payload:
+                raise _HTTPError(400, f"detect-votes body lacks the {name!r} field")
+        try:
+            spec = spec_from_json(payload["spec"])
+            metadata = metadata_from_json(payload["metadata"], self._service.trees)
+            mark_length = int(payload["mark_length"])
+        except (ValueError, TypeError) as error:
+            raise _HTTPError(400, f"malformed detect-votes request: {error}") from None
+        if mark_length < 1:
+            raise _HTTPError(400, "mark_length must be at least 1")
+        header, lines = payload["header"], payload["lines"]
+        if not isinstance(header, str) or not isinstance(lines, list) or not all(
+            isinstance(line, str) for line in lines
+        ):
+            raise _HTTPError(400, "header must be a string and lines a list of strings")
+        started = time.perf_counter()
+        try:
+            rows, votes = collect_raw_chunk(
+                spec, self._service.schema, metadata, header, lines, mark_length
+            )
+        except (ValueError, KeyError, TypeError) as error:
+            # A chunk that cannot be parsed or collected is a *request* error
+            # (bad CSV cell, metadata missing BinnedTable fields): it must
+            # come back 4xx so the coordinator fails fast with the real
+            # message instead of treating it as a dead worker and re-sending
+            # the same bad chunk across the whole fleet.
+            raise _HTTPError(400, f"chunk does not parse/collect: {error}") from None
+        self._metrics.record_chunk(rows, time.perf_counter() - started)
+        return _json_response(start_response, 200, {"rows": rows, "votes": votes_to_json(votes)})
 
     def _handle_dispute(
         self, environ: Mapping[str, object], start_response: Callable, tenant: str, dataset: str
@@ -357,6 +466,24 @@ class ProtectionApp:
         return _json_response(start_response, 200, dispute_report(dataset, verdict))
 
     # ----------------------------------------------------------------- helpers
+    def _read_body(self, environ: Mapping[str, object]) -> bytes:
+        """The whole request body in memory, honouring the upload cap.
+
+        Only for bounded JSON bodies (registration, detect-votes chunks —
+        one chunk is ``chunk_size`` rows by construction); CSV uploads go
+        through :meth:`_spool_upload` instead.
+        """
+        blocks: list[bytes] = []
+        read = 0
+        for block in _iter_request_body(environ):
+            read += len(block)
+            if self._max_upload_bytes is not None and read > self._max_upload_bytes:
+                raise _HTTPError(
+                    413, f"upload exceeds the configured limit of {self._max_upload_bytes} bytes"
+                )
+            blocks.append(block)
+        return b"".join(blocks)
+
     def _spool_upload(self, environ: Mapping[str, object]) -> str:
         """The request body, spooled to a temp CSV (caller unlinks)."""
         path = self._temp_path("upload")

@@ -157,6 +157,26 @@ class ServiceClient:
             body=_iter_file(disputed_csv),
         )
 
+    def metrics(self) -> dict:
+        """This server's ``/metrics`` counters (no auth, like :meth:`health`)."""
+        return self._json_request("GET", "/metrics", authenticated=False)
+
+    def detect_votes(self, payload: dict) -> dict:
+        """POST one raw chunk to ``/internal/detect-votes`` — the fleet hop.
+
+        *payload* is the :mod:`repro.service.wire` request document (spec +
+        metadata + mark_length + header/lines); the response carries the
+        chunk's row count and serialized ``DetectionVotes``.  This is what
+        :class:`~repro.service.runners.RemoteRunner` calls per chunk; the
+        token presented is the worker's admin/fleet token.
+        """
+        return self._json_request(
+            "POST",
+            "/internal/detect-votes",
+            body=json.dumps(payload).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+        )
+
     # ----------------------------------------------------------------- plumbing
     def _request(
         self,

@@ -1,0 +1,99 @@
+"""In-process request/throughput counters behind the ``/metrics`` endpoint.
+
+A fleet of ``repro serve`` processes is only operable if each member can
+answer "what have you been doing": the coordinator needs to see chunks
+landing on every worker, and a single-box server needs request counts to
+size itself.  :class:`ServiceMetrics` is the minimal, dependency-free
+answer — monotonic counters guarded by one lock, snapshotted as a JSON
+document by ``GET /metrics`` (no auth, like ``/healthz``: the counters name
+routes and runners, never tenants' data or tokens).
+
+What is counted:
+
+* **requests** — per recognised route (``detect``, ``protect``,
+  ``detect_votes``, …), incremented when routing succeeds;
+* **responses** — per HTTP status actually sent (including error paths);
+* **detect** — per-runner calls / rows examined / wall seconds, so a
+  coordinator's ``remote`` timings sit next to its workers' chunk timings;
+* **protect** — calls / rows protected / wall seconds;
+* **worker_chunks** — the worker side of distributed detection: chunks
+  served over ``POST /internal/detect-votes``, their rows and seconds.
+
+Counters reset with the process; scrape-and-diff is the consumer's job.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter, defaultdict
+
+__all__ = ["ServiceMetrics"]
+
+
+class ServiceMetrics:
+    """Thread-safe counters for one server process; ``snapshot()`` is the wire shape."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._started = time.monotonic()
+        self._requests: Counter = Counter()
+        self._responses: Counter = Counter()
+        self._detect: defaultdict[str, list[float]] = defaultdict(lambda: [0, 0, 0.0])
+        self._protect = [0, 0, 0.0]  # calls, rows, seconds
+        self._chunks = [0, 0, 0.0]  # chunks, rows, seconds
+
+    # ------------------------------------------------------------- recording
+    def record_request(self, route: str) -> None:
+        with self._lock:
+            self._requests[route] += 1
+
+    def record_response(self, status: int) -> None:
+        with self._lock:
+            self._responses[str(status)] += 1
+
+    def record_detect(self, runner: str, rows: int, seconds: float) -> None:
+        with self._lock:
+            entry = self._detect[runner]
+            entry[0] += 1
+            entry[1] += rows
+            entry[2] += seconds
+
+    def record_protect(self, rows: int, seconds: float) -> None:
+        with self._lock:
+            self._protect[0] += 1
+            self._protect[1] += rows
+            self._protect[2] += seconds
+
+    def record_chunk(self, rows: int, seconds: float) -> None:
+        with self._lock:
+            self._chunks[0] += 1
+            self._chunks[1] += rows
+            self._chunks[2] += seconds
+
+    # -------------------------------------------------------------- snapshot
+    def snapshot(self) -> dict:
+        """One JSON-able document: everything above plus process uptime."""
+
+        def timing(entry: list[float], first_key: str) -> dict:
+            return {
+                first_key: int(entry[0]),
+                "rows": int(entry[1]),
+                "seconds": round(entry[2], 6),
+            }
+
+        with self._lock:
+            return {
+                "uptime_seconds": round(time.monotonic() - self._started, 3),
+                "requests": dict(sorted(self._requests.items())),
+                "responses": dict(sorted(self._responses.items())),
+                "detect": {
+                    "runners": {
+                        runner: timing(entry, "calls")
+                        for runner, entry in sorted(self._detect.items())
+                    },
+                    "rows": int(sum(entry[1] for entry in self._detect.values())),
+                },
+                "protect": timing(self._protect, "calls"),
+                "worker_chunks": timing(self._chunks, "chunks"),
+            }

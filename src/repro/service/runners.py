@@ -9,7 +9,7 @@ over chunks and yields one
 :class:`~repro.watermarking.hierarchical.DetectionVotes` per chunk, **in
 chunk order**, with a bounded number in flight.
 
-Two implementations:
+Three implementations:
 
 * :class:`ThreadRunner` — today's behavior: a
   :class:`~concurrent.futures.ThreadPoolExecutor` whose workers share the
@@ -23,26 +23,40 @@ Two implementations:
   in-memory path) or as **raw CSV text** (the streaming path, where workers
   also do the parsing — the dominant cost — so detection scales with cores);
   only small :class:`DetectionVotes` travel back, never rows.
+* :class:`RemoteRunner` — the multi-machine step: raw CSV chunks are POSTed
+  to a fleet of ``repro serve`` workers (``POST /internal/detect-votes``, see
+  :mod:`repro.service.wire` for the JSON shapes) round-robin with failover
+  and bounded retries; each response carries that chunk's serialized
+  :class:`DetectionVotes`, merged locally exactly like the other runners' —
+  which is what keeps a fleet detect bit-identical to a serial one.
 
-Both runners are stateless and picklable-free themselves: pools live for one
-``collect*`` call, so a runner instance can be shared by many executors and
-services.
+All runners are stateless across calls: pools live for one ``collect*`` call
+(the remote fleet's failure bookkeeping too), so a runner instance can be
+shared by many executors and services.
 """
 
 from __future__ import annotations
 
 import csv
 import itertools
+import threading
 from collections import deque
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Iterable, Iterator, Mapping
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.binning.binner import BinnedTable
 from repro.relational.io import parse_row
 from repro.relational.schema import TableSchema
 from repro.relational.table import Table
 from repro.service.streaming import DEFAULT_CHUNK_SIZE, iter_raw_chunks, iter_tables
+from repro.service.wire import (
+    binned_metadata_to_json,
+    metadata_to_json,
+    spec_to_json,
+    table_to_csv_lines,
+    votes_from_json,
+)
 from repro.watermarking.hierarchical import DetectionVotes, HierarchicalWatermarker
 from repro.watermarking.keys import WatermarkKey
 
@@ -51,7 +65,11 @@ __all__ = [
     "ShardRunner",
     "ThreadRunner",
     "ProcessRunner",
+    "RemoteRunner",
+    "FleetError",
     "RUNNER_NAMES",
+    "collect_raw_chunk",
+    "REMOTE_RUNNER_NAME",
     "resolve_runner",
 ]
 
@@ -102,15 +120,28 @@ class WatermarkerSpec:
 
 #: Per-worker-process watermarker cache: successive chunks for the same spec
 #: reuse one engine (and its digest caches) instead of re-deriving HMAC pads.
+#: Bounded: this used to live only in short-lived process-pool workers, but a
+#: long-running ``repro serve`` fleet worker hits it too (one spec per tenant
+#: key ever detected through the fleet), and engines retain raw key material —
+#: so old entries are evicted in insertion order past the cap.
 _WORKER_WATERMARKERS: dict[WatermarkerSpec, HierarchicalWatermarker] = {}
+_WORKER_WATERMARKER_CACHE_SIZE = 8
+# A fleet worker's threading WSGI server reaches this cache from concurrent
+# handler threads (process-pool workers run tasks serially and never contend).
+_WORKER_WATERMARKERS_LOCK = threading.Lock()
 
 
 def _worker_watermarker(spec: WatermarkerSpec) -> HierarchicalWatermarker:
-    watermarker = _WORKER_WATERMARKERS.get(spec)
-    if watermarker is None:
-        watermarker = spec.build()
+    with _WORKER_WATERMARKERS_LOCK:
+        watermarker = _WORKER_WATERMARKERS.pop(spec, None)
+        if watermarker is None:
+            watermarker = spec.build()
+            while len(_WORKER_WATERMARKERS) >= _WORKER_WATERMARKER_CACHE_SIZE:
+                _WORKER_WATERMARKERS.pop(next(iter(_WORKER_WATERMARKERS)))
+        # Re-inserting on every hit keeps eviction LRU-ish (dicts preserve
+        # insertion order), so a hot tenant's engine survives cache churn.
         _WORKER_WATERMARKERS[spec] = watermarker
-    return watermarker
+        return watermarker
 
 
 def _collect_binned(spec: WatermarkerSpec, piece: BinnedTable, mark_length: int) -> DetectionVotes:
@@ -118,7 +149,7 @@ def _collect_binned(spec: WatermarkerSpec, piece: BinnedTable, mark_length: int)
     return _worker_watermarker(spec).collect_votes(piece, mark_length)
 
 
-def _collect_raw_chunk(
+def collect_raw_chunk(
     spec: WatermarkerSpec,
     schema: TableSchema,
     metadata: Mapping[str, object],
@@ -282,7 +313,7 @@ class ProcessRunner(ShardRunner):
         with self._pool(max_workers) as pool:
             results = _bounded_ordered(
                 lambda chunk: pool.submit(
-                    _collect_raw_chunk, spec, schema, metadata, chunk[0], chunk[1], mark_length
+                    collect_raw_chunk, spec, schema, metadata, chunk[0], chunk[1], mark_length
                 ),
                 iter_raw_chunks(path, chunk_size),
                 max_workers,
@@ -293,16 +324,217 @@ class ProcessRunner(ShardRunner):
                 yield votes
 
 
+class FleetError(RuntimeError):
+    """Every worker of a remote fleet failed to serve a chunk (after retries)."""
+
+
+#: Consecutive failures after which a worker is deprioritised for new chunks.
+_DEPRIORITISE_AFTER = 3
+
+#: Default number of full passes over the fleet before a chunk gives up.
+DEFAULT_FLEET_ATTEMPTS = 2
+
+#: Per-chunk POST timeout (seconds).  Deliberately much tighter than the
+#: client's whole-file default: a chunk is ``chunk_size`` rows of parse +
+#: vote collection (well under a second per 10k rows), and a worker that
+#: accepts TCP but hangs must not stall failover for minutes.
+DEFAULT_FLEET_TIMEOUT = 30.0
+
+
+class _FleetCall:
+    """Per-``collect*``-call failover state: one POST per chunk, fleet-wide retries.
+
+    Chunk *index* starts at its round-robin worker (``index % n``) and walks
+    the fleet from there.  Transport failures and 5xx responses mark the
+    worker and move on; 4xx responses raise immediately — an auth or
+    wire-format problem will be refused identically by every worker, so
+    failing over would only repeat it.  Workers with
+    ``_DEPRIORITISE_AFTER``-plus consecutive failures are skipped on the
+    first pass (don't pay a connect timeout per chunk for a dead box) but
+    retried on later passes, so a recovered worker rejoins without restart.
+    """
+
+    def __init__(self, workers: Sequence[tuple[str, object]], attempts: int) -> None:
+        self._workers = list(workers)
+        self._attempts = max(1, attempts)
+        self._lock = threading.Lock()
+        self._failures = [0] * len(self._workers)
+
+    def _consecutive_failures(self, slot: int) -> int:
+        with self._lock:
+            return self._failures[slot]
+
+    def _record(self, slot: int, *, failed: bool) -> None:
+        with self._lock:
+            self._failures[slot] = self._failures[slot] + 1 if failed else 0
+
+    def post(self, index: int, payload: dict) -> dict:
+        import http.client as _http_client
+
+        from repro.service.http.client import HTTPServiceError
+
+        n = len(self._workers)
+        errors: list[str] = []
+        for attempt in range(self._attempts):
+            for offset in range(n):
+                slot = (index + offset) % n
+                if attempt == 0 and self._consecutive_failures(slot) >= _DEPRIORITISE_AFTER:
+                    continue
+                url, client = self._workers[slot]
+                try:
+                    response = client.detect_votes(payload)
+                except HTTPServiceError as error:
+                    if 400 <= error.status < 500:
+                        raise  # auth/data/config error: every worker will refuse alike
+                    # 5xx — and degenerate cases like a 200 with a corrupt
+                    # body (a worker dying mid-response) — are this worker's
+                    # problem, not the chunk's: fail over.
+                    self._record(slot, failed=True)
+                    errors.append(f"{url}: {error}")
+                except (OSError, _http_client.HTTPException) as error:
+                    # Connection refused/reset, timeouts, and half-written
+                    # responses (IncompleteRead is an HTTPException, not an
+                    # OSError) all mean "this worker is down".
+                    self._record(slot, failed=True)
+                    errors.append(f"{url}: {error!r}")
+                else:
+                    self._record(slot, failed=False)
+                    return response
+        raise FleetError(
+            f"all {n} remote worker(s) failed chunk {index} "
+            f"after {self._attempts} attempt(s): " + "; ".join(errors[-n:])
+        )
+
+
+class RemoteRunner(ShardRunner):
+    """Multi-machine detection: chunks out to a worker fleet, votes back.
+
+    Each chunk becomes one ``POST /internal/detect-votes`` against a
+    ``repro serve`` worker, carrying the raw CSV lines, the picklable
+    watermarker spec and the JSON-able frontier metadata (trees are resolved
+    worker-side — the fleet must share the coordinator's ontology and
+    schema).  Responses carry that chunk's :class:`DetectionVotes`, yielded
+    in chunk order, so the executor's merge/finalize is untouched and the
+    result stays bit-identical to serial detection.  Workers never see the
+    vault: the spec carries exactly the key material one detect needs, over
+    the same bearer-token hop the rest of the HTTP surface uses (workers
+    gate the endpoint behind their ``--admin-token``; pass it as *token*).
+
+    ``max_workers`` bounds the chunks in flight (concurrent POSTs); failures
+    fail over round-robin with bounded retries (:class:`_FleetCall`), and a
+    fleet with no live workers raises :class:`FleetError`.
+    """
+
+    name = "remote"
+
+    def __init__(
+        self,
+        worker_urls: Sequence[str],
+        *,
+        token: str | None = None,
+        timeout: float | None = None,
+        attempts: int = DEFAULT_FLEET_ATTEMPTS,
+    ) -> None:
+        # Imported here: http.client imports http.app (for the report header),
+        # which imports this module — a load-time cycle, gone at call time.
+        from repro.service.http.client import ServiceClient
+
+        urls = [str(url) for url in worker_urls]
+        if not urls:
+            raise ValueError("remote runner needs at least one worker url (--worker-url)")
+        timeout = DEFAULT_FLEET_TIMEOUT if timeout is None else timeout
+        self._workers = [(url, ServiceClient(url, token, timeout=timeout)) for url in urls]
+        self._attempts = attempts
+
+    @property
+    def worker_urls(self) -> tuple[str, ...]:
+        return tuple(url for url, _ in self._workers)
+
+    # ------------------------------------------------------------------- API
+    def collect_csv(
+        self,
+        watermarker: HierarchicalWatermarker,
+        path: str,
+        schema: TableSchema,
+        metadata: Mapping[str, object],
+        mark_length: int,
+        *,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        max_workers: int,
+        on_rows: Callable[[int], None] | None = None,
+    ) -> Iterator[DetectionVotes]:
+        spec_json = spec_to_json(WatermarkerSpec.of(watermarker))
+        metadata_json = metadata_to_json(metadata)
+
+        def payloads() -> Iterator[tuple[int, dict]]:
+            for index, (header, lines) in enumerate(iter_raw_chunks(path, chunk_size)):
+                yield index, {
+                    "spec": spec_json,
+                    "metadata": metadata_json,
+                    "mark_length": mark_length,
+                    "header": header,
+                    "lines": lines,
+                }
+
+        for response in self._post_stream(payloads(), max_workers):
+            if on_rows is not None:
+                on_rows(int(response["rows"]))
+            yield votes_from_json(response["votes"])
+
+    def collect_tables(
+        self,
+        watermarker: HierarchicalWatermarker,
+        chunks: Iterable[BinnedTable],
+        mark_length: int,
+        *,
+        max_workers: int,
+    ) -> Iterator[DetectionVotes]:
+        """The in-memory path: shards are rendered to CSV text and shipped.
+
+        Requires cell values that round-trip their CSV text forms — true of
+        any table that was read from or written to a CSV, i.e. every
+        protected/suspect table the service handles.
+        """
+        spec_json = spec_to_json(WatermarkerSpec.of(watermarker))
+
+        def payloads() -> Iterator[tuple[int, dict]]:
+            for index, piece in enumerate(chunks):
+                header, lines = table_to_csv_lines(piece.table)
+                yield index, {
+                    "spec": spec_json,
+                    "metadata": binned_metadata_to_json(piece),
+                    "mark_length": mark_length,
+                    "header": header,
+                    "lines": lines,
+                }
+
+        for response in self._post_stream(payloads(), max_workers):
+            yield votes_from_json(response["votes"])
+
+    # -------------------------------------------------------------- plumbing
+    def _post_stream(
+        self, payloads: Iterable[tuple[int, dict]], max_workers: int
+    ) -> Iterator[dict]:
+        call = _FleetCall(self._workers, self._attempts)
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            yield from _bounded_ordered(
+                lambda item: pool.submit(call.post, item[0], item[1]),
+                payloads,
+                max_workers,
+            )
+
+
 RUNNER_NAMES = ("thread", "process")
+REMOTE_RUNNER_NAME = RemoteRunner.name
 
 
 def resolve_runner(runner: "str | ShardRunner | None") -> ShardRunner:
     """A :class:`ShardRunner` instance from a name, an instance, or ``None``.
 
     ``None`` and ``"thread"`` give the thread runner (the default);
-    ``"process"`` the process runner.  Instances pass through, so callers can
-    inject custom runners (a distributed one would ship ``DetectionVotes``
-    over the network the same way).
+    ``"process"`` the process runner.  Instances pass through, which is how
+    a :class:`RemoteRunner` (whose fleet urls and token cannot travel in a
+    name) reaches the executor.
     """
     if runner is None:
         return ThreadRunner()
@@ -312,4 +544,10 @@ def resolve_runner(runner: "str | ShardRunner | None") -> ShardRunner:
         return ThreadRunner()
     if runner == "process":
         return ProcessRunner()
+    if runner == REMOTE_RUNNER_NAME:
+        raise ValueError(
+            "the remote runner needs a worker fleet — construct "
+            "RemoteRunner([worker_urls], token=...) and pass the instance "
+            "(CLI: --runner remote --worker-url URL)"
+        )
     raise ValueError(f"unknown runner {runner!r} (expected one of {', '.join(RUNNER_NAMES)})")

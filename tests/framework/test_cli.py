@@ -255,3 +255,97 @@ class TestExplicitModeRunnerRejected:
             main(["detect", raw_csv, *COMMON, "--workers", "4"])
         with pytest.raises(SystemExit):
             main(["detect", raw_csv, *COMMON, "--runner", "process"])
+
+
+class TestRemoteRunnerCLI:
+    """Satellite: empty-fleet and dead-worker paths exit 2 with {"error"} JSON."""
+
+    @pytest.fixture(scope="class")
+    def remote_env(self, raw_csv, tmp_path_factory):
+        base = tmp_path_factory.mktemp("remote-cli")
+        vault = str(base / "vault")
+        protected_csv = str(base / "protected.csv")
+        main(["vault", "init", vault, "--k", "10", "--eta", "20"])
+        main(["protect", raw_csv, protected_csv, "--vault", vault, "--dataset", "d"])
+        return vault, protected_csv
+
+    def test_empty_fleet_exits_2_with_error_json(self, remote_env, capsys):
+        vault, protected_csv = remote_env
+        capsys.readouterr()
+        exit_code = main(
+            ["detect", protected_csv, "--vault", vault, "--dataset", "d",
+             "--runner", "remote", "--json"]
+        )
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert exit_code == 2
+        assert set(payload) == {"error"}
+        assert "worker url" in payload["error"]
+        assert "error:" in captured.err
+
+    def test_dead_worker_exits_2_with_error_json(self, remote_env, capsys):
+        import socket
+
+        sock = socket.socket()
+        sock.bind(("127.0.0.1", 0))
+        dead = f"http://127.0.0.1:{sock.getsockname()[1]}"
+        sock.close()
+        vault, protected_csv = remote_env
+        capsys.readouterr()
+        exit_code = main(
+            ["detect", protected_csv, "--vault", vault, "--dataset", "d",
+             "--runner", "remote", "--worker-url", dead, "--json"]
+        )
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert exit_code == 2
+        assert set(payload) == {"error"}
+        assert "worker" in payload["error"]
+
+    def test_live_fleet_detects_identically_to_thread(self, remote_env, capsys):
+        from repro.service import KeyVault, ProtectionService
+        from repro.service.http import ProtectionApp
+        from repro.service.http.server import serve_in_thread
+
+        vault, protected_csv = remote_env
+        worker = ProtectionService(KeyVault(vault))
+        server, url = serve_in_thread(ProtectionApp(worker))
+        try:
+            capsys.readouterr()
+            assert main(
+                ["detect", protected_csv, "--vault", vault, "--dataset", "d", "--json"]
+            ) == 0
+            thread_payload = json.loads(capsys.readouterr().out)
+            exit_code = main(
+                ["detect", protected_csv, "--vault", vault, "--dataset", "d",
+                 "--runner", "remote", "--worker-url", url, "--json"]
+            )
+            remote_payload = json.loads(capsys.readouterr().out)
+            assert exit_code == 0
+            assert remote_payload["runner"] == "remote"
+            assert remote_payload["mark"] == thread_payload["mark"]
+            assert remote_payload["rows"] == thread_payload["rows"]
+            assert remote_payload["tuples_selected"] == thread_payload["tuples_selected"]
+            assert remote_payload["ok"] is True and remote_payload["mark_loss"] == 0.0
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_worker_url_requires_remote_runner(self, remote_env):
+        vault, protected_csv = remote_env
+        with pytest.raises(SystemExit):
+            main(["detect", protected_csv, "--vault", vault, "--worker-url", "http://x:1"])
+
+    def test_worker_token_and_timeout_require_remote_runner(self, remote_env):
+        """Fleet flags are rejected, never silently dropped, outside remote mode."""
+        vault, protected_csv = remote_env
+        with pytest.raises(SystemExit):
+            main(["detect", protected_csv, "--vault", vault, "--worker-token", "secret"])
+        with pytest.raises(SystemExit):
+            main(["detect", protected_csv, "--vault", vault, "--worker-timeout", "5"])
+
+    def test_url_client_mode_rejects_remote_runner(self, remote_env):
+        _, protected_csv = remote_env
+        with pytest.raises(SystemExit):
+            main(["detect", protected_csv, "--url", "http://x:1", "--token", "t",
+                  "--runner", "remote"])

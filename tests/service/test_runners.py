@@ -64,6 +64,41 @@ class TestWatermarkerSpec:
         assert pickle.loads(pickle.dumps(spec)) == spec
         assert len({spec, WatermarkerSpec.of(watermarker)}) == 1
 
+    def test_worker_watermarker_cache_is_bounded(self):
+        """Long-lived fleet workers must not retain every spec's key material."""
+        from repro.service.runners import (
+            _WORKER_WATERMARKER_CACHE_SIZE,
+            _WORKER_WATERMARKERS,
+            _worker_watermarker,
+        )
+        from repro.watermarking.keys import WatermarkKey
+
+        before = dict(_WORKER_WATERMARKERS)
+        try:
+            _WORKER_WATERMARKERS.clear()
+            specs = [
+                WatermarkerSpec(
+                    k1=bytes([index]) * 16,
+                    k2=bytes([index + 1]) * 16,
+                    eta=25,
+                    columns=None,
+                    copies=4,
+                    level_weighting=True,
+                    batch=True,
+                )
+                for index in range(_WORKER_WATERMARKER_CACHE_SIZE + 5)
+            ]
+            for spec in specs:
+                engine = _worker_watermarker(spec)
+                assert engine.key == WatermarkKey(k1=spec.k1, k2=spec.k2, eta=spec.eta)
+            assert len(_WORKER_WATERMARKERS) == _WORKER_WATERMARKER_CACHE_SIZE
+            # Oldest entries evicted, newest retained and reused.
+            assert specs[0] not in _WORKER_WATERMARKERS
+            assert _worker_watermarker(specs[-1]) is _WORKER_WATERMARKERS[specs[-1]]
+        finally:
+            _WORKER_WATERMARKERS.clear()
+            _WORKER_WATERMARKERS.update(before)
+
 
 class TestProcessRunnerBitIdentity:
     """The acceptance bar: ProcessRunner == ThreadRunner == serial, bit for bit."""
