@@ -16,7 +16,11 @@ of ``REPRO_BENCH_SIZE`` rows (default 2 500; the service targets 100k+):
   workers, so on a multi-core host it should win.  Marks are asserted
   bit-identical; the ratio is asserted ``> 1.1`` only at >= 100k rows on
   >= 4 cores (the acceptance bar — smaller runs and small hosts just record
-  the numbers in the JSON artifact).
+  the numbers in the JSON artifact);
+* **parallel protect** — pass 2 (rewrite + embed + emit) on the thread and
+  process runners versus the serial single-worker path, with the output
+  files asserted byte-identical; ratios land in ``extra_info`` for the
+  trajectory (the same conditional multi-core bar as detect).
 
 Run standalone for a plain-text sweep over several sizes::
 
@@ -165,6 +169,54 @@ def test_detect_thread_vs_process_runner(benchmark, service_env):
         )
 
 
+def test_protect_thread_vs_process_runner(benchmark, service_env):
+    """PR 5: runner-parallel protect pass 2 — byte-identical, ratio tracked."""
+    import filecmp
+
+    service = service_env.service
+    serial_out = os.path.join(service_env.base, "protect_serial.csv")
+    thread_out = os.path.join(service_env.base, "protect_thread.csv")
+    process_out = os.path.join(service_env.base, "protect_process.csv")
+    kwargs = {"dataset_id": "bench"}
+    service.protect("owner", service_env.raw_csv, serial_out, workers=1, **kwargs)
+    service.protect(
+        "owner", service_env.raw_csv, thread_out, workers=DETECT_WORKERS, runner="thread", **kwargs
+    )
+    service.protect(
+        "owner", service_env.raw_csv, process_out, workers=DETECT_WORKERS, runner="process", **kwargs
+    )
+    assert filecmp.cmp(serial_out, thread_out, shallow=False)
+    assert filecmp.cmp(serial_out, process_out, shallow=False)
+
+    serial_time = _best_of(
+        lambda: service.protect("owner", service_env.raw_csv, serial_out, workers=1, **kwargs)
+    )
+    process_time = _best_of(
+        lambda: service.protect(
+            "owner",
+            service_env.raw_csv,
+            process_out,
+            workers=DETECT_WORKERS,
+            runner="process",
+            **kwargs,
+        )
+    )
+    ratio = serial_time / process_time
+    benchmark.extra_info["rows"] = service_env.rows
+    benchmark.extra_info["workers"] = DETECT_WORKERS
+    benchmark.extra_info["cpu_count"] = os.cpu_count()
+    benchmark.extra_info["serial_seconds"] = round(serial_time, 4)
+    benchmark.extra_info["process_seconds"] = round(process_time, 4)
+    benchmark.extra_info["process_over_serial"] = round(ratio, 2)
+    benchmark.extra_info["rows_per_second_process"] = round(service_env.rows / process_time)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if service_env.rows >= 100_000 and (os.cpu_count() or 1) >= 4:
+        assert ratio > 1.1, (
+            f"parallel protect ({process_time:.3f}s) should beat serial "
+            f"({serial_time:.3f}s) at {service_env.rows} rows on {os.cpu_count()} cores"
+        )
+
+
 def test_detect_parallel_equivalence_and_ratio(benchmark, service_env):
     """Shard-parallel vs serial: identical mark, ratio recorded for the trajectory."""
     service = service_env.service
@@ -201,7 +253,7 @@ def _standalone_sizes() -> list[int]:
 def main() -> int:
     print(f"cpu_count={os.cpu_count()} workers={DETECT_WORKERS}")
     print(
-        f"{'rows':>8} {'protect s':>10} {'rows/s':>9} "
+        f"{'rows':>8} {'protect s':>10} {'rows/s':>9} {'prot-proc s':>12} "
         f"{'detect-1 s':>11} {'thread s':>9} {'process s':>10} {'proc/thr':>9}"
     )
     for size in _standalone_sizes():
@@ -210,6 +262,16 @@ def main() -> int:
             out = os.path.join(base, "rerun.csv")
             protect_time = _best_of(
                 lambda: env.service.protect("owner", env.raw_csv, out, dataset_id="bench")
+            )
+            protect_process_time = _best_of(
+                lambda: env.service.protect(
+                    "owner",
+                    env.raw_csv,
+                    out,
+                    dataset_id="bench",
+                    workers=DETECT_WORKERS,
+                    runner="process",
+                )
             )
             serial_time = _best_of(
                 lambda: env.service.detect("owner", env.protected_csv, dataset_id="bench", workers=1)
@@ -234,6 +296,7 @@ def main() -> int:
             )
             print(
                 f"{size:>8} {protect_time:>10.3f} {size / protect_time:>9.0f} "
+                f"{protect_process_time:>12.3f} "
                 f"{serial_time:>11.3f} {thread_time:>9.3f} {process_time:>10.3f} "
                 f"{thread_time / process_time:>8.2f}x"
             )

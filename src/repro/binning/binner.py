@@ -33,7 +33,33 @@ from repro.metrics.information_loss import table_information_loss
 from repro.metrics.usage_metrics import UsageMetrics
 from repro.relational.table import Row, Table
 
-__all__ = ["BinnedTable", "BinningResult", "BinningAgent", "BinPlan"]
+__all__ = ["BinnedTable", "BinningResult", "BinningAgent", "BinPlan", "rewrite_rows"]
+
+
+def rewrite_rows(
+    rows: Iterable[Row],
+    schema,
+    encryptor: FieldEncryptor,
+    ultimate: MultiColumnGeneralization,
+):
+    """``Binning(tbl, ultigen)`` row by row: encrypt + generalise, streamed.
+
+    The single source of the per-row rewrite, shared by
+    :meth:`BinningAgent.rewrite_rows` (in-process, the agent's own encryptor)
+    and the protect pool workers (:func:`repro.service.runners.protect_raw_chunk`,
+    encryptor rebuilt from shipped key material) — which is what keeps a
+    runner-parallel protect byte-identical to the serial path by
+    construction, not by parallel maintenance of two loops.  Yields new row
+    dicts; the input rows are never mutated.
+    """
+    identifying = [column.name for column in schema.identifying_columns]
+    for row in rows:
+        new_row = dict(row)
+        for column in identifying:
+            new_row[column] = encryptor.encrypt(row[column])
+        for column, generalization in ultimate.items():
+            new_row[column] = generalization.generalize(row[column])
+        yield new_row
 
 
 @dataclass
@@ -348,14 +374,7 @@ class BinningAgent:
         per-row half of :meth:`bin`, factored out so chunked ingest can apply
         it without materialising the whole table.
         """
-        identifying = [column.name for column in schema.identifying_columns]
-        for row in rows:
-            new_row = dict(row)
-            for column in identifying:
-                new_row[column] = self._encryptor.encrypt(row[column])
-            for column, generalization in ultimate.items():
-                new_row[column] = generalization.generalize(row[column])
-            yield new_row
+        yield from rewrite_rows(rows, schema, self._encryptor, ultimate)
 
     # --------------------------------------------------------------- internals
     def _rewrite(self, table: Table, ultimate: MultiColumnGeneralization) -> Table:

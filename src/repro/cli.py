@@ -219,7 +219,7 @@ def _cmd_vault_token(args: argparse.Namespace) -> int:
 
 
 def _protect_lines(report: dict) -> list[str]:
-    return [
+    lines = [
         f"protected {report['rows']} rows -> {report['output']}",
         f"  tenant / dataset          : {report['tenant']} / {report['dataset']}",
         f"  binning information loss  : {report['information_loss']:.2%}",
@@ -227,17 +227,43 @@ def _protect_lines(report: dict) -> list[str]:
         f"  registered statistic v    : {report['registered_statistic']:.0f}",
         f"  mark F(v) (vaulted)       : {report['mark']}",
     ]
+    if "runner" in report:
+        lines.insert(
+            2,
+            f"  pass-2 runner / workers   : {report['runner']} / {report['workers']} "
+            f"({report.get('chunks', 0)} chunks)",
+        )
+    return lines
 
 
 def _cmd_protect(args: argparse.Namespace) -> int:
+    if getattr(args, "runner", None) == REMOTE_RUNNER_NAME:
+        # Raised (not parser.error'd) so --json callers get the uniform
+        # exit-2 {"error": ...} document every other operational failure emits.
+        raise ValueError(
+            "protect: the remote runner is detect-only (protect ships rows, "
+            "not votes); use --runner thread or --runner process"
+        )
     if args.url:
         dataset = args.dataset or dataset_id_for(args.input)
-        report = _client(args).protect(args.tenant, dataset, args.input, args.output)
+        report = _client(args).protect(
+            args.tenant,
+            dataset,
+            args.input,
+            args.output,
+            workers=args.workers,
+            runner=args.runner,
+        )
         _emit(args, report, _protect_lines(report))
         return EXIT_OK
     if args.vault:
         outcome = _service(args).protect(
-            args.tenant, args.input, args.output, dataset_id=args.dataset
+            args.tenant,
+            args.input,
+            args.output,
+            dataset_id=args.dataset,
+            workers=args.workers,
+            runner=args.runner,
         )
         _emit(args, outcome.to_json(), _protect_lines(outcome.to_json()))
         return EXIT_OK
@@ -490,6 +516,13 @@ def build_parser() -> argparse.ArgumentParser:
     protect = subparsers.add_parser("protect", help="bin + watermark a raw CSV table")
     protect.add_argument("input", help="raw CSV with columns ssn,age,zip_code,doctor,symptom,prescription")
     protect.add_argument("output", help="path of the outsourced CSV to write")
+    protect.add_argument("--workers", type=int, help="parallel pass-2 (rewrite+embed) workers")
+    protect.add_argument(
+        "--runner",
+        choices=(*RUNNER_NAMES, REMOTE_RUNNER_NAME),
+        help="where pass 2 runs: thread (default) or process "
+        "(remote is detect-only and is rejected)",
+    )
     add_params(protect, vault_aware=True)
     add_secrets(protect, required_without_vault=True)
     add_vault(protect)
@@ -595,12 +628,13 @@ def _validate(parser: argparse.ArgumentParser, args: argparse.Namespace) -> None
                     f"{args.command}: --encryption-key and --watermark-secret are required "
                     "when no --vault or --url is given"
                 )
-            if args.command == "detect" and (args.workers is not None or args.runner):
-                # The explicit-secret path detects serially in-process;
-                # silently dropping these flags would misattribute a
-                # benchmark, exactly like the parameter conflicts above.
+            if args.workers is not None or args.runner:
+                # The explicit-secret path runs serially in-process (protect
+                # and detect alike); silently dropping these flags would
+                # misattribute a benchmark, exactly like the parameter
+                # conflicts above.
                 parser.error(
-                    "detect: --workers/--runner require --vault or --url "
+                    f"{args.command}: --workers/--runner require --vault or --url "
                     "(the explicit-secret path is serial in-process)"
                 )
             for name, value in PARAM_DEFAULTS.items():

@@ -31,9 +31,9 @@ from repro.ontology.registry import standard_ontology
 from repro.relational.schema import TableSchema, medical_schema
 from repro.relational.table import Table
 from repro.service.executor import ShardExecutor
-from repro.service.runners import ShardRunner
+from repro.service.runners import ProtectPlan, ShardRunner, WatermarkerSpec
 from repro.service.store import CLAIMS_FILENAME, ClaimStore
-from repro.service.streaming import DEFAULT_CHUNK_SIZE, RowWriter, iter_rows, iter_tables
+from repro.service.streaming import DEFAULT_CHUNK_SIZE, iter_rows
 from repro.service.vault import DatasetRecord, KeyVault, TenantRecord, VaultError
 from repro.watermarking.hierarchical import DetectionReport
 from repro.watermarking.mark import Mark, mark_loss
@@ -104,7 +104,13 @@ def _suspect_metadata(
 
 @dataclass(frozen=True)
 class ProtectOutcome:
-    """What one streamed ``protect`` run produced and registered."""
+    """What one streamed ``protect`` run produced and registered.
+
+    ``runner``/``workers`` name where pass 2 (rewrite + embed + emit) ran;
+    ``chunk_seconds`` is each chunk's worker-side wall clock in chunk order —
+    the per-chunk timings the protect report surfaces so a parallel protect's
+    spread is visible without profiling.
+    """
 
     tenant: str
     dataset: str
@@ -115,9 +121,19 @@ class ProtectOutcome:
     cells_changed: int
     tuples_selected: int
     information_loss: float
+    runner: str = "thread"
+    workers: int = 1
+    chunk_seconds: tuple[float, ...] = ()
+
+    @property
+    def chunks(self) -> int:
+        return len(self.chunk_seconds)
 
     def to_json(self) -> dict:
-        return asdict(self)
+        payload = asdict(self)
+        payload["chunk_seconds"] = [round(seconds, 6) for seconds in self.chunk_seconds]
+        payload["chunks"] = self.chunks
+        return payload
 
 
 @dataclass(frozen=True)
@@ -222,14 +238,19 @@ class ProtectionService:
         *,
         dataset_id: str | None = None,
         chunk_size: int | None = None,
+        workers: int | None = None,
+        runner: "str | ShardRunner | None" = None,
     ) -> ProtectOutcome:
         """Bin + watermark *input_csv* to *output_csv* in two streaming passes.
 
         Pass 1 accumulates the global aggregates (per-leaf counts, the
-        ownership statistic); pass 2 rewrites, embeds and emits one chunk at a
-        time.  The result is byte-for-byte the CSV a whole-table
-        ``framework.protect`` + export would produce — binning's frontiers
-        depend only on the leaf counts and everything downstream is per-row.
+        ownership statistic); pass 2 rewrites, embeds and emits chunk by chunk
+        on the executor's runner (*workers*/*runner* override per call, like
+        ``detect``; the remote runner is detect-only and is refused).  The
+        result is byte-for-byte the CSV a whole-table ``framework.protect`` +
+        export would produce, whatever the runner or worker count — binning's
+        frontiers depend only on the leaf counts, everything downstream is
+        per-row, and chunks are emitted in chunk order.
         """
         framework = self.framework_for(tenant_id)
         dataset_id = dataset_id or dataset_id_for(input_csv)
@@ -268,21 +289,28 @@ class ProtectionService:
         metadata = plan.metadata_for(self._trees)
         watermarker = framework.watermarker()
 
-        # Pass 2 — rewrite + embed + emit, chunk by chunk.
-        tuples_selected = 0
-        cells_changed = 0
-        with RowWriter(output_csv, schema) as writer:
-            for chunk in iter_tables(input_csv, schema, chunk_size):
-                rewritten = Table(schema)
-                for new_row in agent.rewrite_rows(chunk, schema, plan.ultimate):
-                    rewritten.insert(new_row)
-                chunk_binned = BinnedTable(
-                    table=rewritten, identifying_columns=tuple(identifying), **metadata
-                )
-                embedding = watermarker.embed(chunk_binned, mark)
-                writer.write_table(embedding.watermarked.table)
-                tuples_selected += embedding.tuples_selected
-                cells_changed += embedding.cells_changed
+        # Pass 2 — rewrite + embed + emit, chunk by chunk on the runner.
+        executor = self._protect_executor_for(workers, runner)
+        run = executor.protect_csv(
+            ProtectPlan(
+                spec=WatermarkerSpec.of(watermarker),
+                schema=schema,
+                metadata=metadata,
+                identifying_columns=tuple(identifying),
+                encryption_key=framework.encryption_key,
+                mark_bits=str(mark),
+            ),
+            input_csv,
+            output_csv,
+            chunk_size=chunk_size,
+        )
+        if run.rows != rows:
+            raise ValueError(
+                f"pass 2 emitted {run.rows} rows but pass 1 read {rows} "
+                "(the input changed between the two streaming passes)"
+            )
+        tuples_selected = run.tuples_selected
+        cells_changed = run.cells_changed
 
         # Persist the court-critical state before reporting success.
         self._vault.record_dataset(
@@ -309,6 +337,9 @@ class ProtectionService:
             cells_changed=cells_changed,
             tuples_selected=tuples_selected,
             information_loss=table_information_loss(losses),
+            runner=executor.runner_name,
+            workers=executor.max_workers,
+            chunk_seconds=run.chunk_seconds,
         )
 
     # ------------------------------------------------------------------ detect
@@ -400,6 +431,25 @@ class ProtectionService:
         return ShardExecutor(
             workers if workers is not None else self._executor.max_workers,
             runner=runner if runner is not None else self._executor.runner,
+        )
+
+    def _protect_executor_for(
+        self, workers: int | None, runner: "str | ShardRunner | None"
+    ) -> ShardExecutor:
+        """Like :meth:`_executor_for`, but protect-capable.
+
+        A service whose *default* runner is a detect fleet (a ``repro serve
+        --runner remote`` coordinator) still protects — pass 2 falls back to
+        the local thread runner, exactly the pre-parallel behavior.  Only an
+        *explicitly requested* fleet runner is refused (by the executor,
+        before the output file exists), so asking for the impossible stays
+        loud while the default deployment keeps working.
+        """
+        executor = self._executor_for(workers, runner)
+        if executor.runner.supports_protect or runner is not None:
+            return executor
+        return ShardExecutor(
+            workers if workers is not None else executor.max_workers, runner="thread"
         )
 
     # ----------------------------------------------------------------- dispute

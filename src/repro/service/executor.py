@@ -25,21 +25,35 @@ from picklable params and ships only ``DetectionVotes`` back, and the
 :class:`~repro.service.runners.RemoteRunner` does the same over HTTP against
 a fleet of ``repro serve`` workers — the merge machinery is identical in all
 three cases, which is what keeps every runner bit-identical to serial.
-Embedding always runs on threads: its result *is* the rows, so a process
-pool (or the network) would pay row shipping in both directions for nothing.
+
+Protect's pass 2 is the embed-side counterpart (:meth:`ShardExecutor.protect_csv`):
+once pass 1 has fixed the binning plan, rewrite + embed is per-chunk
+independent, so the runner maps :func:`~repro.service.runners.protect_raw_chunk`
+over raw CSV chunks and the executor splices the returned chunk texts — in
+chunk order — through one :class:`~repro.service.streaming.RowWriter`.
+Protect workers do ship rows back (the result *is* the rows), but they also
+carry parsing, encryption, generalisation, embedding and serialisation, so a
+process pool wins where the in-memory :meth:`ShardExecutor.embed` (rows in
+*both* directions, no parse work) stays thread-based.
 """
 
 from __future__ import annotations
 
 import os
 from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
 from typing import Callable, Iterable, Mapping
 
 from repro.binning.binner import BinnedTable
 from repro.relational.schema import TableSchema
 from repro.relational.table import Table
-from repro.service.runners import ShardRunner, resolve_runner
-from repro.service.streaming import DEFAULT_CHUNK_SIZE
+from repro.service.runners import (
+    PROTECT_UNSUPPORTED_ERROR,
+    ProtectPlan,
+    ShardRunner,
+    resolve_runner,
+)
+from repro.service.streaming import DEFAULT_CHUNK_SIZE, RowWriter
 from repro.watermarking.hierarchical import (
     DetectionReport,
     DetectionVotes,
@@ -48,7 +62,21 @@ from repro.watermarking.hierarchical import (
 )
 from repro.watermarking.mark import Mark
 
-__all__ = ["shard_spans", "shard_binned", "ShardExecutor"]
+__all__ = ["shard_spans", "shard_binned", "ProtectRun", "ShardExecutor"]
+
+
+@dataclass(frozen=True)
+class ProtectRun:
+    """Totals of one runner-parallel protect pass 2 (rows, counters, timings)."""
+
+    rows: int
+    tuples_selected: int
+    cells_changed: int
+    chunk_seconds: tuple[float, ...]
+
+    @property
+    def chunks(self) -> int:
+        return len(self.chunk_seconds)
 
 #: Shards below this many rows are not worth the pool dispatch overhead.
 MIN_ROWS_PER_SHARD = 256
@@ -194,6 +222,48 @@ class ShardExecutor:
         if merged is None:
             merged = self._empty_votes(watermarker, mark_length)
         return watermarker.finalize_votes(merged, mark_length)
+
+    # ------------------------------------------------------------------ protect
+    def protect_csv(
+        self,
+        plan: ProtectPlan,
+        input_csv: str,
+        output_csv: str,
+        *,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ) -> ProtectRun:
+        """Pass 2 of a streamed protect: rewrite + embed + emit on the runner.
+
+        Splits *input_csv* into quote-parity raw chunks, runs
+        :func:`~repro.service.runners.protect_raw_chunk` per chunk on the
+        configured runner, and appends each returned chunk text to
+        *output_csv* in chunk order — so the output file is byte-identical to
+        a serial streaming protect whatever the runner or worker count.  An
+        empty input (header only) still writes the output header.  A runner
+        that cannot carry protect (the remote fleet) is refused *before* the
+        output file is created, so a refusal leaves nothing behind.
+        """
+        if not self._runner.supports_protect:
+            raise ValueError(PROTECT_UNSUPPORTED_ERROR)
+        rows = 0
+        tuples_selected = 0
+        cells_changed = 0
+        chunk_seconds: list[float] = []
+        with RowWriter(output_csv, plan.schema) as writer:
+            for chunk in self._runner.protect_csv(
+                plan, input_csv, chunk_size=chunk_size, max_workers=self._max_workers
+            ):
+                writer.write_text(chunk.text, chunk.rows)
+                rows += chunk.rows
+                tuples_selected += chunk.tuples_selected
+                cells_changed += chunk.cells_changed
+                chunk_seconds.append(chunk.seconds)
+        return ProtectRun(
+            rows=rows,
+            tuples_selected=tuples_selected,
+            cells_changed=cells_changed,
+            chunk_seconds=tuple(chunk_seconds),
+        )
 
     # ---------------------------------------------------------------- embedding
     def embed(

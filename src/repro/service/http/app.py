@@ -33,6 +33,8 @@ round trip yields both artifacts without buffering either.
 
 ``detect`` accepts ``?workers=``, ``?runner=thread|process`` and
 ``?max_loss=`` query parameters — the HTTP spelling of the CLI flags.
+``protect`` accepts ``?workers=`` and ``?runner=thread|process`` too (pass 2
+runs on the named runner; ``remote`` is detect-only and is refused with 400).
 Failures are uniform ``{"error": ...}`` JSON with 4xx/5xx statuses.
 """
 
@@ -346,20 +348,35 @@ class ProtectionApp:
     ) -> Iterable[bytes]:
         query = _query(environ)
         chunk_size = _int_param(query, "chunk_size", minimum=1)
+        workers = _int_param(query, "workers", minimum=1)
+        runner = _str_param(query, "runner")
+        if runner is not None and runner not in RUNNER_NAMES:
+            # Includes ?runner=remote: the remote runner is detect-only.
+            raise _HTTPError(
+                400,
+                f"unknown protect runner {runner!r} "
+                f"(expected one of {', '.join(RUNNER_NAMES)}; remote is detect-only)",
+            )
         upload = self._spool_upload(environ)
         output = self._temp_path("protected")
         started = time.perf_counter()
         try:
             with self._protect_lock:
                 outcome = self._service.protect(
-                    tenant, upload, output, dataset_id=dataset, chunk_size=chunk_size
+                    tenant,
+                    upload,
+                    output,
+                    dataset_id=dataset,
+                    chunk_size=chunk_size,
+                    workers=workers,
+                    runner=runner,
                 )
         except BaseException:
             _unlink_quietly(output)
             raise
         finally:
             _unlink_quietly(upload)
-        self._metrics.record_protect(outcome.rows, time.perf_counter() - started)
+        self._metrics.record_protect(outcome.runner, outcome.rows, time.perf_counter() - started)
         report = json.dumps(outcome.to_json(), sort_keys=True)
         headers = [
             ("Content-Type", "text/csv; charset=utf-8"),

@@ -97,9 +97,16 @@ class ServiceClient:
         output_csv: str,
         *,
         chunk_size: int | None = None,
+        workers: int | None = None,
+        runner: str | None = None,
     ) -> dict:
-        """Stream *input_csv* up, the protected CSV down; return the report."""
-        query = {"chunk_size": chunk_size} if chunk_size else None
+        """Stream *input_csv* up, the protected CSV down; return the report.
+
+        *workers*/*runner* pick where the server runs protect's pass 2
+        (``thread`` or ``process``; the remote runner is detect-only).
+        """
+        query_params = {"chunk_size": chunk_size, "workers": workers, "runner": runner}
+        query = {name: value for name, value in query_params.items() if value is not None} or None
         status, headers, response = self._request(
             "POST",
             f"/tenants/{tenant}/datasets/{dataset}/protect",

@@ -15,7 +15,8 @@ What is counted:
 * **responses** — per HTTP status actually sent (including error paths);
 * **detect** — per-runner calls / rows examined / wall seconds, so a
   coordinator's ``remote`` timings sit next to its workers' chunk timings;
-* **protect** — calls / rows protected / wall seconds;
+* **protect** — per-runner calls / rows protected / wall seconds, mirroring
+  detect now that protect's pass 2 runs on a pluggable runner too;
 * **worker_chunks** — the worker side of distributed detection: chunks
   served over ``POST /internal/detect-votes``, their rows and seconds.
 
@@ -40,7 +41,7 @@ class ServiceMetrics:
         self._requests: Counter = Counter()
         self._responses: Counter = Counter()
         self._detect: defaultdict[str, list[float]] = defaultdict(lambda: [0, 0, 0.0])
-        self._protect = [0, 0, 0.0]  # calls, rows, seconds
+        self._protect: defaultdict[str, list[float]] = defaultdict(lambda: [0, 0, 0.0])
         self._chunks = [0, 0, 0.0]  # chunks, rows, seconds
 
     # ------------------------------------------------------------- recording
@@ -59,11 +60,12 @@ class ServiceMetrics:
             entry[1] += rows
             entry[2] += seconds
 
-    def record_protect(self, rows: int, seconds: float) -> None:
+    def record_protect(self, runner: str, rows: int, seconds: float) -> None:
         with self._lock:
-            self._protect[0] += 1
-            self._protect[1] += rows
-            self._protect[2] += seconds
+            entry = self._protect[runner]
+            entry[0] += 1
+            entry[1] += rows
+            entry[2] += seconds
 
     def record_chunk(self, rows: int, seconds: float) -> None:
         with self._lock:
@@ -94,6 +96,12 @@ class ServiceMetrics:
                     },
                     "rows": int(sum(entry[1] for entry in self._detect.values())),
                 },
-                "protect": timing(self._protect, "calls"),
+                "protect": {
+                    "runners": {
+                        runner: timing(entry, "calls")
+                        for runner, entry in sorted(self._protect.items())
+                    },
+                    "rows": int(sum(entry[1] for entry in self._protect.values())),
+                },
                 "worker_chunks": timing(self._chunks, "chunks"),
             }

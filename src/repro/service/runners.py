@@ -30,9 +30,23 @@ Three implementations:
   :class:`DetectionVotes`, merged locally exactly like the other runners' —
   which is what keeps a fleet detect bit-identical to a serial one.
 
-All runners are stateless across calls: pools live for one ``collect*`` call
-(the remote fleet's failure bookkeeping too), so a runner instance can be
-shared by many executors and services.
+Since PR 5 the runners carry protect's pass 2 as well as detection: once the
+binning plan is fixed, rewrite + embed is per-chunk independent, so
+:meth:`ShardRunner.protect_csv` maps :func:`protect_raw_chunk` over the same
+quote-parity raw chunks and yields one :class:`ProtectedChunk` — the chunk's
+serialised output CSV text plus its embedding counters — per chunk, in chunk
+order, for the executor to splice through a
+:class:`~repro.service.streaming.RowWriter`.  Protect *does* ship rows back
+from process workers (its result is the rows), but the workers also carry the
+dominant costs — parsing, encryption, generalisation, embedding and CSV
+serialisation — so the trade the detect path refused for embed-only sharding
+pays off here.  The :class:`RemoteRunner` refuses protect: shipping every row
+across the network twice has no CPU story, and the vault-owning coordinator
+is the only process that may see raw identifiers.
+
+All runners are stateless across calls: pools live for one ``collect*`` or
+``protect*`` call (the remote fleet's failure bookkeeping too), so a runner
+instance can be shared by many executors and services.
 """
 
 from __future__ import annotations
@@ -40,16 +54,24 @@ from __future__ import annotations
 import csv
 import itertools
 import threading
+import time
 from collections import deque
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
-from repro.binning.binner import BinnedTable
+from repro.binning.binner import BinnedTable, rewrite_rows
+from repro.binning.generalization import Generalization, MultiColumnGeneralization
+from repro.crypto.cipher import FieldEncryptor
 from repro.relational.io import parse_row
 from repro.relational.schema import TableSchema
 from repro.relational.table import Table
-from repro.service.streaming import DEFAULT_CHUNK_SIZE, iter_raw_chunks, iter_tables
+from repro.service.streaming import (
+    DEFAULT_CHUNK_SIZE,
+    iter_raw_chunks,
+    iter_tables,
+    render_csv_rows,
+)
 from repro.service.wire import (
     binned_metadata_to_json,
     metadata_to_json,
@@ -59,19 +81,32 @@ from repro.service.wire import (
 )
 from repro.watermarking.hierarchical import DetectionVotes, HierarchicalWatermarker
 from repro.watermarking.keys import WatermarkKey
+from repro.watermarking.mark import Mark
 
 __all__ = [
     "WatermarkerSpec",
+    "ProtectPlan",
+    "ProtectedChunk",
     "ShardRunner",
     "ThreadRunner",
     "ProcessRunner",
     "RemoteRunner",
     "FleetError",
     "RUNNER_NAMES",
+    "PROTECT_UNSUPPORTED_ERROR",
     "collect_raw_chunk",
+    "protect_raw_chunk",
     "REMOTE_RUNNER_NAME",
     "resolve_runner",
 ]
+
+#: Raised (as a :class:`ValueError`) wherever a protect is asked to run on a
+#: runner that cannot carry it — shared so the executor can refuse *before*
+#: creating the output file and the runner can refuse as a backstop.
+PROTECT_UNSUPPORTED_ERROR = (
+    "the remote runner is detect-only: protect ships rows, not votes "
+    "(use --runner thread or --runner process for parallel protect)"
+)
 
 _SENTINEL = object()
 
@@ -172,6 +207,91 @@ def collect_raw_chunk(
     return len(table), _worker_watermarker(spec).collect_votes(binned, mark_length)
 
 
+@dataclass(frozen=True)
+class ProtectPlan:
+    """Everything pass 2 of a streamed protect needs, in picklable form.
+
+    Pass 1 fixes the global aggregates: the :class:`~repro.binning.binner.BinPlan`
+    (frontier node names, reachable through *metadata*) and the registered
+    mark.  From then on every chunk is independent, and this plan is the whole
+    per-chunk contract — a worker process rebuilds the watermarker from the
+    :class:`WatermarkerSpec`, the identifier encryptor from the key material,
+    and the ultimate generalizations from the metadata's trees + node names,
+    all pure functions of the plan, so every runner produces bit-identical
+    chunks.
+    """
+
+    spec: WatermarkerSpec
+    schema: TableSchema
+    metadata: Mapping[str, object]
+    identifying_columns: tuple[str, ...]
+    encryption_key: bytes | str
+    mark_bits: str
+
+
+@dataclass(frozen=True)
+class ProtectedChunk:
+    """One chunk's pass-2 output: serialised CSV text plus embed counters.
+
+    *text* is the chunk's rows rendered exactly as
+    :meth:`~repro.service.streaming.RowWriter.write_table` would render them
+    (same ``csv`` dialect, no header), so the executor splices chunks into the
+    output file byte-identically to a serial emit.  *seconds* is the worker's
+    own wall clock over the chunk (parse through serialise), reported per
+    chunk in the protect report.
+    """
+
+    rows: int
+    tuples_selected: int
+    cells_changed: int
+    seconds: float
+    text: str
+
+
+def protect_raw_chunk(plan: ProtectPlan, header: str, lines: list[str]) -> ProtectedChunk:
+    """Pool task: rewrite + embed + serialise one raw CSV chunk of a protect.
+
+    Every stage reuses the serial path's own code rather than mirroring it —
+    the ``csv.DictReader`` + ``parse_row`` ingest of :func:`collect_raw_chunk`,
+    the shared :func:`repro.binning.binner.rewrite_rows` (over an ultimate
+    generalization rebuilt from the metadata's trees + node names), one
+    :meth:`~repro.watermarking.hierarchical.HierarchicalWatermarker.embed`
+    over the chunk's :class:`BinnedTable` view, and
+    :func:`~repro.service.streaming.render_csv_rows` for the emit dialect —
+    so the returned text is byte for byte what the serial path would have
+    written for these records, by construction.
+    """
+    started = time.perf_counter()
+    schema = plan.schema
+    metadata = plan.metadata
+    encryptor = FieldEncryptor(plan.encryption_key)
+    trees: Mapping[str, object] = metadata["trees"]
+    ultimate_nodes: Mapping[str, Sequence[str]] = metadata["ultimate_nodes"]
+    ultimate = MultiColumnGeneralization(
+        {
+            column: Generalization.from_node_names(trees[column], ultimate_nodes[column])
+            for column in metadata["quasi_columns"]
+        }
+    )
+
+    def parsed() -> Iterator[dict]:
+        for raw in csv.DictReader(itertools.chain([header], lines)):
+            yield parse_row(raw, schema)
+
+    table = Table(schema)
+    for new_row in rewrite_rows(parsed(), schema, encryptor, ultimate):
+        table.insert(new_row)
+    binned = BinnedTable(table=table, identifying_columns=plan.identifying_columns, **metadata)
+    embedding = _worker_watermarker(plan.spec).embed(binned, Mark.from_string(plan.mark_bits))
+    return ProtectedChunk(
+        rows=len(table),
+        tuples_selected=embedding.tuples_selected,
+        cells_changed=embedding.cells_changed,
+        seconds=time.perf_counter() - started,
+        text=render_csv_rows(schema, embedding.watermarked.table),
+    )
+
+
 def _bounded_ordered(
     submit: Callable[[object], "object"],
     items: Iterable[object],
@@ -207,6 +327,12 @@ class ShardRunner:
     """
 
     name: str = "?"
+
+    #: Whether :meth:`protect_csv` can run here.  False only for the remote
+    #: fleet; the service falls back to a local runner for protect when its
+    #: *default* runner is a detect fleet, and refuses when one is requested
+    #: explicitly.
+    supports_protect: bool = True
 
     # ------------------------------------------------------------- primitives
     def _pool(self, max_workers: int) -> Executor:
@@ -265,6 +391,31 @@ class ShardRunner:
                 yield BinnedTable(table=chunk, **metadata)
 
         yield from self.collect_tables(watermarker, views(), mark_length, max_workers=max_workers)
+
+    def protect_csv(
+        self,
+        plan: ProtectPlan,
+        path: str,
+        *,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        max_workers: int,
+    ) -> Iterator[ProtectedChunk]:
+        """One :class:`ProtectedChunk` per raw chunk of *path*, in chunk order.
+
+        Pass 2 of a streamed protect on this runner's pool: the caller's
+        thread only splits lines (:func:`~repro.service.streaming.iter_raw_chunks`)
+        and splices results; workers parse, rewrite, embed and serialise.  One
+        implementation serves both pools — :func:`protect_raw_chunk` takes only
+        the picklable plan, so thread workers run it in-process while process
+        workers receive it pickled; either way at most ``max_workers + 1``
+        chunks are in flight and results come back in submission order.
+        """
+        with self._pool(max_workers) as pool:
+            yield from _bounded_ordered(
+                lambda chunk: pool.submit(protect_raw_chunk, plan, chunk[0], chunk[1]),
+                iter_raw_chunks(path, chunk_size),
+                max_workers,
+            )
 
 
 class ThreadRunner(ShardRunner):
@@ -510,6 +661,25 @@ class RemoteRunner(ShardRunner):
 
         for response in self._post_stream(payloads(), max_workers):
             yield votes_from_json(response["votes"])
+
+    supports_protect = False
+
+    def protect_csv(
+        self,
+        plan: ProtectPlan,
+        path: str,
+        *,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        max_workers: int,
+    ) -> Iterator[ProtectedChunk]:
+        """Refused: the remote runner is detect-only.
+
+        Detection ships small :class:`DetectionVotes` back; protect's result
+        *is* the rows, so a fleet would pay row shipping in both directions —
+        and, worse, expose raw (pre-encryption) identifiers to workers that
+        are deliberately vault-blind.  Use ``--runner thread|process``.
+        """
+        raise ValueError(PROTECT_UNSUPPORTED_ERROR)
 
     # -------------------------------------------------------------- plumbing
     def _post_stream(

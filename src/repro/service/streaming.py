@@ -17,6 +17,7 @@ needs one.
 from __future__ import annotations
 
 import csv
+import io
 from typing import Iterable, Iterator, Mapping
 
 from repro.relational.io import iter_csv_rows, write_csv_rows
@@ -30,6 +31,7 @@ __all__ = [
     "iter_raw_chunks",
     "spool_stream",
     "write_rows",
+    "render_csv_rows",
     "RowWriter",
 ]
 
@@ -131,6 +133,22 @@ def write_rows(path: str, schema: TableSchema, rows: Iterable[Mapping[str, objec
     return write_csv_rows(path, schema, rows)
 
 
+def render_csv_rows(schema: TableSchema, rows: Iterable[Mapping[str, object]]) -> str:
+    """*rows* rendered exactly as :class:`RowWriter` emits them (no header).
+
+    The single source of the emit dialect for code that serialises away from
+    the output file — protect pool workers render their chunk with this, the
+    executor splices the text through :meth:`RowWriter.write_text`, and
+    :meth:`RowWriter.write_table` itself goes through here, so the three can
+    never drift apart byte-wise.
+    """
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=schema.column_names)
+    for row in rows:
+        writer.writerow({name: row[name] for name in schema.column_names})
+    return buffer.getvalue()
+
+
 class RowWriter:
     """Incrementally fed CSV emitter (context manager).
 
@@ -161,8 +179,19 @@ class RowWriter:
         self._rows_written += 1
 
     def write_table(self, table: Table) -> None:
-        for row in table:
-            self.write_row(row)
+        self.write_text(render_csv_rows(self._schema, table), len(table))
+
+    def write_text(self, text: str, rows: int) -> None:
+        """Append *rows* rows of pre-serialised CSV *text* (no header).
+
+        The emit half of runner-parallel protect: workers serialise their own
+        chunk with the same ``csv`` dialect :meth:`write_row` uses (``\\r\\n``
+        terminators, ``str()`` cell coercion), so appending the text verbatim
+        produces the file a serial :meth:`write_table` loop would — the
+        caller vouches for *rows* since the text is not re-scanned.
+        """
+        self._handle.write(text)
+        self._rows_written += rows
 
     def __exit__(self, exc_type, exc, tb) -> None:
         if self._handle is not None:

@@ -1,0 +1,155 @@
+"""tools/check_bench.py — the CI perf gate's comparison logic.
+
+The acceptance bar: the gate passes a result set equal to its baseline and
+demonstrably fails a fabricated 2x-slower one, through both the library
+functions and the CLI entry point (exit codes are what CI consumes).
+"""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "check_bench", Path(__file__).resolve().parents[2] / "tools" / "check_bench.py"
+)
+check_bench = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(check_bench)
+
+
+def result_doc(times: dict[str, float]) -> dict:
+    """A minimal pytest-benchmark JSON document."""
+    return {
+        "benchmarks": [
+            {"name": name, "stats": {"min": seconds}} for name, seconds in times.items()
+        ]
+    }
+
+
+@pytest.fixture()
+def files(tmp_path):
+    """A baseline and a matching result file on disk; returns their paths."""
+    times = {"test_protect": 0.5, "test_detect": 0.1}
+    results = tmp_path / "results.json"
+    results.write_text(json.dumps(result_doc(times)))
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(json.dumps(check_bench.updated_baseline(times, 0.30)))
+    return results, baseline
+
+
+class TestCheck:
+    def test_equal_results_pass(self):
+        times = {"a": 1.0, "b": 0.25}
+        baseline = check_bench.updated_baseline(times, 0.30)
+        failures, _ = check_bench.check(times, baseline)
+        assert failures == []
+
+    def test_within_tolerance_passes(self):
+        baseline = check_bench.updated_baseline({"a": 1.0}, 0.30)
+        failures, _ = check_bench.check({"a": 1.29}, baseline)
+        assert failures == []
+
+    def test_two_x_slower_fails(self):
+        """The fabricated-regression bar from the PR acceptance criteria."""
+        baseline = check_bench.updated_baseline({"a": 1.0, "b": 0.25}, 0.30)
+        failures, _ = check_bench.check({"a": 2.0, "b": 0.25}, baseline)
+        assert len(failures) == 1 and "a" in failures[0] and "REGRESSION" in failures[0]
+
+    def test_faster_than_tolerance_is_note_not_failure(self):
+        baseline = check_bench.updated_baseline({"a": 1.0}, 0.30)
+        failures, notes = check_bench.check({"a": 0.5}, baseline)
+        assert failures == []
+        assert any("refreshing the baseline" in note for note in notes)
+
+    def test_missing_baseline_entry_fails(self):
+        baseline = check_bench.updated_baseline({"a": 1.0}, 0.30)
+        failures, _ = check_bench.check({"a": 1.0, "brand_new": 1.0}, baseline)
+        assert len(failures) == 1 and "brand_new" in failures[0]
+
+    def test_baseline_entry_missing_from_run_is_skipped(self):
+        baseline = check_bench.updated_baseline({"a": 1.0, "b": 1.0}, 0.30)
+        failures, notes = check_bench.check({"a": 1.0}, baseline)
+        assert failures == []
+        assert any("b: in baseline but not in this run" in note for note in notes)
+
+    def test_sub_millisecond_timers_are_never_gated(self):
+        """No-op pedantic carriers (extra_info-only benchmarks) are noise."""
+        baseline = check_bench.updated_baseline({"sentinel": 2e-06}, 0.30)
+        failures, notes = check_bench.check({"sentinel": 2e-05}, baseline)  # 10x "slower"
+        assert failures == []
+        assert any("gate floor" in note for note in notes)
+
+    def test_tolerance_from_baseline_file(self):
+        baseline = check_bench.updated_baseline({"a": 1.0}, 0.10)
+        failures, _ = check_bench.check({"a": 1.2}, baseline)
+        assert len(failures) == 1  # 1.2x > the file's 1.10x bar
+
+
+class TestCLI:
+    def test_check_mode_exit_codes(self, files):
+        results, baseline = files
+        argv = [str(results), "--check", "--baseline", str(baseline)]
+        assert check_bench.main(argv) == 0
+
+        slow = json.loads(results.read_text())
+        for bench in slow["benchmarks"]:
+            bench["stats"]["min"] *= 2.0
+        results.write_text(json.dumps(slow))
+        assert check_bench.main(argv) == 1
+
+    def test_update_mode_round_trips(self, files, tmp_path):
+        results, _ = files
+        fresh = tmp_path / "fresh-baseline.json"
+        assert check_bench.main([str(results), "--update", "--baseline", str(fresh)]) == 0
+        document = json.loads(fresh.read_text())
+        assert document["tolerance"] == check_bench.DEFAULT_TOLERANCE
+        assert document["entries"]["test_protect"]["min_seconds"] == 0.5
+        assert check_bench.main([str(results), "--check", "--baseline", str(fresh)]) == 0
+
+    def test_malformed_results_exit_2(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(SystemExit) as excinfo:
+            check_bench.main([str(bad), "--check"])
+        assert excinfo.value.code == 2  # operational, distinguishable from a regression
+
+    def test_bench_size_mismatch_exit_2(self, files, monkeypatch):
+        """A baseline taken at another REPRO_BENCH_SIZE must not be compared."""
+        results, baseline = files
+        document = json.loads(baseline.read_text())
+        document["bench_size"] = 5000
+        baseline.write_text(json.dumps(document))
+        monkeypatch.setenv("REPRO_BENCH_SIZE", "2500")
+        with pytest.raises(SystemExit) as excinfo:
+            check_bench.main([str(results), "--check", "--baseline", str(baseline)])
+        assert excinfo.value.code == 2
+        # Unset env is equally untrustworthy: the benchmarks then ran at
+        # their own default size, not the baseline's.
+        monkeypatch.delenv("REPRO_BENCH_SIZE")
+        with pytest.raises(SystemExit) as excinfo:
+            check_bench.main([str(results), "--check", "--baseline", str(baseline)])
+        assert excinfo.value.code == 2
+        monkeypatch.setenv("REPRO_BENCH_SIZE", "5000")
+        assert check_bench.main([str(results), "--check", "--baseline", str(baseline)]) == 0
+
+    def test_update_records_env_bench_size(self, files, tmp_path, monkeypatch):
+        results, _ = files
+        fresh = tmp_path / "sized.json"
+        monkeypatch.setenv("REPRO_BENCH_SIZE", "5000")
+        check_bench.main([str(results), "--update", "--baseline", str(fresh)])
+        assert json.loads(fresh.read_text())["bench_size"] == 5000
+
+    def test_committed_baseline_matches_tool_shape(self):
+        """The repo's own baseline parses and covers the gated suites."""
+        baseline = json.loads(
+            (Path(__file__).resolve().parents[2] / "benchmarks" / "baseline.json").read_text()
+        )
+        assert 0 < float(baseline["tolerance"]) < 1
+        assert baseline["bench_size"] == 5000  # the size the perf-gate job measures at
+        entries = baseline["entries"]
+        assert "test_streaming_protect_throughput" in entries
+        assert "test_protect_thread_vs_process_runner" in entries
+        for entry in entries.values():
+            assert float(entry["min_seconds"]) > 0

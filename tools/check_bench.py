@@ -1,0 +1,208 @@
+#!/usr/bin/env python3
+"""Gate CI on benchmark regressions against a committed baseline.
+
+Stdlib only.  Reads one or more ``pytest-benchmark`` JSON documents (the
+``--benchmark-json`` artifacts ``bench_service.py`` / ``bench_scaling.py``
+emit), extracts each benchmark's best-of-rounds wall time (``stats.min`` —
+the noise-resistant statistic the benchmarks themselves report), and compares
+it against ``benchmarks/baseline.json``:
+
+    # fail the build when any benchmark regressed past the tolerance:
+    python tools/check_bench.py --check bench-service.json bench-scaling.json
+
+    # refresh the committed baseline from a trusted run:
+    python tools/check_bench.py --update bench-service.json bench-scaling.json
+
+A benchmark **fails** when its measured time exceeds the baseline by more
+than the tolerance (default ±30%, overridable per invocation with
+``--tolerance`` or per baseline file via its ``tolerance`` field).  A
+benchmark that got *faster* than the tolerance window never fails — it is
+reported as a candidate for a baseline refresh, so improvements ratchet in
+deliberately instead of silently widening the regression budget.  Benchmarks
+missing from the baseline fail ``--check`` (a new benchmark must commit its
+baseline in the same PR); baseline entries missing from the results are
+reported but do not fail (CI may run a subset).  Benchmarks whose baseline
+time sits under the gate floor (1 ms) are never gated: several suites use a
+no-op ``pedantic`` timer as a carrier for ``extra_info`` ratios, and
+sub-millisecond timings are scheduler noise on any shared runner.
+
+Exit codes: 0 clean, 1 regression (or missing baseline entry), 2 operational
+error (unreadable/malformed JSON).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "baseline.json"
+DEFAULT_TOLERANCE = 0.30
+
+#: Baselines under this many seconds are informational, never gated.
+MIN_GATE_SECONDS = 0.001
+
+
+def _operational_error(message: str) -> SystemExit:
+    """Exit 2 with *message*: distinguishable from a perf regression (exit 1)."""
+    print(f"error: {message}", file=sys.stderr)
+    return SystemExit(2)
+
+
+def load_results(paths: list[str]) -> dict[str, float]:
+    """``{benchmark name: min seconds}`` across all result documents."""
+    results: dict[str, float] = {}
+    for path in paths:
+        try:
+            document = json.loads(Path(path).read_text(encoding="utf-8"))
+            benchmarks = document["benchmarks"]
+        except (OSError, json.JSONDecodeError, KeyError, TypeError) as error:
+            raise _operational_error(f"cannot read benchmark JSON {path!r}: {error!r}")
+        for bench in benchmarks:
+            try:
+                name = str(bench["name"])
+                results[name] = float(bench["stats"]["min"])
+            except (KeyError, TypeError, ValueError) as error:
+                raise _operational_error(f"malformed benchmark entry in {path!r}: {error!r}")
+    if not results:
+        raise _operational_error(f"no benchmarks found in {', '.join(paths)}")
+    return results
+
+
+def check(
+    results: dict[str, float], baseline: dict, *, tolerance: float | None = None
+) -> tuple[list[str], list[str]]:
+    """Compare *results* to a *baseline* document.
+
+    Returns ``(failures, notes)``: human-readable lines.  The build fails
+    when *failures* is non-empty.
+    """
+    entries = baseline.get("entries", {})
+    if tolerance is None:
+        tolerance = float(baseline.get("tolerance", DEFAULT_TOLERANCE))
+    failures: list[str] = []
+    notes: list[str] = []
+    for name, seconds in sorted(results.items()):
+        entry = entries.get(name)
+        if entry is None:
+            failures.append(
+                f"{name}: no baseline entry — run check_bench.py --update and commit "
+                "benchmarks/baseline.json alongside the new benchmark"
+            )
+            continue
+        base = float(entry["min_seconds"])
+        ratio = seconds / base if base > 0 else float("inf")
+        if base < MIN_GATE_SECONDS:
+            notes.append(
+                f"{name}: {seconds:.6f}s vs baseline {base:.6f}s — below the "
+                f"{MIN_GATE_SECONDS:.3f}s gate floor, informational only"
+            )
+        elif ratio > 1.0 + tolerance:
+            failures.append(
+                f"{name}: {seconds:.4f}s vs baseline {base:.4f}s "
+                f"({ratio:.2f}x, tolerance {1.0 + tolerance:.2f}x) — REGRESSION"
+            )
+        elif ratio < 1.0 - tolerance:
+            notes.append(
+                f"{name}: {seconds:.4f}s vs baseline {base:.4f}s ({ratio:.2f}x) — "
+                "faster than the tolerance window; consider refreshing the baseline"
+            )
+        else:
+            notes.append(f"{name}: {seconds:.4f}s vs baseline {base:.4f}s ({ratio:.2f}x) ok")
+    for name in sorted(set(entries) - set(results)):
+        notes.append(f"{name}: in baseline but not in this run (subset run?) — skipped")
+    return failures, notes
+
+
+def updated_baseline(
+    results: dict[str, float], tolerance: float, bench_size: int | None = None
+) -> dict:
+    """A fresh baseline document for *results*.
+
+    *bench_size* records the ``REPRO_BENCH_SIZE`` the results were measured
+    at: absolute times are only comparable at the same row count, so
+    ``--check`` refuses to compare against a baseline taken at a different
+    size (a refresh from a default-size local run would otherwise skew the
+    gate silently).
+    """
+    document: dict = {
+        "tolerance": tolerance,
+        "entries": {
+            name: {"min_seconds": round(seconds, 6)} for name, seconds in sorted(results.items())
+        },
+    }
+    if bench_size is not None:
+        document["bench_size"] = bench_size
+    return document
+
+
+def _env_bench_size() -> int | None:
+    raw = os.environ.get("REPRO_BENCH_SIZE")
+    return int(raw) if raw else None
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("results", nargs="+", help="pytest-benchmark JSON files to inspect")
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--check", action="store_true", help="fail (exit 1) on regression")
+    mode.add_argument("--update", action="store_true", help="rewrite the baseline from the results")
+    parser.add_argument(
+        "--baseline",
+        default=str(DEFAULT_BASELINE),
+        help=f"baseline JSON path (default {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="allowed fractional slowdown (default: the baseline file's, else 0.30)",
+    )
+    args = parser.parse_args(argv)
+    results = load_results(args.results)
+
+    if args.update:
+        tolerance = args.tolerance if args.tolerance is not None else DEFAULT_TOLERANCE
+        document = updated_baseline(results, tolerance, bench_size=_env_bench_size())
+        Path(args.baseline).write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        print(f"wrote {args.baseline} with {len(results)} entries (tolerance ±{tolerance:.0%})")
+        return 0
+
+    try:
+        baseline = json.loads(Path(args.baseline).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as error:
+        raise _operational_error(f"cannot read baseline {args.baseline!r}: {error!r}")
+    baseline_size = baseline.get("bench_size")
+    current_size = _env_bench_size()
+    if baseline_size is not None:
+        if current_size is None:
+            raise _operational_error(
+                f"baseline was measured at REPRO_BENCH_SIZE={baseline_size} but this "
+                "run's size is unknown — export the same REPRO_BENCH_SIZE when running "
+                "the benchmarks and the check (an unset env means the benchmarks "
+                "defaulted to a different size, masking regressions)"
+            )
+        if baseline_size != current_size:
+            raise _operational_error(
+                f"baseline was measured at REPRO_BENCH_SIZE={baseline_size} but this run "
+                f"used {current_size}; absolute times are not comparable across sizes"
+            )
+    failures, notes = check(results, baseline, tolerance=args.tolerance)
+    for line in notes:
+        print(f"  {line}")
+    if failures:
+        print(f"perf gate FAILED ({len(failures)} regression(s)):", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(f"perf gate ok: {len(results)} benchmark(s) within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
