@@ -58,15 +58,20 @@ class SubsetAdditionAttack:
             for name in attacked.table.schema.column_names
             if name not in columns and name not in ident_columns
         ]
+        # Generate the bogus rows first (keeping the PRNG draw order), then
+        # bulk-insert: one copy-on-write check and straight appends on the
+        # columnar substrate, per-row inserts on the row store as before.
+        template = {column: template_row[column] for column in other_columns}
+        bogus_rows: list[dict[str, object]] = []
         for _ in range(n_new):
             row: dict[str, object] = {}
             for column in ident_columns:
                 row[column] = self._bogus_identifier(rng, str(template_row[column]))
             for column in columns:
                 row[column] = rng.choice(candidate_values[column])
-            for column in other_columns:
-                row[column] = template_row[column]
-            attacked.table.insert(row)
+            row.update(template)
+            bogus_rows.append(row)
+        attacked.table.insert_many(bogus_rows)
         return AttackResult(
             attacked=attacked,
             rows_touched=n_new,

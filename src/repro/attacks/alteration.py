@@ -56,10 +56,15 @@ class SubsetAlterationAttack:
             column: [node.value for node in attacked.ultimate_node_objects(column)] for column in columns
         }
         indices = rng.subset_indices(len(attacked.table), self.fraction)
+        # Draw the replacement values row-major (the draw order fixes the PRNG
+        # stream, so it must not change), then apply them column by column —
+        # one bulk write per column on the columnar substrate.
+        picks: dict[str, list[object]] = {column: [] for column in columns}
         for index in indices:
-            row = attacked.table.mutable_row(index)
             for column in columns:
-                row[column] = rng.choice(candidate_values[column])
+                picks[column].append(rng.choice(candidate_values[column]))
+        for column in columns:
+            attacked.table.set_cells(column, indices, picks[column])
         return AttackResult(
             attacked=attacked,
             rows_touched=len(indices),

@@ -85,7 +85,6 @@ class SubsetDeletionAttack:
         # Identifier-range mode: delete n_ranges consecutive slices of the
         # identifier order, totalling the requested share.
         ident_column = attacked.identifying_columns[0]
-        ordered = sorted(str(row[ident_column]) for row in attacked.table)
         rng = DeterministicPRNG(("subset-deletion-ranges", self.seed, self.fraction))
         per_range = max(1, target // self.n_ranges)
         ranges: list[tuple[str, str]] = []
@@ -93,7 +92,7 @@ class SubsetDeletionAttack:
         attempts = 0
         while deleted_total < target and attempts < self.n_ranges * 4:
             attempts += 1
-            remaining = [str(row[ident_column]) for row in attacked.table]
+            remaining = [str(value) for value in attacked.table.column_values(ident_column)]
             if len(remaining) <= per_range:
                 break
             remaining.sort()

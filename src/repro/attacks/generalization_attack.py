@@ -64,25 +64,48 @@ class GeneralizationAttack:
         maximal_sets = {column: set(attacked.maximal_node_objects(column)) for column in columns}
         table = attacked.table
         changed = 0
-        rows_touched = 0
-        for index in range(len(table)):
-            row = table[index]
-            row_changed = False
-            for column in columns:
-                tree = trees[column]
+        touched: set[int] = set()
+        # Column-at-a-time sweep: a binned column holds one value per ultimate
+        # node, so the lift of each *distinct* value is resolved once and the
+        # changed cells are written back in one bulk update per column.  The
+        # per-cell results (and both counters) are identical to the former
+        # row-major loop.
+        for column in columns:
+            tree = trees[column]
+            maximal = maximal_sets[column]
+            value_to_node = tree.value_to_node
+            # value -> lifted value, or None when the cell stays unchanged
+            # (unparseable or already at its lift target).
+            memo: dict[object, object] = {}
+            indices: list[int] = []
+            lifted_values: list[object] = []
+            for index, value in enumerate(table.column_values(column)):
                 try:
-                    node = tree.value_to_node(row[column])
-                except ValueError:
-                    continue
-                lifted = self._lift(tree, node, maximal_sets[column])
-                if lifted is not node:
-                    if not row_changed:
-                        row = table.mutable_row(index)
-                        row_changed = True
-                    row[column] = lifted.value
-                    changed += 1
-            if row_changed:
-                rows_touched += 1
+                    target = memo[value]
+                except KeyError:
+                    try:
+                        node = value_to_node(value)
+                    except ValueError:
+                        target = None
+                    else:
+                        lifted = self._lift(tree, node, maximal)
+                        target = lifted.value if lifted is not node else None
+                    memo[value] = target
+                except TypeError:  # unhashable cell: resolve without caching
+                    try:
+                        node = value_to_node(value)
+                    except ValueError:
+                        continue
+                    lifted = self._lift(tree, node, maximal)
+                    target = lifted.value if lifted is not node else None
+                if target is not None:
+                    indices.append(index)
+                    lifted_values.append(target)
+            if indices:
+                table.set_cells(column, indices, lifted_values)
+                changed += len(indices)
+                touched.update(indices)
+        rows_touched = len(touched)
         return AttackResult(
             attacked=attacked,
             rows_touched=rows_touched,

@@ -110,7 +110,23 @@ class ColumnIndex:
         self._leaf_counts: dict[str, dict[DHTNode, int]] = {}
         for column in columns:
             tree = self._trees[column]
-            leaves = [tree.leaf_for_raw(row[column]) for row in table]
+            # Leaf resolution is deterministic per value, so a per-distinct
+            # memo turns the column sweep into one tree walk per bin instead
+            # of one per row (column_values is a single buffer copy on the
+            # columnar substrate).
+            leaf_for_raw = tree.leaf_for_raw
+            memo: dict[object, DHTNode] = {}
+            leaves: list[DHTNode] = []
+            append = leaves.append
+            for value in table.column_values(column):
+                try:
+                    leaf = memo.get(value)
+                except TypeError:  # unhashable cell: resolve without caching
+                    append(leaf_for_raw(value))
+                    continue
+                if leaf is None:
+                    leaf = memo[value] = leaf_for_raw(value)
+                append(leaf)
             self._row_leaves[column] = leaves
             counts: dict[DHTNode, int] = {leaf: 0 for leaf in tree.leaves()}
             for leaf in leaves:

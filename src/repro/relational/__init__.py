@@ -18,6 +18,7 @@ library can treat "the database" as a plain Python object.
 
 from repro.relational.schema import Column, ColumnKind, ColumnType, TableSchema
 from repro.relational.table import Row, Table
+from repro.relational.columnar import ColumnRow, ColumnarTable, ColumnStore, TypedColumn
 from repro.relational.query import (
     delete_where,
     equals,
@@ -34,6 +35,10 @@ __all__ = [
     "TableSchema",
     "Row",
     "Table",
+    "ColumnarTable",
+    "ColumnRow",
+    "ColumnStore",
+    "TypedColumn",
     "select_where",
     "delete_where",
     "project",

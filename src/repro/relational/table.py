@@ -83,7 +83,18 @@ class Table:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Table):
             return NotImplemented
-        return self._schema == other._schema and self._rows == other._rows
+        if self._schema != other._schema:
+            return False
+        if type(self) is Table and type(other) is Table:
+            return self._rows == other._rows
+        # At least one side is a different substrate (e.g. columnar): compare
+        # column by column, which sidesteps per-row view materialisation.
+        if len(self) != len(other):
+            return False
+        return all(
+            self.column_values(name) == other.column_values(name)
+            for name in self._schema.column_names
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"Table(columns={self._schema.column_names}, rows={len(self._rows)})"
@@ -122,9 +133,17 @@ class Table:
         if any(i < 0 or i >= len(self._rows) for i in to_drop):
             raise IndexError("row index out of range")
         before = len(self._rows)
-        self._rows = [row for i, row in enumerate(self._rows) if i not in to_drop]
-        if self._owned is not None:
-            self._owned = [flag for i, flag in enumerate(self._owned) if i not in to_drop]
+        if self._owned is None:
+            self._rows = [row for i, row in enumerate(self._rows) if i not in to_drop]
+        else:
+            rows: list[Row] = []
+            flags: list[bool] = []
+            for i, row in enumerate(self._rows):
+                if i not in to_drop:
+                    rows.append(row)
+                    flags.append(self._owned[i])
+            self._rows = rows
+            self._owned = flags
         return before - len(self._rows)
 
     def delete_where(self, predicate: Callable[[Row], bool]) -> int:
@@ -133,9 +152,14 @@ class Table:
         if self._owned is None:
             self._rows = [row for row in self._rows if not predicate(row)]
         else:
-            kept = [(row, flag) for row, flag in zip(self._rows, self._owned) if not predicate(row)]
-            self._rows = [row for row, _ in kept]
-            self._owned = [flag for _, flag in kept]
+            rows: list[Row] = []
+            flags: list[bool] = []
+            for row, flag in zip(self._rows, self._owned):
+                if not predicate(row):
+                    rows.append(row)
+                    flags.append(flag)
+            self._rows = rows
+            self._owned = flags
         return before - len(self._rows)
 
     def update_where(self, predicate: Callable[[Row], bool], updater: Callable[[Row], None]) -> int:
@@ -156,9 +180,53 @@ class Table:
     def distinct_values(self, name: str) -> set[object]:
         return set(self.column_values(name))
 
+    def column_sequences(self, names: Sequence[str]) -> dict[str, Sequence] | None:
+        """Raw per-column buffers for hot paths, or ``None`` on a row store.
+
+        The columnar substrate returns read-only references to its internal
+        column buffers so per-column sweeps can skip row materialisation;
+        the row store returns ``None`` (building projections here would cost
+        as much as the ``row[name]`` loop it replaces), and callers fall back
+        to the row path.
+        """
+        return None
+
+    def set_cells(self, name: str, indices: Sequence[int], values: Sequence[object]) -> None:
+        """Write ``values[j]`` into column *name* at row ``indices[j]``.
+
+        The bulk-write counterpart of :meth:`column_sequences`: the row store
+        goes through :meth:`mutable_row` per index (preserving CoW), the
+        columnar store writes the column buffer in place after a single
+        copy-on-write check.
+        """
+        self._schema.column(name)
+        for index, value in zip(indices, values):
+            self.mutable_row(index)[name] = value
+
     def select(self, predicate: Callable[[Row], bool]) -> "Table":
-        """Return a new table containing the rows satisfying *predicate*."""
-        return Table(self._schema, (dict(row) for row in self._rows if predicate(row)))
+        """Return a new table containing the rows satisfying *predicate*.
+
+        The result shares the matching row dicts copy-on-write (like
+        :meth:`from_validated_rows`): no row is copied up front, and the
+        shared rows are marked in *both* tables so a later mutation through
+        either table's API copies first.  Mutate results through
+        :meth:`mutable_row`, never the dicts directly.
+        """
+        selected: list[Row] = []
+        selected_indices: list[int] = []
+        for i, row in enumerate(self._rows):
+            if predicate(row):
+                selected.append(row)
+                selected_indices.append(i)
+        result = Table(self._schema)
+        result._rows = selected
+        result._owned = [False] * len(selected)
+        if selected:
+            if self._owned is None:
+                self._owned = [True] * len(self._rows)
+            for i in selected_indices:
+                self._owned[i] = False
+        return result
 
     def group_by_count(self, names: Sequence[str]) -> dict[tuple[object, ...], int]:
         """Count rows per combination of values of the given columns.
@@ -234,7 +302,7 @@ class Table:
     # --------------------------------------------------------------------- IO
     def to_csv(self, path: str) -> None:
         """Write the table to *path* as CSV with a header row."""
-        write_csv_rows(path, self._schema, self._rows)
+        write_csv_rows(path, self._schema, self.rows)
 
     @classmethod
     def from_csv(cls, path: str, schema: TableSchema) -> "Table":

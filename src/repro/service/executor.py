@@ -287,7 +287,9 @@ class ShardExecutor:
         with ThreadPoolExecutor(max_workers=self._max_workers) as pool:
             reports = list(pool.map(lambda piece: watermarker.embed(piece, mark), pieces))
 
-        merged_table = Table.from_validated_rows(
+        # Preserve the input's substrate: a columnar table merges shard rows
+        # back into columns, a row store shares the shard row dicts as before.
+        merged_table = type(binned.table).from_validated_rows(
             binned.table.schema,
             (row for report in reports for row in report.watermarked.table.rows),
         )

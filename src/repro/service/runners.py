@@ -51,8 +51,6 @@ instance can be shared by many executors and services.
 
 from __future__ import annotations
 
-import csv
-import itertools
 import threading
 import time
 from collections import deque
@@ -60,10 +58,10 @@ from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
-from repro.binning.binner import BinnedTable, rewrite_rows
+from repro.binning.binner import BinnedTable, rewrite_table
 from repro.binning.generalization import Generalization, MultiColumnGeneralization
 from repro.crypto.cipher import FieldEncryptor
-from repro.relational.io import parse_row
+from repro.relational.columnar import ColumnarTable
 from repro.relational.schema import TableSchema
 from repro.relational.table import Table
 from repro.service.streaming import (
@@ -194,15 +192,15 @@ def collect_raw_chunk(
 ) -> tuple[int, DetectionVotes]:
     """Process-pool task: parse one raw CSV chunk and collect its votes.
 
-    Parsing mirrors :func:`repro.relational.io.iter_csv_rows` exactly — the
-    same ``csv.DictReader`` over the same header + lines, the same
-    ``parse_row`` — so a worker sees cell for cell what the in-process reader
-    would have produced.  Returns ``(row_count, votes)``: the caller needs
-    the count for the detection report and must not re-scan the chunk.
+    The chunk parses straight into a columnar table
+    (:meth:`~repro.relational.columnar.ColumnarTable.from_csv_chunk`), whose
+    parse plan mirrors ``csv.DictReader`` + ``parse_row`` cell for cell — a
+    worker sees exactly what the in-process reader would have produced, and
+    vote collection runs on the per-column fast path.  Returns
+    ``(row_count, votes)``: the caller needs the count for the detection
+    report and must not re-scan the chunk.
     """
-    table = Table(schema)
-    for raw in csv.DictReader(itertools.chain([header], lines)):
-        table.insert(parse_row(raw, schema))
+    table = ColumnarTable.from_csv_chunk(schema, header, lines)
     binned = BinnedTable(table=table, **metadata)
     return len(table), _worker_watermarker(spec).collect_votes(binned, mark_length)
 
@@ -252,9 +250,10 @@ def protect_raw_chunk(plan: ProtectPlan, header: str, lines: list[str]) -> Prote
     """Pool task: rewrite + embed + serialise one raw CSV chunk of a protect.
 
     Every stage reuses the serial path's own code rather than mirroring it —
-    the ``csv.DictReader`` + ``parse_row`` ingest of :func:`collect_raw_chunk`,
-    the shared :func:`repro.binning.binner.rewrite_rows` (over an ultimate
-    generalization rebuilt from the metadata's trees + node names), one
+    the columnar chunk ingest of :func:`collect_raw_chunk`, the shared
+    :func:`repro.binning.binner.rewrite_table` (over an ultimate
+    generalization rebuilt from the metadata's trees + node names, with the
+    identifying column batch-encrypted in one sweep), one
     :meth:`~repro.watermarking.hierarchical.HierarchicalWatermarker.embed`
     over the chunk's :class:`BinnedTable` view, and
     :func:`~repro.service.streaming.render_csv_rows` for the emit dialect —
@@ -274,13 +273,8 @@ def protect_raw_chunk(plan: ProtectPlan, header: str, lines: list[str]) -> Prote
         }
     )
 
-    def parsed() -> Iterator[dict]:
-        for raw in csv.DictReader(itertools.chain([header], lines)):
-            yield parse_row(raw, schema)
-
-    table = Table(schema)
-    for new_row in rewrite_rows(parsed(), schema, encryptor, ultimate):
-        table.insert(new_row)
+    parsed = ColumnarTable.from_csv_chunk(schema, header, lines)
+    table = rewrite_table(parsed, schema, encryptor, ultimate)
     binned = BinnedTable(table=table, identifying_columns=plan.identifying_columns, **metadata)
     embedding = _worker_watermarker(plan.spec).embed(binned, Mark.from_string(plan.mark_bits))
     return ProtectedChunk(

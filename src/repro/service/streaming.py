@@ -20,6 +20,7 @@ import csv
 import io
 from typing import Iterable, Iterator, Mapping
 
+from repro.relational.columnar import ColumnarTable, CsvParsePlan
 from repro.relational.io import iter_csv_rows, write_csv_rows
 from repro.relational.schema import TableSchema
 from repro.relational.table import Row, Table
@@ -53,17 +54,28 @@ def iter_tables(path: str, schema: TableSchema, chunk_size: int = DEFAULT_CHUNK_
     rewrite, mark embedding and vote collection are all per-row computations,
     so processing chunk tables in file order is exactly equivalent to
     processing one full table.
+
+    Chunks are :class:`~repro.relational.columnar.ColumnarTable` objects: the
+    cells go straight from the CSV reader into typed column buffers (same
+    parse semantics as ``csv.DictReader`` + ``parse_row``, asserted by the
+    columnar equivalence suite), and every downstream per-row computation
+    runs on its per-column fast path.
     """
     if chunk_size < 1:
         raise ValueError("chunk_size must be at least 1")
-    chunk = Table(schema)
-    for row in iter_csv_rows(path, schema):
-        chunk.insert(row)
-        if len(chunk) >= chunk_size:
-            yield chunk
-            chunk = Table(schema)
-    if len(chunk):
-        yield chunk
+    with open(path, newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        fieldnames = next(reader, None)
+        if fieldnames is None:
+            return
+        plan = CsvParsePlan(fieldnames, schema)
+        while True:
+            chunk = ColumnarTable(schema)
+            parsed = plan.extend_table(chunk, reader, limit=chunk_size)
+            if parsed:
+                yield chunk
+            if parsed < chunk_size:
+                return
 
 
 def iter_raw_chunks(
@@ -142,10 +154,20 @@ def render_csv_rows(schema: TableSchema, rows: Iterable[Mapping[str, object]]) -
     :meth:`RowWriter.write_table` itself goes through here, so the three can
     never drift apart byte-wise.
     """
+    names = schema.column_names
     buffer = io.StringIO()
-    writer = csv.DictWriter(buffer, fieldnames=schema.column_names)
+    if isinstance(rows, Table):
+        columns = rows.column_sequences(names)
+        if columns is not None:
+            # Columnar fast path: one positional writerows over zipped column
+            # buffers.  ``csv.DictWriter.writerow`` reduces to exactly this
+            # positional write for dicts with the exact fieldnames, so the
+            # bytes are identical to the dict path below.
+            csv.writer(buffer).writerows(zip(*(columns[name] for name in names)))
+            return buffer.getvalue()
+    writer = csv.DictWriter(buffer, fieldnames=names)
     for row in rows:
-        writer.writerow({name: row[name] for name in schema.column_names})
+        writer.writerow({name: row[name] for name in names})
     return buffer.getvalue()
 
 

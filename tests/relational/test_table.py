@@ -70,8 +70,16 @@ class TestQueries:
         selected = table.select(lambda row: row["age"] == 30)
         assert len(selected) == 2
         assert len(table) == 4
-        selected[0]["age"] = 0
+        # Results share rows copy-on-write: mutation through the table API
+        # isolates the source (like lazy_copy), without up-front row copies.
+        selected.mutable_row(0)["age"] = 0
+        assert selected[0]["age"] == 0
         assert table[0]["age"] == 30
+
+    def test_select_source_mutation_does_not_leak_into_result(self, table):
+        selected = table.select(lambda row: row["age"] == 30)
+        table.mutable_row(0)["age"] = 99
+        assert selected[0]["age"] == 30
 
     def test_group_by_count_single_column(self, table):
         assert table.group_by_count(["ward"]) == {("Cardiology",): 2, ("Trauma",): 2}
