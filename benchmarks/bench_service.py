@@ -244,6 +244,41 @@ def test_detect_parallel_equivalence_and_ratio(benchmark, service_env):
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
 
 
+def test_telemetry_overhead(benchmark, service_env):
+    """Observability ISSUE bar: tracing a detect costs < 5% at >= 20k rows.
+
+    Spans sit at chunk granularity, so the traced run adds a handful of
+    context-manager entries per chunk — the ratio should be noise.  The
+    assertion is gated to sizes where a run is long enough to measure; small
+    runs just record both timings in ``extra_info``.
+    """
+    from repro.telemetry.trace import Tracer, activate
+
+    service = service_env.service
+    kwargs = {"dataset_id": "bench", "workers": DETECT_WORKERS}
+
+    def traced_detect():
+        with activate(Tracer()):
+            service.detect("owner", service_env.protected_csv, **kwargs)
+
+    base_time = _best_of(
+        lambda: service.detect("owner", service_env.protected_csv, **kwargs)
+    )
+    traced_time = _best_of(traced_detect)
+    ratio = traced_time / base_time
+    benchmark.extra_info["rows"] = service_env.rows
+    benchmark.extra_info["workers"] = DETECT_WORKERS
+    benchmark.extra_info["base_seconds"] = round(base_time, 4)
+    benchmark.extra_info["traced_seconds"] = round(traced_time, 4)
+    benchmark.extra_info["traced_over_base"] = round(ratio, 3)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if service_env.rows >= 20_000:
+        assert traced_time <= base_time * 1.05, (
+            f"tracing overhead {ratio:.1%} exceeds 5% at {service_env.rows} rows "
+            f"(base {base_time:.3f}s, traced {traced_time:.3f}s)"
+        )
+
+
 # ----------------------------------------------------------------- standalone
 def _standalone_sizes() -> list[int]:
     raw = os.environ.get("REPRO_BENCH_SIZES", "2500,20000,100000")

@@ -33,6 +33,7 @@ from repro.metrics.information_loss import table_information_loss
 from repro.metrics.usage_metrics import UsageMetrics
 from repro.relational.columnar import ColumnarTable, TypedColumn
 from repro.relational.table import Row, Table
+from repro.telemetry.trace import span as _stage_span
 
 __all__ = [
     "BinnedTable",
@@ -90,6 +91,16 @@ def rewrite_table(
     arithmetic and stay bit-identical — the columnar equivalence suite
     asserts the resulting tables compare equal.
     """
+    with _stage_span("protect.encrypt_generalize", rows=len(table)):
+        return _rewrite_table(table, schema, encryptor, ultimate)
+
+
+def _rewrite_table(
+    table: Table,
+    schema,
+    encryptor: FieldEncryptor,
+    ultimate: MultiColumnGeneralization,
+) -> Table:
     names = schema.column_names
     source = table.column_sequences(names)
     if source is None:

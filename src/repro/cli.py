@@ -63,6 +63,8 @@ from repro.service.http.server import make_http_server
 from repro.service.reports import DEFAULT_MAX_LOSS, detect_report, dispute_report, error_payload
 from repro.service.runners import REMOTE_RUNNER_NAME, RUNNER_NAMES, FleetError, RemoteRunner
 from repro.service.vault import KeyVault, VaultError
+from repro.telemetry.log import configure_json_logging
+from repro.telemetry.trace import Tracer, activate as _trace_activate, format_span_tree
 from repro.watermarking.mark import Mark, mark_loss
 
 __all__ = ["main", "build_parser"]
@@ -118,12 +120,27 @@ def _load_protected_table(path: str, k: int, metrics_depth: int = 1) -> BinnedTa
 
 
 def _emit(args: argparse.Namespace, payload: dict, human_lines: list[str]) -> None:
-    """One JSON object in ``--json`` mode, the human report otherwise."""
+    """One JSON object in ``--json`` mode, the human report otherwise.
+
+    Under ``--trace`` the report additionally carries the assembled span
+    tree: a ``"trace"`` key in JSON mode, an indented tree after the human
+    lines otherwise.  By the time a command emits, all service work is done,
+    so every span — including those ingested from pool workers and remote
+    fleet members — is closed and present.
+    """
+    tracer = getattr(args, "_tracer", None)
+    if tracer is not None:
+        payload = dict(payload)
+        payload["trace"] = tracer.to_json()
     if args.json:
         print(json.dumps(payload, indent=2, sort_keys=True))
     else:
         for line in human_lines:
             print(line)
+        if tracer is not None:
+            print(f"trace {tracer.trace_id}:")
+            for line in format_span_tree(tracer.spans):
+                print("  " + line)
 
 
 def _service(args: argparse.Namespace) -> ProtectionService:
@@ -402,6 +419,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         service,
         admin_token=args.admin_token,
         max_upload_bytes=args.max_upload_mb * 1024 * 1024 if args.max_upload_mb else None,
+        logger=configure_json_logging() if args.log_json else None,
     )
     server = make_http_server(app, args.host, args.port, verbose=args.verbose)
     host, port = server.server_address[:2]
@@ -470,6 +488,14 @@ def build_parser() -> argparse.ArgumentParser:
     def add_json(sub: argparse.ArgumentParser) -> None:
         sub.add_argument("--json", action="store_true", help="emit a machine-readable JSON report")
 
+    def add_trace(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--trace",
+            action="store_true",
+            help="collect a cross-process span tree for this command; printed after "
+            'the report (or embedded as the "trace" key in --json mode)',
+        )
+
     def add_fleet(sub: argparse.ArgumentParser) -> None:
         sub.add_argument(
             "--worker-url",
@@ -528,6 +554,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_vault(protect)
     add_url(protect)
     add_json(protect)
+    add_trace(protect)
     protect.set_defaults(func=_cmd_protect)
 
     detect = subparsers.add_parser("detect", help="recover the mark from an outsourced CSV table")
@@ -549,6 +576,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_vault(detect)
     add_url(detect)
     add_json(detect)
+    add_trace(detect)
     detect.set_defaults(func=_cmd_detect)
 
     dispute = subparsers.add_parser(
@@ -584,6 +612,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-upload-mb", type=int, help="reject uploads larger than this many MiB (413)"
     )
     serve.add_argument("--verbose", action="store_true", help="log one line per request to stderr")
+    serve.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit structured JSON logs to stderr (one object per request, "
+        "trace-stamped, redacted — see docs/observability.md)",
+    )
     add_json(serve)
     serve.set_defaults(func=_cmd_serve)
 
@@ -653,8 +687,16 @@ def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     _validate(parser, args)
+    tracer = Tracer() if getattr(args, "trace", False) else None
+    args._tracer = tracer
     try:
-        return args.func(args)
+        if tracer is None:
+            return args.func(args)
+        # --trace: the whole command runs under one ambient trace — local
+        # stages record directly, pool workers and fleet members ship their
+        # spans back, and _emit prints the assembled tree.
+        with _trace_activate(tracer):
+            return args.func(args)
     except (VaultError, HTTPServiceError, FleetError, OSError, ValueError) as error:
         # Operational failures — missing vault, unknown tenant/dataset, a CSV
         # that does not parse, an unreachable or refusing server, an empty or

@@ -35,6 +35,7 @@ from repro.service.runners import ProtectPlan, ShardRunner, WatermarkerSpec
 from repro.service.store import CLAIMS_FILENAME, ClaimStore
 from repro.service.streaming import DEFAULT_CHUNK_SIZE, iter_rows
 from repro.service.vault import DatasetRecord, KeyVault, TenantRecord, VaultError
+from repro.telemetry.trace import span as _stage_span
 from repro.watermarking.hierarchical import DetectionReport
 from repro.watermarking.mark import Mark, mark_loss
 from repro.watermarking.ownership import DisputeVerdict, OwnershipClaim
@@ -252,6 +253,28 @@ class ProtectionService:
         frontiers depend only on the leaf counts, everything downstream is
         per-row, and chunks are emitted in chunk order.
         """
+        with _stage_span("service.protect"):
+            return self._protect(
+                tenant_id,
+                input_csv,
+                output_csv,
+                dataset_id=dataset_id,
+                chunk_size=chunk_size,
+                workers=workers,
+                runner=runner,
+            )
+
+    def _protect(
+        self,
+        tenant_id: str,
+        input_csv: str,
+        output_csv: str,
+        *,
+        dataset_id: str | None,
+        chunk_size: int | None,
+        workers: int | None,
+        runner: "str | ShardRunner | None",
+    ) -> ProtectOutcome:
         framework = self.framework_for(tenant_id)
         dataset_id = dataset_id or dataset_id_for(input_csv)
         chunk_size = chunk_size or self._chunk_size
@@ -269,15 +292,17 @@ class ProtectionService:
         ident_sum = 0.0
         ident_count = 0
         rows = 0
-        for row in iter_rows(input_csv, schema):
-            rows += 1
-            for column in identifying:
-                text = str(row[column])
-                if text.isdigit():
-                    ident_sum += float(int(text))
-                    ident_count += 1
-            for column in quasi:
-                leaf_counts[column][trees[column].leaf_for_raw(row[column])] += 1
+        with _stage_span("protect.pass1") as pass1_scope:
+            for row in iter_rows(input_csv, schema):
+                rows += 1
+                for column in identifying:
+                    text = str(row[column])
+                    if text.isdigit():
+                        ident_sum += float(int(text))
+                        ident_count += 1
+                for column in quasi:
+                    leaf_counts[column][trees[column].leaf_for_raw(row[column])] += 1
+            pass1_scope.set(rows=rows)
         if ident_count == 0:
             raise ValueError("no numeric identifiers: cannot compute the ownership statistic")
         statistic = ident_sum / ident_count
@@ -362,6 +387,26 @@ class ProtectionService:
         is compared against the registered one.  An empty CSV (header only)
         yields a clean zero-coverage report, not an error.
         """
+        with _stage_span("service.detect"):
+            return self._detect(
+                tenant_id,
+                suspect_csv,
+                dataset_id=dataset_id,
+                workers=workers,
+                runner=runner,
+                chunk_size=chunk_size,
+            )
+
+    def _detect(
+        self,
+        tenant_id: str,
+        suspect_csv: str,
+        *,
+        dataset_id: str | None,
+        workers: int | None,
+        runner: "str | ShardRunner | None",
+        chunk_size: int | None,
+    ) -> DetectOutcome:
         record = self._vault.tenant(tenant_id)
         framework = self.framework_for(tenant_id)
         dataset_id = dataset_id or dataset_id_for(suspect_csv)

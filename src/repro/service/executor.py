@@ -54,6 +54,7 @@ from repro.service.runners import (
     resolve_runner,
 )
 from repro.service.streaming import DEFAULT_CHUNK_SIZE, RowWriter
+from repro.telemetry.trace import span as _stage_span
 from repro.watermarking.hierarchical import (
     DetectionReport,
     DetectionVotes,
@@ -324,7 +325,11 @@ class ShardExecutor:
     def _merge_stream(votes_stream: Iterable[DetectionVotes]) -> DetectionVotes | None:
         merged: DetectionVotes | None = None
         for votes in votes_stream:
-            merged = votes if merged is None else merged.merge(votes)
+            # One span per chunk merged (the first chunk's is the trivial
+            # adoption) — pulling from the stream stays *outside* the span so
+            # worker wait time never masquerades as merge time.
+            with _stage_span("detect.merge"):
+                merged = votes if merged is None else merged.merge(votes)
         return merged
 
     def _effective_shards(self, n_rows: int, shards: int | None) -> int:

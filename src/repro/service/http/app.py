@@ -36,11 +36,22 @@ round trip yields both artifacts without buffering either.
 ``protect`` accepts ``?workers=`` and ``?runner=thread|process`` too (pass 2
 runs on the named runner; ``remote`` is detect-only and is refused with 400).
 Failures are uniform ``{"error": ...}`` JSON with 4xx/5xx statuses.
+
+Telemetry (see docs/observability.md): a request carrying a valid
+``X-Repro-Trace-Id`` header is traced — the app activates a tracer with the
+caller's trace id, wraps handling in an ``http.request`` span, and returns
+the collected spans to the caller.  Protect and detect return them in the
+``X-Repro-Trace`` *response header* (the CSV/JSON bodies stay byte-identical
+with tracing on or off); ``/internal/detect-votes`` returns them as the
+``spans`` key of its JSON body, which the coordinator's ``RemoteRunner``
+merges into the caller's trace.  ``GET /metrics?format=prometheus`` renders
+the counters in Prometheus text exposition format (JSON stays the default).
 """
 
 from __future__ import annotations
 
 import json
+import logging
 import os
 import re
 import tempfile
@@ -57,11 +68,34 @@ from repro.service.runners import RUNNER_NAMES, collect_raw_chunk
 from repro.service.streaming import SPOOL_CHUNK_BYTES, spool_stream
 from repro.service.vault import VaultError
 from repro.service.wire import metadata_from_json, spec_from_json, votes_to_json
+from repro.telemetry.log import log_event, tenant_hash
+from repro.telemetry.trace import (
+    PARENT_HEADER,
+    TRACE_HEADER,
+    Tracer,
+    activate as _activate,
+    current_tracer as _current_tracer,
+    is_valid_trace_id,
+    span as _stage_span,
+)
 
-__all__ = ["ProtectionApp", "REPORT_HEADER"]
+__all__ = ["ProtectionApp", "REPORT_HEADER", "TRACE_RESPONSE_HEADER"]
 
 #: Response header carrying the protect report JSON alongside the CSV body.
 REPORT_HEADER = "X-Repro-Report"
+
+#: Response header carrying the server-side trace of a traced protect/detect
+#: (the :meth:`~repro.telemetry.trace.Tracer.to_json` document), so response
+#: bodies stay byte-identical with tracing on or off.
+TRACE_RESPONSE_HEADER = "X-Repro-Trace"
+
+#: Cap on spans shipped in the response — stdlib ``http.client`` refuses
+#: header lines over 64 KiB, and ~150 span documents stay well under it.
+TRACE_EXPORT_LIMIT = 150
+
+#: The WSGI environ spellings of the trace propagation request headers.
+_TRACE_ENVIRON = "HTTP_" + TRACE_HEADER.upper().replace("-", "_")
+_PARENT_ENVIRON = "HTTP_" + PARENT_HEADER.upper().replace("-", "_")
 
 _SEGMENT = r"[A-Za-z0-9._-]+"
 _TENANT_ROUTE = re.compile(rf"^/tenants/(?P<tenant>{_SEGMENT})$")
@@ -198,6 +232,7 @@ class ProtectionApp:
         admin_token: str | None = None,
         max_upload_bytes: int | None = None,
         spool_dir: str | None = None,
+        logger: logging.Logger | None = None,
     ) -> None:
         self._service = service
         self._auth = Authenticator(service.vault, admin_token=admin_token)
@@ -205,6 +240,8 @@ class ProtectionApp:
         self._spool_dir = spool_dir
         self._protect_lock = threading.Lock()
         self._metrics = ServiceMetrics()
+        #: Structured-event sink (``repro serve --log-json``); None = silent.
+        self._logger = logger
 
     @property
     def service(self) -> ProtectionService:
@@ -216,38 +253,102 @@ class ProtectionApp:
 
     # ------------------------------------------------------------------- WSGI
     def __call__(self, environ: Mapping[str, object], start_response: Callable) -> Iterable[bytes]:
-        start_response = self._recording(start_response)
+        tracer = self._request_tracer(environ)
+        if tracer is None:
+            return self._serve(environ, start_response)
+        # The caller sent a valid trace id: collect this request's spans
+        # under it.  The scope lands in environ so handlers that embed the
+        # trace in the *response* can close the request span first (it would
+        # otherwise still be open while the response headers are built).
+        with _activate(tracer):
+            scope = _stage_span(
+                "http.request", method=str(environ.get("REQUEST_METHOD", "GET")).upper()
+            )
+            environ["repro.request_span"] = scope  # type: ignore[index]
+            with scope:
+                return self._serve(environ, start_response)
+
+    def _serve(self, environ: Mapping[str, object], start_response: Callable) -> Iterable[bytes]:
+        started = time.perf_counter()
+        start_response = self._recording(environ, start_response)
         try:
-            return self._route(environ, start_response)
-        except AuthError as error:
-            return _json_response(start_response, error.status, error_payload(error.message))
-        except _HTTPError as error:
-            return _json_response(start_response, error.status, error_payload(error.message))
-        except VaultError as error:
-            status = 409 if "already" in str(error) else 404
-            return _json_response(start_response, status, error_payload(str(error)))
-        except ValueError as error:
-            return _json_response(start_response, 400, error_payload(str(error)))
-        except Exception as error:  # noqa: BLE001 - the service must answer, not die
-            return _json_response(
-                start_response, 500, error_payload(f"internal error: {type(error).__name__}: {error}")
+            try:
+                return self._route(environ, start_response)
+            except AuthError as error:
+                return _json_response(start_response, error.status, error_payload(error.message))
+            except _HTTPError as error:
+                return _json_response(start_response, error.status, error_payload(error.message))
+            except VaultError as error:
+                status = 409 if "already" in str(error) else 404
+                return _json_response(start_response, status, error_payload(str(error)))
+            except ValueError as error:
+                return _json_response(start_response, 400, error_payload(str(error)))
+            except Exception as error:  # noqa: BLE001 - the service must answer, not die
+                return _json_response(
+                    start_response,
+                    500,
+                    error_payload(f"internal error: {type(error).__name__}: {error}"),
+                )
+        finally:
+            # Error paths included: tail latencies that omit failures lie.
+            route = str(environ.get("repro.route", "unknown"))
+            elapsed = time.perf_counter() - started
+            self._metrics.observe_request(route, elapsed)
+            log_event(
+                self._logger,
+                "http.request",
+                route=route,
+                method=str(environ.get("REQUEST_METHOD", "GET")).upper(),
+                status=environ.get("repro.status"),
+                duration_seconds=round(elapsed, 6),
             )
 
-    def _recording(self, start_response: Callable) -> Callable:
+    def _recording(self, environ: Mapping[str, object], start_response: Callable) -> Callable:
         """Wrap *start_response* so every sent status lands in the metrics."""
 
         def wrapped(status: str, headers, exc_info=None):
             try:
-                self._metrics.record_response(int(str(status).split(" ", 1)[0]))
+                code = int(str(status).split(" ", 1)[0])
             except ValueError:
-                pass
+                code = None
+            if code is not None:
+                self._metrics.record_response(code)
+                environ["repro.status"] = code  # type: ignore[index]
             if exc_info is not None:
                 return start_response(status, headers, exc_info)
             return start_response(status, headers)
 
         return wrapped
 
+    def _request_tracer(self, environ: Mapping[str, object]) -> Tracer | None:
+        """A tracer adopting the caller's trace id, or None for untraced requests.
+
+        Ids that fail validation are ignored rather than echoed into spans —
+        a hostile header must not be able to inject content into telemetry.
+        """
+        trace_id = str(environ.get(_TRACE_ENVIRON, ""))
+        if not is_valid_trace_id(trace_id):
+            return None
+        parent = str(environ.get(_PARENT_ENVIRON, ""))
+        return Tracer(trace_id, parent_id=parent if is_valid_trace_id(parent) else None)
+
+    def _trace_header_items(self, environ: Mapping[str, object]) -> list[tuple[str, str]]:
+        """The ``X-Repro-Trace`` response header for a traced request, else []."""
+        tracer = _current_tracer()
+        if tracer is None:
+            return []
+        scope = environ.get("repro.request_span")
+        if scope is not None:
+            scope.done()
+        document = tracer.to_json(limit=TRACE_EXPORT_LIMIT)
+        return [(TRACE_RESPONSE_HEADER, json.dumps(document, separators=(",", ":")))]
+
     # ---------------------------------------------------------------- routing
+    def _count(self, environ: Mapping[str, object], route: str) -> None:
+        """Record the recognised route, and remember it for latency/logs."""
+        environ["repro.route"] = route  # type: ignore[index]
+        self._metrics.record_request(route)
+
     def _route(self, environ: Mapping[str, object], start_response: Callable) -> Iterable[bytes]:
         method = str(environ.get("REQUEST_METHOD", "GET")).upper()
         path = str(environ.get("PATH_INFO", "/")) or "/"
@@ -255,7 +356,7 @@ class ProtectionApp:
         if path == "/healthz":
             if method != "GET":
                 raise _HTTPError(405, "healthz only answers GET")
-            self._metrics.record_request("healthz")
+            self._count(environ, "healthz")
             return _json_response(
                 start_response, 200, {"status": "ok", "vault": self._service.vault.root}
             )
@@ -263,19 +364,31 @@ class ProtectionApp:
         if path == "/metrics":
             if method != "GET":
                 raise _HTTPError(405, "metrics only answers GET")
-            self._metrics.record_request("metrics")
+            self._count(environ, "metrics")
+            fmt = _str_param(_query(environ), "format") or "json"
+            if fmt == "prometheus":
+                return _text_response(
+                    start_response,
+                    200,
+                    self._metrics.prometheus(),
+                    content_type="text/plain; version=0.0.4; charset=utf-8",
+                )
+            if fmt != "json":
+                raise _HTTPError(
+                    400, f"unknown metrics format {fmt!r} (expected json or prometheus)"
+                )
             return _json_response(start_response, 200, self._metrics.snapshot())
 
         if path == "/internal/detect-votes":
             if method != "POST":
                 raise _HTTPError(405, "detect-votes only answers POST")
-            self._metrics.record_request("detect_votes")
+            self._count(environ, "detect_votes")
             return self._handle_detect_votes(environ, start_response)
 
         if path == "/status":
             if method != "GET":
                 raise _HTTPError(405, "status only answers GET")
-            self._metrics.record_request("status")
+            self._count(environ, "status")
             self._auth.require_admin(environ)
             return _json_response(start_response, 200, self._service.status())
 
@@ -283,7 +396,7 @@ class ProtectionApp:
         if match:
             if method != "GET":
                 raise _HTTPError(405, "tenant status only answers GET")
-            self._metrics.record_request("tenant_status")
+            self._count(environ, "tenant_status")
             tenant = match.group("tenant")
             self._auth.require_tenant(environ, tenant)
             return _json_response(start_response, 200, self._service.status(tenant))
@@ -292,7 +405,7 @@ class ProtectionApp:
         if match:
             if method != "POST":
                 raise _HTTPError(405, "tenant registration only answers POST")
-            self._metrics.record_request("register")
+            self._count(environ, "register")
             return self._handle_register(environ, start_response, match.group("tenant"))
 
         match = _DATASET_ROUTE.match(path)
@@ -300,7 +413,7 @@ class ProtectionApp:
             if method != "POST":
                 raise _HTTPError(405, f"{match.group('verb')} only answers POST")
             tenant, dataset, verb = match.group("tenant", "dataset", "verb")
-            self._metrics.record_request(verb)
+            self._count(environ, verb)
             self._auth.require_tenant(environ, tenant)
             handler = {
                 "protect": self._handle_protect,
@@ -309,6 +422,10 @@ class ProtectionApp:
             }[verb]
             return handler(environ, start_response, tenant, dataset)
 
+        # Unmatched paths still count — a flood of bad paths (a scanner, a
+        # misconfigured client) must be visible in /metrics, not invisible
+        # because routing never reached a record_request call.
+        self._count(environ, "unknown")
         raise _HTTPError(404, f"no route for {method} {path}")
 
     # --------------------------------------------------------------- handlers
@@ -376,13 +493,22 @@ class ProtectionApp:
             raise
         finally:
             _unlink_quietly(upload)
-        self._metrics.record_protect(outcome.runner, outcome.rows, time.perf_counter() - started)
+        elapsed = time.perf_counter() - started
+        self._metrics.record_protect(outcome.runner, outcome.rows, elapsed)
+        log_event(
+            self._logger,
+            "protect.complete",
+            tenant_hash=tenant_hash(tenant),
+            rows=outcome.rows,
+            runner=outcome.runner,
+            duration_seconds=round(elapsed, 6),
+        )
         report = json.dumps(outcome.to_json(), sort_keys=True)
         headers = [
             ("Content-Type", "text/csv; charset=utf-8"),
             ("Content-Length", str(os.path.getsize(output))),
             (REPORT_HEADER, report),
-        ]
+        ] + self._trace_header_items(environ)
         start_response(_STATUS_TEXT[200], headers)
         return _FileBody(output)
 
@@ -412,11 +538,21 @@ class ProtectionApp:
             )
         finally:
             _unlink_quietly(upload)
-        self._metrics.record_detect(outcome.runner, outcome.rows, time.perf_counter() - started)
+        elapsed = time.perf_counter() - started
+        self._metrics.record_detect(outcome.runner, outcome.rows, elapsed)
+        log_event(
+            self._logger,
+            "detect.complete",
+            tenant_hash=tenant_hash(tenant),
+            rows=outcome.rows,
+            runner=outcome.runner,
+            duration_seconds=round(elapsed, 6),
+        )
         return _json_response(
             start_response,
             200,
             detect_report(outcome, expected_mark=expected_mark, max_loss=max_loss),
+            extra_headers=self._trace_header_items(environ),
         )
 
     def _handle_detect_votes(
@@ -470,7 +606,16 @@ class ProtectionApp:
             # the same bad chunk across the whole fleet.
             raise _HTTPError(400, f"chunk does not parse/collect: {error}") from None
         self._metrics.record_chunk(rows, time.perf_counter() - started)
-        return _json_response(start_response, 200, {"rows": rows, "votes": votes_to_json(votes)})
+        document = {"rows": rows, "votes": votes_to_json(votes)}
+        tracer = _current_tracer()
+        if tracer is not None:
+            # Traced by the coordinator: ship this worker's spans back in the
+            # body (an internal hop — RemoteRunner strips them before voting).
+            scope = environ.get("repro.request_span")
+            if scope is not None:
+                scope.done()
+            document["spans"] = tracer.export(limit=TRACE_EXPORT_LIMIT)
+        return _json_response(start_response, 200, document)
 
     def _handle_dispute(
         self, environ: Mapping[str, object], start_response: Callable, tenant: str, dataset: str
@@ -525,14 +670,32 @@ class ProtectionApp:
         return path
 
 
-def _json_response(start_response: Callable, status: int, payload: dict) -> Iterable[bytes]:
+def _json_response(
+    start_response: Callable,
+    status: int,
+    payload: dict,
+    *,
+    extra_headers: Iterable[tuple[str, str]] = (),
+) -> Iterable[bytes]:
     body = (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode("utf-8")
     start_response(
         _STATUS_TEXT.get(status, f"{status} Error"),
         [
             ("Content-Type", "application/json; charset=utf-8"),
             ("Content-Length", str(len(body))),
-        ],
+        ]
+        + list(extra_headers),
+    )
+    return [body]
+
+
+def _text_response(
+    start_response: Callable, status: int, text: str, *, content_type: str
+) -> Iterable[bytes]:
+    body = text.encode("utf-8")
+    start_response(
+        _STATUS_TEXT.get(status, f"{status} Error"),
+        [("Content-Type", content_type), ("Content-Length", str(len(body)))],
     )
     return [body]
 

@@ -20,8 +20,15 @@ import os
 from typing import Iterator, Mapping
 from urllib.parse import urlencode, urlsplit
 
-from repro.service.http.app import REPORT_HEADER
+from repro.service.http.app import REPORT_HEADER, TRACE_RESPONSE_HEADER
 from repro.service.streaming import SPOOL_CHUNK_BYTES
+from repro.telemetry.trace import (
+    PARENT_HEADER,
+    TRACE_HEADER,
+    current_span_id as _current_span_id,
+    current_tracer as _current_tracer,
+    span as _stage_span,
+)
 
 __all__ = ["HTTPServiceError", "ServiceClient"]
 
@@ -107,12 +114,14 @@ class ServiceClient:
         """
         query_params = {"chunk_size": chunk_size, "workers": workers, "runner": runner}
         query = {name: value for name, value in query_params.items() if value is not None} or None
-        status, headers, response = self._request(
-            "POST",
-            f"/tenants/{tenant}/datasets/{dataset}/protect",
-            query=query,
-            body=_iter_file(input_csv),
-        )
+        with _stage_span("http.client.protect"):
+            status, headers, response = self._request(
+                "POST",
+                f"/tenants/{tenant}/datasets/{dataset}/protect",
+                query=query,
+                body=_iter_file(input_csv),
+            )
+        self._ingest_trace(headers)
         try:
             if status != 200:
                 raise self._error(status, response.read())
@@ -150,12 +159,15 @@ class ServiceClient:
             "expected_mark": expected_mark,
             "chunk_size": chunk_size,
         }
-        return self._json_request(
-            "POST",
-            f"/tenants/{tenant}/datasets/{dataset}/detect",
-            query={name: value for name, value in query.items() if value is not None},
-            body=_iter_file(suspect_csv),
-        )
+        with _stage_span("http.client.detect"):
+            payload, headers = self._json_exchange(
+                "POST",
+                f"/tenants/{tenant}/datasets/{dataset}/detect",
+                query={name: value for name, value in query.items() if value is not None},
+                body=_iter_file(suspect_csv),
+            )
+        self._ingest_trace(headers)
+        return payload
 
     def dispute(self, tenant: str, dataset: str, disputed_csv: str) -> dict:
         return self._json_request(
@@ -168,20 +180,37 @@ class ServiceClient:
         """This server's ``/metrics`` counters (no auth, like :meth:`health`)."""
         return self._json_request("GET", "/metrics", authenticated=False)
 
-    def detect_votes(self, payload: dict) -> dict:
+    def metrics_text(self) -> str:
+        """The ``/metrics`` document in Prometheus text exposition format."""
+        status, _, response = self._request(
+            "GET", "/metrics", query={"format": "prometheus"}, authenticated=False
+        )
+        try:
+            raw = response.read()
+        finally:
+            response.close()
+        if status != 200:
+            raise self._error(status, raw)
+        return raw.decode("utf-8")
+
+    def detect_votes(self, payload: dict, *, headers: Mapping[str, str] | None = None) -> dict:
         """POST one raw chunk to ``/internal/detect-votes`` — the fleet hop.
 
         *payload* is the :mod:`repro.service.wire` request document (spec +
         metadata + mark_length + header/lines); the response carries the
         chunk's row count and serialized ``DetectionVotes``.  This is what
         :class:`~repro.service.runners.RemoteRunner` calls per chunk; the
-        token presented is the worker's admin/fleet token.
+        token presented is the worker's admin/fleet token.  *headers* lets
+        the coordinator stamp trace-propagation headers on the hop.
         """
+        request_headers = {"Content-Type": "application/json"}
+        if headers:
+            request_headers.update(headers)
         return self._json_request(
             "POST",
             "/internal/detect-votes",
             body=json.dumps(payload).encode("utf-8"),
-            headers={"Content-Type": "application/json"},
+            headers=request_headers,
         )
 
     # ----------------------------------------------------------------- plumbing
@@ -200,6 +229,13 @@ class ServiceClient:
         if query:
             target += "?" + urlencode(query)
         request_headers = dict(headers or {})
+        tracer = _current_tracer()
+        if tracer is not None and TRACE_HEADER not in request_headers:
+            # Propagate the ambient trace so the server's spans join ours.
+            request_headers[TRACE_HEADER] = tracer.trace_id
+            parent = _current_span_id()
+            if parent:
+                request_headers[PARENT_HEADER] = parent
         bearer = token if token is not None else self._token
         if authenticated and bearer:
             request_headers["Authorization"] = f"Bearer {bearer}"
@@ -220,7 +256,12 @@ class ServiceClient:
         return response.status, dict(response.getheaders()), response
 
     def _json_request(self, method: str, path: str, **kwargs) -> dict:
-        status, _, response = self._request(method, path, **kwargs)
+        payload, _ = self._json_exchange(method, path, **kwargs)
+        return payload
+
+    def _json_exchange(self, method: str, path: str, **kwargs) -> tuple[dict, dict]:
+        """Like :meth:`_json_request` but also returns the response headers."""
+        status, headers, response = self._request(method, path, **kwargs)
         try:
             raw = response.read()
         finally:
@@ -228,9 +269,33 @@ class ServiceClient:
         if status != 200:
             raise self._error(status, raw)
         try:
-            return json.loads(raw)
+            return json.loads(raw), headers
         except json.JSONDecodeError:
             raise HTTPServiceError(status, f"non-JSON response body: {raw[:200]!r}") from None
+
+    @staticmethod
+    def _ingest_trace(headers: Mapping[str, str]) -> None:
+        """Fold server-side spans from the trace response header into our trace.
+
+        The server answers a traced request with its own spans serialized in
+        the :data:`TRACE_RESPONSE_HEADER` header (the response *body* stays
+        byte-identical with telemetry on or off).  No ambient tracer or no
+        header means nothing to do; a malformed header is ignored — telemetry
+        must never fail a successful request.
+        """
+        tracer = _current_tracer()
+        if tracer is None:
+            return
+        raw = headers.get(TRACE_RESPONSE_HEADER)
+        if not raw:
+            return
+        try:
+            document = json.loads(raw)
+            spans = document.get("spans", ())
+        except (json.JSONDecodeError, AttributeError):
+            return
+        if isinstance(spans, list):
+            tracer.ingest(spans)
 
     @staticmethod
     def _error(status: int, raw: bytes) -> HTTPServiceError:

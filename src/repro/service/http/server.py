@@ -9,6 +9,11 @@ honours by opening a fresh connection per call.
 
 Production deployments can mount :class:`~repro.service.http.app.ProtectionApp`
 in any WSGI container instead; nothing here is load-bearing beyond serving.
+
+Request *logging* is the app's job, not the server's: keep the handler
+quiet and run ``repro serve --log-json`` for structured per-request records
+stamped with trace/span ids (``docs/observability.md``) — the two verbosity
+mechanisms are independent.
 """
 
 from __future__ import annotations

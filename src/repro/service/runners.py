@@ -55,7 +55,7 @@ import threading
 import time
 from collections import deque
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.binning.binner import BinnedTable, rewrite_table
@@ -76,6 +76,15 @@ from repro.service.wire import (
     spec_to_json,
     table_to_csv_lines,
     votes_from_json,
+)
+from repro.telemetry.trace import (
+    PARENT_HEADER,
+    TRACE_HEADER,
+    TraceContext,
+    adopt as _trace_adopt,
+    capture as _trace_capture,
+    current_tracer as _current_tracer,
+    span as _stage_span,
 )
 from repro.watermarking.hierarchical import DetectionVotes, HierarchicalWatermarker
 from repro.watermarking.keys import WatermarkKey
@@ -200,9 +209,37 @@ def collect_raw_chunk(
     ``(row_count, votes)``: the caller needs the count for the detection
     report and must not re-scan the chunk.
     """
-    table = ColumnarTable.from_csv_chunk(schema, header, lines)
-    binned = BinnedTable(table=table, **metadata)
+    with _stage_span("detect.parse", lines=len(lines)):
+        table = ColumnarTable.from_csv_chunk(schema, header, lines)
+    with _stage_span("detect.frame", rows=len(table)):
+        binned = BinnedTable(table=table, **metadata)
     return len(table), _worker_watermarker(spec).collect_votes(binned, mark_length)
+
+
+def _collect_chunk_task(
+    context: TraceContext | None,
+    spec: WatermarkerSpec,
+    schema: TableSchema,
+    metadata: Mapping[str, object],
+    header: str,
+    lines: list[str],
+    mark_length: int,
+) -> tuple[int, DetectionVotes, tuple]:
+    """:func:`collect_raw_chunk` under a propagated trace scope.
+
+    The third element is the spans recorded by a *foreign-process* worker
+    (``()`` in-process, where spans go straight into the live tracer) — the
+    submitting side ingests them into the request's tracer.
+    """
+    with _trace_adopt(context) as local:
+        rows, votes = collect_raw_chunk(spec, schema, metadata, header, lines, mark_length)
+    return rows, votes, tuple(local.export()) if local is not None else ()
+
+
+def _run_in_trace_scope(context: TraceContext | None, fn: Callable, /, *args):
+    """Run *fn* under a propagated same-process trace scope (thread pools)."""
+    with _trace_adopt(context):
+        return fn(*args)
 
 
 @dataclass(frozen=True)
@@ -237,6 +274,11 @@ class ProtectedChunk:
     output file byte-identically to a serial emit.  *seconds* is the worker's
     own wall clock over the chunk (parse through serialise), reported per
     chunk in the protect report.
+
+    *spans* carries the chunk's telemetry spans when the work ran in a
+    foreign process under a traced request (see
+    :mod:`repro.telemetry.trace`); it is always ``()`` untraced and never
+    affects the output text.
     """
 
     rows: int
@@ -244,6 +286,7 @@ class ProtectedChunk:
     cells_changed: int
     seconds: float
     text: str
+    spans: tuple = ()
 
 
 def protect_raw_chunk(plan: ProtectPlan, header: str, lines: list[str]) -> ProtectedChunk:
@@ -273,17 +316,36 @@ def protect_raw_chunk(plan: ProtectPlan, header: str, lines: list[str]) -> Prote
         }
     )
 
-    parsed = ColumnarTable.from_csv_chunk(schema, header, lines)
+    with _stage_span("protect.parse", lines=len(lines)):
+        parsed = ColumnarTable.from_csv_chunk(schema, header, lines)
     table = rewrite_table(parsed, schema, encryptor, ultimate)
     binned = BinnedTable(table=table, identifying_columns=plan.identifying_columns, **metadata)
     embedding = _worker_watermarker(plan.spec).embed(binned, Mark.from_string(plan.mark_bits))
+    with _stage_span("protect.serialize", rows=len(table)):
+        text = render_csv_rows(schema, embedding.watermarked.table)
     return ProtectedChunk(
         rows=len(table),
         tuples_selected=embedding.tuples_selected,
         cells_changed=embedding.cells_changed,
         seconds=time.perf_counter() - started,
-        text=render_csv_rows(schema, embedding.watermarked.table),
+        text=text,
     )
+
+
+def _protect_chunk_task(
+    context: TraceContext | None, plan: ProtectPlan, header: str, lines: list[str]
+) -> ProtectedChunk:
+    """:func:`protect_raw_chunk` under a propagated trace scope.
+
+    Spans recorded in a foreign process come back on the chunk itself
+    (``ProtectedChunk.spans``); in-process they go straight into the live
+    tracer and the field stays empty.
+    """
+    with _trace_adopt(context) as local:
+        chunk = protect_raw_chunk(plan, header, lines)
+    if local is not None:
+        chunk = replace(chunk, spans=tuple(local.export()))
+    return chunk
 
 
 def _bounded_ordered(
@@ -379,10 +441,20 @@ class ShardRunner:
         """
 
         def views() -> Iterator[BinnedTable]:
-            for chunk in iter_tables(path, schema, chunk_size):
+            chunks = iter_tables(path, schema, chunk_size)
+            while True:
+                scope = _stage_span("detect.parse")
+                with scope:
+                    chunk = next(chunks, None)
+                    if chunk is not None:
+                        scope.set(rows=len(chunk))
+                if chunk is None:
+                    return
                 if on_rows is not None:
                     on_rows(len(chunk))
-                yield BinnedTable(table=chunk, **metadata)
+                with _stage_span("detect.frame", rows=len(chunk)):
+                    binned = BinnedTable(table=chunk, **metadata)
+                yield binned
 
         yield from self.collect_tables(watermarker, views(), mark_length, max_workers=max_workers)
 
@@ -404,12 +476,17 @@ class ShardRunner:
         workers receive it pickled; either way at most ``max_workers + 1``
         chunks are in flight and results come back in submission order.
         """
+        context = _trace_capture()
+        tracer = _current_tracer()
         with self._pool(max_workers) as pool:
-            yield from _bounded_ordered(
-                lambda chunk: pool.submit(protect_raw_chunk, plan, chunk[0], chunk[1]),
+            for chunk in _bounded_ordered(
+                lambda chunk: pool.submit(_protect_chunk_task, context, plan, chunk[0], chunk[1]),
                 iter_raw_chunks(path, chunk_size),
                 max_workers,
-            )
+            ):
+                if chunk.spans and tracer is not None:
+                    tracer.ingest(chunk.spans)
+                yield chunk
 
 
 class ThreadRunner(ShardRunner):
@@ -421,7 +498,12 @@ class ThreadRunner(ShardRunner):
         return ThreadPoolExecutor(max_workers=max_workers)
 
     def _submit_binned(self, pool, watermarker, piece, mark_length):
-        return pool.submit(watermarker.collect_votes, piece, mark_length)
+        # Pool threads have no ambient trace scope; hand the submitting
+        # thread's scope across so worker-side stage spans record into the
+        # live tracer (a no-op untraced — the context is then None).
+        return pool.submit(
+            _run_in_trace_scope, _trace_capture(), watermarker.collect_votes, piece, mark_length
+        )
 
 
 class ProcessRunner(ShardRunner):
@@ -455,15 +537,26 @@ class ProcessRunner(ShardRunner):
         on_rows: Callable[[int], None] | None = None,
     ) -> Iterator[DetectionVotes]:
         spec = WatermarkerSpec.of(watermarker)
+        context = _trace_capture()
+        tracer = _current_tracer()
         with self._pool(max_workers) as pool:
             results = _bounded_ordered(
                 lambda chunk: pool.submit(
-                    collect_raw_chunk, spec, schema, metadata, chunk[0], chunk[1], mark_length
+                    _collect_chunk_task,
+                    context,
+                    spec,
+                    schema,
+                    metadata,
+                    chunk[0],
+                    chunk[1],
+                    mark_length,
                 ),
                 iter_raw_chunks(path, chunk_size),
                 max_workers,
             )
-            for rows, votes in results:
+            for rows, votes, spans in results:
+                if spans and tracer is not None:
+                    tracer.ingest(spans)
                 if on_rows is not None:
                     on_rows(rows)
                 yield votes
@@ -499,11 +592,28 @@ class _FleetCall:
     retried on later passes, so a recovered worker rejoins without restart.
     """
 
-    def __init__(self, workers: Sequence[tuple[str, object]], attempts: int) -> None:
+    def __init__(
+        self,
+        workers: Sequence[tuple[str, object]],
+        attempts: int,
+        context: TraceContext | None = None,
+    ) -> None:
         self._workers = list(workers)
         self._attempts = max(1, attempts)
         self._lock = threading.Lock()
         self._failures = [0] * len(self._workers)
+        # Trace scope of the submitting thread: POSTs run on pool threads, so
+        # the coordinator's trace id travels explicitly (request headers out,
+        # worker spans ingested from the response).
+        self._context = context
+
+    def _trace_headers(self) -> dict[str, str] | None:
+        if self._context is None:
+            return None
+        headers = {TRACE_HEADER: self._context.trace_id}
+        if self._context.parent_id is not None:
+            headers[PARENT_HEADER] = self._context.parent_id
+        return headers
 
     def _consecutive_failures(self, slot: int) -> int:
         with self._lock:
@@ -527,7 +637,9 @@ class _FleetCall:
                     continue
                 url, client = self._workers[slot]
                 try:
-                    response = client.detect_votes(payload)
+                    with _trace_adopt(self._context):
+                        with _stage_span("http.client.detect_votes", chunk=index, worker=slot):
+                            response = client.detect_votes(payload, headers=self._trace_headers())
                 except HTTPServiceError as error:
                     if 400 <= error.status < 500:
                         raise  # auth/data/config error: every worker will refuse alike
@@ -544,6 +656,8 @@ class _FleetCall:
                     errors.append(f"{url}: {error!r}")
                 else:
                     self._record(slot, failed=False)
+                    if self._context is not None and self._context.tracer is not None:
+                        self._context.tracer.ingest(response.get("spans") or ())
                     return response
         raise FleetError(
             f"all {n} remote worker(s) failed chunk {index} "
@@ -679,7 +793,7 @@ class RemoteRunner(ShardRunner):
     def _post_stream(
         self, payloads: Iterable[tuple[int, dict]], max_workers: int
     ) -> Iterator[dict]:
-        call = _FleetCall(self._workers, self._attempts)
+        call = _FleetCall(self._workers, self._attempts, context=_trace_capture())
         with ThreadPoolExecutor(max_workers=max_workers) as pool:
             yield from _bounded_ordered(
                 lambda item: pool.submit(call.post, item[0], item[1]),

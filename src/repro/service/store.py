@@ -24,6 +24,7 @@ import os
 
 from repro.service.locking import FileLock, lock_path_for
 from repro.service.vault import _atomic_write_json
+from repro.telemetry.trace import span as _stage_span
 from repro.watermarking.keys import WatermarkKey
 from repro.watermarking.mark import Mark
 from repro.watermarking.ownership import OwnershipClaim
@@ -185,15 +186,17 @@ class ClaimStore:
         return (stat.st_ino, stat.st_size, stat.st_mtime_ns)
 
     def _load(self) -> None:
-        signature = self._stat_signature()
-        with open(self._path, encoding="utf-8") as handle:
-            document = json.load(handle)
-        version = document.get("version")
-        if version != CLAIMS_VERSION:
-            raise ValueError(f"unsupported claim store version {version!r}")
-        self._claims = document["claims"]
-        self._loaded_signature = signature
+        with _stage_span("claims.load"):
+            signature = self._stat_signature()
+            with open(self._path, encoding="utf-8") as handle:
+                document = json.load(handle)
+            version = document.get("version")
+            if version != CLAIMS_VERSION:
+                raise ValueError(f"unsupported claim store version {version!r}")
+            self._claims = document["claims"]
+            self._loaded_signature = signature
 
     def _save(self) -> None:
-        _atomic_write_json(self._path, {"version": CLAIMS_VERSION, "claims": self._claims})
-        self._loaded_signature = self._stat_signature()
+        with _stage_span("claims.save"):
+            _atomic_write_json(self._path, {"version": CLAIMS_VERSION, "claims": self._claims})
+            self._loaded_signature = self._stat_signature()

@@ -24,6 +24,7 @@ from repro.relational.columnar import ColumnarTable, CsvParsePlan
 from repro.relational.io import iter_csv_rows, write_csv_rows
 from repro.relational.schema import TableSchema
 from repro.relational.table import Row, Table
+from repro.telemetry.trace import span as _stage_span
 
 __all__ = [
     "DEFAULT_CHUNK_SIZE",
@@ -212,7 +213,8 @@ class RowWriter:
         produces the file a serial :meth:`write_table` loop would — the
         caller vouches for *rows* since the text is not re-scanned.
         """
-        self._handle.write(text)
+        with _stage_span("protect.splice", rows=rows):
+            self._handle.write(text)
         self._rows_written += rows
 
     def __exit__(self, exc_type, exc, tb) -> None:

@@ -43,6 +43,7 @@ from dataclasses import asdict, dataclass
 from typing import Iterator
 
 from repro.service.locking import FileLock, lock_path_for
+from repro.telemetry.trace import span as _stage_span
 
 __all__ = ["TenantRecord", "DatasetRecord", "KeyVault", "VaultError"]
 
@@ -334,18 +335,22 @@ class KeyVault:
         return (stat.st_ino, stat.st_size, stat.st_mtime_ns)
 
     def _load(self) -> None:
-        signature = self._stat_signature()
-        with open(self._file, encoding="utf-8") as handle:
-            document = json.load(handle)
-        version = document.get("version")
-        if version != VAULT_VERSION:
-            raise VaultError(f"unsupported vault version {version!r} (expected {VAULT_VERSION})")
-        self._tenants: dict[str, dict] = document["tenants"]
-        self._loaded_signature = signature
+        with _stage_span("vault.load"):
+            signature = self._stat_signature()
+            with open(self._file, encoding="utf-8") as handle:
+                document = json.load(handle)
+            version = document.get("version")
+            if version != VAULT_VERSION:
+                raise VaultError(
+                    f"unsupported vault version {version!r} (expected {VAULT_VERSION})"
+                )
+            self._tenants: dict[str, dict] = document["tenants"]
+            self._loaded_signature = signature
 
     def _save(self) -> None:
-        _atomic_write_json(self._file, {"version": VAULT_VERSION, "tenants": self._tenants})
-        self._loaded_signature = self._stat_signature()
+        with _stage_span("vault.save"):
+            _atomic_write_json(self._file, {"version": VAULT_VERSION, "tenants": self._tenants})
+            self._loaded_signature = self._stat_signature()
 
 
 def _token_digest(token: str) -> str:

@@ -28,6 +28,12 @@ Three shapes:
 ``(header, lines)`` chunk shape :func:`~repro.service.streaming.iter_raw_chunks`
 produces from a file, which is how the in-memory detect path reaches remote
 workers through the one chunk-shipping endpoint.
+
+Telemetry deliberately stays *outside* these shapes: a traced chunk request
+carries ``X-Repro-Trace-Id`` as a header and the worker returns its spans
+as a sibling ``"spans"`` key next to the serialized votes — so the vote
+round trip is lossless with telemetry on, off, or half-configured (see
+``docs/observability.md``).
 """
 
 from __future__ import annotations

@@ -1,0 +1,68 @@
+"""Dependency-free telemetry: tracing, latency histograms, structured logs.
+
+Three stdlib-only modules wired through every layer of the service:
+
+* :mod:`repro.telemetry.trace` — :class:`~repro.telemetry.trace.Span` /
+  :class:`~repro.telemetry.trace.Tracer` with contextvar-scoped trace/span
+  IDs, wall + CPU timing, and a picklable/JSON wire form so spans recorded
+  inside process-pool workers and on remote fleet members travel back to the
+  coordinator of one request.
+* :mod:`repro.telemetry.metrics` — fixed-bucket
+  :class:`~repro.telemetry.metrics.Histogram` (p50/p95/p99 derivable) and the
+  Prometheus text-exposition renderer behind ``GET /metrics?format=prometheus``.
+* :mod:`repro.telemetry.log` — opt-in structured JSON logging that stamps
+  every record with trace/span/tenant-hash and never logs cell values,
+  identifiers, secrets, or tokens.
+
+The cardinal rule: telemetry off is a near-free no-op (one contextvar read
+per instrumented stage) and never changes output bytes — byte/bit-identity
+of protect/detect results with tracing on is asserted by the test suite.
+"""
+
+from repro.telemetry.log import (
+    JsonLogFormatter,
+    configure_json_logging,
+    log_event,
+    redact_fields,
+    tenant_hash,
+)
+from repro.telemetry.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Histogram,
+    render_prometheus,
+)
+from repro.telemetry.trace import (
+    PARENT_HEADER,
+    TRACE_HEADER,
+    Span,
+    TraceContext,
+    Tracer,
+    activate,
+    adopt,
+    capture,
+    current_tracer,
+    format_span_tree,
+    span,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "TraceContext",
+    "TRACE_HEADER",
+    "PARENT_HEADER",
+    "span",
+    "activate",
+    "adopt",
+    "capture",
+    "current_tracer",
+    "format_span_tree",
+    "Histogram",
+    "DEFAULT_LATENCY_BUCKETS",
+    "render_prometheus",
+    "JsonLogFormatter",
+    "configure_json_logging",
+    "log_event",
+    "redact_fields",
+    "tenant_hash",
+]

@@ -1,0 +1,151 @@
+"""Opt-in structured JSON logging — one JSON object per line, redacted.
+
+Enabled by ``repro serve --log-json`` (and available to any embedder via
+:func:`configure_json_logging`).  Every record is stamped with the ambient
+trace/span ids from :mod:`repro.telemetry.trace`, so a grep for one trace id
+crosses process and machine boundaries exactly like the span tree does.
+
+Redaction is structural, not best-effort: tenants appear only as
+:func:`tenant_hash` digests, and :func:`redact_fields` drops any field whose
+name suggests payload data or credentials (``token``, ``secret``, ``key``,
+``identifier``, ``cell``, ``value``, …) before it ever reaches a formatter.
+Cell values and dataset rows never enter log calls in the first place — the
+service logs counts, routes, statuses and durations only.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import sys
+from typing import IO, Mapping
+
+from repro.telemetry import trace as _trace
+
+__all__ = [
+    "JsonLogFormatter",
+    "configure_json_logging",
+    "log_event",
+    "redact_fields",
+    "tenant_hash",
+    "DEFAULT_LOGGER_NAME",
+]
+
+DEFAULT_LOGGER_NAME = "repro"
+
+#: Field-name substrings that must never reach a log line.  ``tenant`` itself
+#: is allowed only pre-hashed (``tenant_hash``), which the blocklist admits
+#: because the check runs against the *raw* name.
+_BLOCKED_SUBSTRINGS = (
+    "token",
+    "secret",
+    "password",
+    "identifier",
+    "ssn",
+    "cell",
+    "value",
+    "mark_bits",
+    "k1",
+    "k2",
+    "encryption",
+)
+
+#: Longest string a structured field may carry — anything bigger is payload
+#: data masquerading as metadata.
+_MAX_FIELD_CHARS = 200
+
+
+def tenant_hash(tenant_id: str) -> str:
+    """A stable, non-reversible per-tenant log label (sha256 prefix)."""
+    return hashlib.sha256(str(tenant_id).encode("utf-8")).hexdigest()[:12]
+
+
+def _blocked(name: str) -> bool:
+    lowered = name.lower()
+    if lowered == "tenant_hash":
+        return False
+    if lowered == "tenant" or lowered.startswith("tenant_"):
+        return True
+    return any(fragment in lowered for fragment in _BLOCKED_SUBSTRINGS)
+
+
+def redact_fields(fields: Mapping[str, object]) -> dict:
+    """The loggable subset of *fields*: blocked names dropped, values coerced.
+
+    Values become JSON scalars (bool/int/float/short str); anything else is
+    replaced by its type name, so an accidental ``rows=table`` can never leak
+    records.
+    """
+    out: dict = {}
+    for name, value in fields.items():
+        if _blocked(str(name)):
+            continue
+        if isinstance(value, bool) or value is None:
+            out[name] = value
+        elif isinstance(value, (int, float)):
+            out[name] = value
+        elif isinstance(value, str):
+            out[name] = value if len(value) <= _MAX_FIELD_CHARS else value[:_MAX_FIELD_CHARS]
+        else:
+            out[name] = f"<{type(value).__name__}>"
+    return out
+
+
+class JsonLogFormatter(logging.Formatter):
+    """One sorted-key JSON object per record, trace-stamped."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        doc: dict = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        tracer = _trace.current_tracer()
+        if tracer is not None:
+            doc["trace_id"] = tracer.trace_id
+            span_id = _trace.current_span_id()
+            if span_id is not None:
+                doc["span_id"] = span_id
+        fields = getattr(record, "repro_fields", None)
+        if fields:
+            # Re-redact at format time: fields attached through a bare
+            # ``logger.info(..., extra=...)`` get the same guarantees as
+            # fields routed through log_event().
+            doc.update(redact_fields(fields))
+        if record.exc_info and record.exc_info[0] is not None:
+            doc["exc_type"] = record.exc_info[0].__name__
+        return json.dumps(doc, sort_keys=True)
+
+
+def configure_json_logging(
+    stream: IO[str] | None = None,
+    *,
+    level: int = logging.INFO,
+    name: str = DEFAULT_LOGGER_NAME,
+) -> logging.Logger:
+    """A logger emitting one JSON line per record to *stream* (default stderr).
+
+    Idempotent per ``(name, stream)``: reconfiguring replaces this module's
+    handler instead of stacking another, so tests and repeated ``serve``
+    calls don't multiply output lines.
+    """
+    logger = logging.getLogger(name)
+    logger.setLevel(level)
+    logger.propagate = False
+    target = stream if stream is not None else sys.stderr
+    for handler in list(logger.handlers):
+        if isinstance(handler.formatter, JsonLogFormatter):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(target)
+    handler.setFormatter(JsonLogFormatter())
+    logger.addHandler(handler)
+    return logger
+
+
+def log_event(logger: logging.Logger | None, event: str, **fields) -> None:
+    """Log *event* with redacted structured *fields*; no-op without a logger."""
+    if logger is None:
+        return
+    logger.info(event, extra={"repro_fields": redact_fields(fields)})

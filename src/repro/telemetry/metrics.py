@@ -1,0 +1,195 @@
+"""Fixed-bucket latency histograms and the Prometheus text exposition.
+
+:class:`Histogram` is the one histogram shape the service uses: a fixed,
+sorted tuple of finite upper bounds (plus an implicit ``+Inf`` bucket),
+cumulative rendering for Prometheus, and interpolated quantiles for the JSON
+snapshot.  It is deliberately **not** internally locked — every instance in
+the service lives inside :class:`~repro.service.http.metrics.ServiceMetrics`,
+which already serialises all recording and reading under one lock; a
+per-observation lock here would just double the locking on the hot path.
+
+:func:`render_prometheus` turns ``(name, type, help, samples)`` families into
+`text exposition format`__ — the ``# HELP``/``# TYPE`` comment lines,
+``le``-labelled cumulative buckets with *inclusive* upper bounds, ``+Inf``,
+``_sum`` and ``_count`` series — parsable by any Prometheus scraper and by
+``tools/check_prometheus.py``.
+
+__ https://prometheus.io/docs/instrumenting/exposition_formats/
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Iterable, Mapping, Sequence
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "Histogram",
+    "MetricFamily",
+    "render_prometheus",
+]
+
+#: Upper bounds (seconds) for request/stage latencies: 1 ms to 60 s, roughly
+#: logarithmic.  Covers a sub-millisecond ``/healthz`` through a multi-second
+#: 100k-row protect; anything slower lands in ``+Inf``.
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    30.0,
+    60.0,
+)
+
+
+class Histogram:
+    """Counts of observations in fixed buckets; quantiles by interpolation.
+
+    Bucket *i* holds observations ``x`` with ``bounds[i-1] < x <= bounds[i]``
+    (Prometheus ``le`` semantics: upper bounds are inclusive); one extra
+    bucket holds everything above the last bound.  Not thread-safe on its
+    own — callers serialise access (see module docstring).
+    """
+
+    __slots__ = ("bounds", "counts", "count", "total")
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_LATENCY_BUCKETS) -> None:
+        bounds = tuple(float(bound) for bound in bounds)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(b <= a for a, b in zip(bounds, bounds[1:])):
+            raise ValueError("histogram bounds must be strictly increasing")
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        # bisect_left gives the first bound >= value, which is exactly the
+        # inclusive-upper-bound bucket; values past the last bound land in
+        # the +Inf slot at index len(bounds).
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+
+    def quantile(self, q: float) -> float:
+        """The *q*-quantile (0..1), linearly interpolated within its bucket.
+
+        Observations in the ``+Inf`` bucket are attributed the last finite
+        bound — the honest answer ("at least this much") without inventing an
+        upper limit.  Returns 0.0 for an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be within [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            previous = cumulative
+            cumulative += bucket_count
+            if cumulative >= rank and bucket_count:
+                if index >= len(self.bounds):
+                    return self.bounds[-1]
+                lower = self.bounds[index - 1] if index else 0.0
+                upper = self.bounds[index]
+                return lower + (upper - lower) * ((rank - previous) / bucket_count)
+        return self.bounds[-1]
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs; ``inf`` bound last."""
+        out: list[tuple[float, int]] = []
+        running = 0
+        for bound, bucket_count in zip(self.bounds, self.counts):
+            running += bucket_count
+            out.append((bound, running))
+        out.append((float("inf"), running + self.counts[-1]))
+        return out
+
+    def snapshot(self, *, precision: int = 6) -> dict:
+        """The JSON view: count, sum and interpolated p50/p95/p99."""
+        return {
+            "count": self.count,
+            "sum_seconds": round(self.total, precision),
+            "p50_seconds": round(self.quantile(0.50), precision),
+            "p95_seconds": round(self.quantile(0.95), precision),
+            "p99_seconds": round(self.quantile(0.99), precision),
+        }
+
+
+# ------------------------------------------------------------------ exposition
+class MetricFamily:
+    """One metric name with its type, help text and samples.
+
+    *samples* are ``(labels, value)`` pairs for ``counter``/``gauge``
+    families and ``(labels, histogram)`` pairs for ``histogram`` families;
+    labels are plain mappings.
+    """
+
+    __slots__ = ("name", "kind", "help", "samples")
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        samples: Iterable[tuple[Mapping[str, str], object]],
+    ) -> None:
+        if kind not in ("counter", "gauge", "histogram"):
+            raise ValueError(f"unsupported metric type {kind!r}")
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.samples = list(samples)
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _labels(labels: Mapping[str, str], extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = [(str(k), str(v)) for k, v in labels.items()] + list(extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{key}="{_escape_label(value)}"' for key, value in pairs)
+    return "{" + body + "}"
+
+
+def _number(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(float(value)) if isinstance(value, float) else str(value)
+
+
+def render_prometheus(families: Iterable[MetricFamily]) -> str:
+    """The text exposition of *families*; ends with a newline."""
+    lines: list[str] = []
+    for family in families:
+        lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        if family.kind == "histogram":
+            for labels, histogram in family.samples:
+                for bound, cumulative in histogram.cumulative_buckets():
+                    label_text = _labels(labels, (("le", _number(bound)),))
+                    lines.append(f"{family.name}_bucket{label_text} {cumulative}")
+                lines.append(f"{family.name}_sum{_labels(labels)} {_number(histogram.total)}")
+                lines.append(f"{family.name}_count{_labels(labels)} {histogram.count}")
+        else:
+            for labels, value in family.samples:
+                lines.append(f"{family.name}{_labels(labels)} {_number(float(value))}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,446 @@
+"""Distributed tracing for the protect/detect pipeline — stdlib only.
+
+One *trace* is one request (a protect, a detect, one HTTP call); one
+:class:`Span` is one named stage of it (``detect.parse``, ``protect.embed``,
+``http.request``, …) with wall-clock and thread-CPU durations.  Spans form a
+tree through ``parent_id``, and the tree spans *processes*: a span recorded
+inside a :class:`~concurrent.futures.ProcessPoolExecutor` worker, or on a
+remote fleet member, carries the coordinator's ``trace_id`` and is shipped
+back as JSON to be :meth:`ingested <Tracer.ingest>` into the coordinator's
+:class:`Tracer`.
+
+Design rules, in order:
+
+1. **Off is near-free.**  The module-level :func:`span` context manager reads
+   one :class:`~contextvars.ContextVar`; with no active tracer it returns a
+   shared no-op singleton and touches no clock.  Instrumentation sits at
+   chunk/request granularity — never per row.
+2. **Explicit propagation.**  ``contextvars`` do not cross pool boundaries,
+   so the active scope is captured into a picklable :class:`TraceContext`
+   and threaded through task payloads.  Same-process adoption reuses the
+   live (thread-safe) tracer; cross-process adoption builds a local tracer
+   whose exported spans ride back in the task result.  Over HTTP the context
+   travels as the :data:`TRACE_HEADER`/:data:`PARENT_HEADER` request headers.
+3. **No payload data in spans.**  Attributes carry counts and names of
+   *stages*, never cell values, identifiers, tenant ids, secrets or tokens.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import threading
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "TraceContext",
+    "TRACE_HEADER",
+    "PARENT_HEADER",
+    "span",
+    "activate",
+    "adopt",
+    "capture",
+    "current_tracer",
+    "current_span_id",
+    "format_span_tree",
+    "new_trace_id",
+    "new_span_id",
+    "is_valid_trace_id",
+]
+
+#: Request header carrying the trace id of the caller's trace.  A server that
+#: sees it adopts the id for the request's spans and returns them to the
+#: caller (``X-Repro-Trace`` response header, or the ``spans`` key of a
+#: ``POST /internal/detect-votes`` response body).
+TRACE_HEADER = "X-Repro-Trace-Id"
+
+#: Optional companion header: the caller's active span id, so server-side
+#: spans parent correctly into the caller's tree.
+PARENT_HEADER = "X-Repro-Parent-Span"
+
+#: Trace/span ids are lowercase hex, bounded — anything else in a header is
+#: ignored rather than echoed into spans and logs.
+_ID_PATTERN = re.compile(r"^[0-9a-f]{8,32}$")
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-char trace id."""
+    return os.urandom(8).hex()
+
+
+def new_span_id() -> str:
+    """A fresh 8-hex-char span id."""
+    return os.urandom(4).hex()
+
+
+def is_valid_trace_id(value: object) -> bool:
+    """Whether *value* is usable as a trace/span id received from outside."""
+    return isinstance(value, str) and _ID_PATTERN.fullmatch(value) is not None
+
+
+def _origin() -> str:
+    """Which process recorded a span; distinguishes coordinator from workers."""
+    return f"pid:{os.getpid()}"
+
+
+@dataclass
+class Span:
+    """One timed stage of a trace.
+
+    ``start`` is epoch seconds (cross-process comparable to header skew),
+    ``wall_seconds`` a monotonic-clock duration, ``cpu_seconds`` the
+    recording thread's CPU time (:func:`time.thread_time`) over the same
+    window.  ``attrs`` holds counts only — never data values.
+    """
+
+    trace_id: str
+    span_id: str
+    parent_id: str | None
+    name: str
+    origin: str
+    start: float
+    wall_seconds: float
+    cpu_seconds: float
+    attrs: dict = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        doc = {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "origin": self.origin,
+            "start": round(self.start, 6),
+            "wall_seconds": round(self.wall_seconds, 6),
+            "cpu_seconds": round(self.cpu_seconds, 6),
+        }
+        if self.attrs:
+            doc["attrs"] = dict(self.attrs)
+        return doc
+
+    @classmethod
+    def from_json(cls, payload: Mapping) -> "Span":
+        try:
+            parent = payload.get("parent_id")
+            return cls(
+                trace_id=str(payload["trace_id"]),
+                span_id=str(payload["span_id"]),
+                parent_id=str(parent) if parent is not None else None,
+                name=str(payload["name"]),
+                origin=str(payload.get("origin", "?")),
+                start=float(payload["start"]),
+                wall_seconds=float(payload["wall_seconds"]),
+                cpu_seconds=float(payload.get("cpu_seconds", 0.0)),
+                attrs=dict(payload.get("attrs") or {}),
+            )
+        except (AttributeError, KeyError, TypeError, ValueError) as error:
+            raise ValueError(f"malformed span document: {error!r}") from None
+
+
+class Tracer:
+    """Collects the spans of one trace; thread-safe.
+
+    One tracer per traced request.  Threads of the same process record into
+    the same instance (:meth:`record` takes a lock); foreign processes build
+    their own tracer with the same ``trace_id`` and their exported spans are
+    merged back with :meth:`ingest`.
+    """
+
+    #: Spans beyond this cap are counted, not kept — a tracer is per-request
+    #: and chunk-granular, so the cap only guards pathological inputs (and
+    #: bounds the ``X-Repro-Trace`` response header).
+    MAX_SPANS = 1000
+
+    def __init__(self, trace_id: str | None = None, *, parent_id: str | None = None) -> None:
+        self.trace_id = trace_id if trace_id is not None else new_trace_id()
+        #: Parent for spans opened with no enclosing span in scope — the
+        #: remote caller's span id when this tracer was adopted from headers.
+        self.root_parent_id = parent_id
+        self.origin = _origin()
+        self._lock = threading.Lock()
+        self._spans: list[Span] = []
+        self._dropped = 0
+
+    # -------------------------------------------------------------- recording
+    def record(self, span: Span) -> None:
+        with self._lock:
+            if len(self._spans) >= self.MAX_SPANS:
+                self._dropped += 1
+            else:
+                self._spans.append(span)
+
+    def ingest(self, spans: Iterable[Mapping]) -> int:
+        """Merge foreign span documents (a worker's export) into this trace.
+
+        Documents that do not parse as spans are dropped silently — a fleet
+        worker running older code must not fail the detect that traced it.
+        Returns the number of spans ingested.
+        """
+        count = 0
+        for payload in spans or ():
+            try:
+                self.record(Span.from_json(payload))
+            except ValueError:
+                continue
+            count += 1
+        return count
+
+    # ---------------------------------------------------------------- reading
+    @property
+    def spans(self) -> tuple[Span, ...]:
+        with self._lock:
+            return tuple(self._spans)
+
+    @property
+    def dropped(self) -> int:
+        with self._lock:
+            return self._dropped
+
+    def export(self, limit: int | None = None) -> list[dict]:
+        """Span documents for the wire, earliest first, optionally capped."""
+        spans = sorted(self.spans, key=lambda s: s.start)
+        if limit is not None:
+            spans = spans[:limit]
+        return [span.to_json() for span in spans]
+
+    def to_json(self, limit: int | None = None) -> dict:
+        doc = {
+            "trace_id": self.trace_id,
+            "origin": self.origin,
+            "spans": self.export(limit),
+        }
+        dropped = self.dropped + max(0, len(self.spans) - len(doc["spans"]))
+        if dropped:
+            doc["dropped"] = dropped
+        return doc
+
+
+class TraceContext:
+    """The picklable hand-off of an active trace scope into pool tasks.
+
+    Captured on the submitting thread (:func:`capture`), adopted inside the
+    task (:func:`adopt`).  The live tracer reference survives same-process
+    hand-offs (thread pools) but is deliberately dropped by pickling, so a
+    process-pool worker adopting the context builds a *local* tracer and the
+    caller ships its exported spans back in the task result.
+    """
+
+    __slots__ = ("trace_id", "parent_id", "tracer")
+
+    def __init__(self, trace_id: str, parent_id: str | None, tracer: Tracer | None) -> None:
+        self.trace_id = trace_id
+        self.parent_id = parent_id
+        self.tracer = tracer
+
+    def __getstate__(self):
+        return (self.trace_id, self.parent_id)
+
+    def __setstate__(self, state):
+        self.trace_id, self.parent_id = state
+        self.tracer = None
+
+
+# The active scope: ``(tracer, enclosing span id | None)``.  One contextvar
+# read is the entire cost of an instrumented stage when tracing is off.
+_SCOPE: ContextVar[tuple[Tracer, str | None] | None] = ContextVar("repro_trace_scope", default=None)
+
+
+def current_tracer() -> Tracer | None:
+    scope = _SCOPE.get()
+    return scope[0] if scope is not None else None
+
+
+def current_span_id() -> str | None:
+    scope = _SCOPE.get()
+    return scope[1] if scope is not None else None
+
+
+@contextmanager
+def activate(tracer: Tracer, parent_id: str | None = None) -> Iterator[Tracer]:
+    """Make *tracer* the ambient tracer for the body of the ``with``."""
+    token = _SCOPE.set((tracer, parent_id if parent_id is not None else tracer.root_parent_id))
+    try:
+        yield tracer
+    finally:
+        _SCOPE.reset(token)
+
+
+def capture() -> TraceContext | None:
+    """The active scope as a :class:`TraceContext`, or ``None`` when untraced."""
+    scope = _SCOPE.get()
+    if scope is None:
+        return None
+    tracer, span_id = scope
+    return TraceContext(tracer.trace_id, span_id, tracer)
+
+
+@contextmanager
+def adopt(context: TraceContext | None) -> Iterator[Tracer | None]:
+    """Re-enter a captured scope inside a pool task.
+
+    Yields ``None`` when there is nothing to ship back: either the context is
+    ``None`` (untraced) or it still holds the live tracer (same process —
+    spans were recorded directly).  Yields a fresh *local* tracer when the
+    context crossed a process boundary; the caller must return
+    ``local.export()`` alongside its result.
+    """
+    if context is None:
+        yield None
+        return
+    if context.tracer is not None:
+        with activate(context.tracer, context.parent_id):
+            yield None
+        return
+    local = Tracer(context.trace_id, parent_id=context.parent_id)
+    with activate(local):
+        yield local
+
+
+class _NoopSpan:
+    """Shared do-nothing scope: the entire cost of telemetry-off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+    def set(self, **attrs) -> None:
+        pass
+
+    def done(self, **attrs) -> None:
+        pass
+
+    @property
+    def closed(self) -> bool:
+        return True
+
+
+_NOOP = _NoopSpan()
+
+
+class _SpanScope:
+    """A live span being timed; context manager with an explicit :meth:`done`."""
+
+    __slots__ = ("_tracer", "_span", "_token", "_wall0", "_cpu0", "_closed")
+
+    def __init__(self, tracer: Tracer, name: str, parent_id: str | None, attrs: dict) -> None:
+        self._tracer = tracer
+        self._span = Span(
+            trace_id=tracer.trace_id,
+            span_id=new_span_id(),
+            parent_id=parent_id,
+            name=name,
+            origin=tracer.origin,
+            start=time.time(),
+            wall_seconds=0.0,
+            cpu_seconds=0.0,
+            attrs=attrs,
+        )
+        self._token = None
+        self._wall0 = 0.0
+        self._cpu0 = 0.0
+        self._closed = False
+
+    @property
+    def span_id(self) -> str:
+        return self._span.span_id
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def set(self, **attrs) -> None:
+        """Attach count-valued attributes; never pass data values."""
+        self._span.attrs.update(attrs)
+
+    def __enter__(self) -> "_SpanScope":
+        self._token = _SCOPE.set((self._tracer, self._span.span_id))
+        self._wall0 = time.perf_counter()
+        self._cpu0 = time.thread_time()
+        return self
+
+    def done(self, **attrs) -> None:
+        """Close the span now (idempotent); ``__exit__`` calls this."""
+        if self._closed:
+            return
+        self._closed = True
+        self._span.wall_seconds = time.perf_counter() - self._wall0
+        self._span.cpu_seconds = time.thread_time() - self._cpu0
+        if attrs:
+            self._span.attrs.update(attrs)
+        if self._token is not None:
+            _SCOPE.reset(self._token)
+            self._token = None
+        self._tracer.record(self._span)
+
+    def __exit__(self, *exc_info) -> bool:
+        self.done()
+        return False
+
+
+def span(name: str, **attrs):
+    """Open a named span under the ambient scope — or a free no-op without one.
+
+    Usage::
+
+        with span("detect.parse", rows=rows):
+            ...
+
+    Attributes must be counts/flags, never data values.  The returned scope
+    also supports explicit closing (``scope.done(status=200)``) for code that
+    cannot structure the stage as a ``with`` block.
+    """
+    scope = _SCOPE.get()
+    if scope is None:
+        return _NOOP
+    tracer, parent_id = scope
+    return _SpanScope(tracer, name, parent_id, attrs)
+
+
+# ---------------------------------------------------------------- rendering
+def format_span_tree(spans: Iterable[Span | Mapping]) -> list[str]:
+    """Render spans as an indented tree, one line per span.
+
+    Accepts live :class:`Span` objects or their JSON documents.  Spans whose
+    parent is absent (the remote caller's span, a dropped span) become
+    roots.  Children sort by start time; cross-process clock skew can only
+    reorder siblings, never corrupt the tree.
+    """
+    parsed = [s if isinstance(s, Span) else Span.from_json(s) for s in spans]
+    by_parent: dict[str | None, list[Span]] = {}
+    ids = {s.span_id for s in parsed}
+    for s in parsed:
+        key = s.parent_id if s.parent_id in ids else None
+        by_parent.setdefault(key, []).append(s)
+    for children in by_parent.values():
+        children.sort(key=lambda s: (s.start, s.span_id))
+
+    lines: list[str] = []
+
+    def walk(parent: str | None, depth: int) -> None:
+        for s in by_parent.get(parent, ()):
+            lines.append(
+                "{indent}{name}  wall={wall:.6f}s cpu={cpu:.6f}s  [{origin}]{attrs}".format(
+                    indent="  " * depth,
+                    name=s.name,
+                    wall=s.wall_seconds,
+                    cpu=s.cpu_seconds,
+                    origin=s.origin,
+                    attrs=(" " + " ".join(f"{k}={v}" for k, v in sorted(s.attrs.items())))
+                    if s.attrs
+                    else "",
+                )
+            )
+            walk(s.span_id, depth + 1)
+
+    walk(None, 0)
+    return lines

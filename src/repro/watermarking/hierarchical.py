@@ -41,6 +41,7 @@ from repro.binning.binner import BinnedTable
 from repro.crypto.batch import ScalarWatermarkEngine, WatermarkHashEngine, make_engine
 from repro.dht.node import DHTNode
 from repro.dht.tree import DomainHierarchyTree
+from repro.telemetry.trace import span as _stage_span
 from repro.watermarking.keys import WatermarkKey
 from repro.watermarking.mark import Mark, majority_vote, replicate_mark
 
@@ -376,6 +377,10 @@ class HierarchicalWatermarker:
     # -------------------------------------------------------------- embedding
     def embed(self, binned: BinnedTable, mark: Mark) -> EmbeddingReport:
         """Embed *mark* into a copy of *binned* (the original is left untouched)."""
+        with _stage_span("protect.embed", rows=len(binned.table)):
+            return self._embed(binned, mark)
+
+    def _embed(self, binned: BinnedTable, mark: Mark) -> EmbeddingReport:
         columns = self._resolve_columns(binned)
         frontiers = self._frontiers(binned, columns)
         watermarked = self._copy_for_embedding(binned)
@@ -454,6 +459,10 @@ class HierarchicalWatermarker:
         :meth:`finalize_votes` once — bit-identically to a serial
         :meth:`detect` over the whole table.
         """
+        with _stage_span("detect.collect", rows=len(binned.table)):
+            return self._collect_votes(binned, mark_length)
+
+    def _collect_votes(self, binned: BinnedTable, mark_length: int) -> DetectionVotes:
         if mark_length < 1:
             raise ValueError("mark_length must be at least 1")
         columns = self._resolve_columns(binned)
@@ -507,6 +516,10 @@ class HierarchicalWatermarker:
 
     def finalize_votes(self, collected: DetectionVotes, mark_length: int) -> DetectionReport:
         """The majority-voting half of :meth:`detect`: votes -> report."""
+        with _stage_span("detect.finalize", positions=len(collected.votes)):
+            return self._finalize_votes(collected, mark_length)
+
+    def _finalize_votes(self, collected: DetectionVotes, mark_length: int) -> DetectionReport:
         wmd_length = mark_length * self._copies
         if collected.wmd_length != wmd_length:
             raise ValueError(

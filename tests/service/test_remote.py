@@ -204,7 +204,7 @@ class TestFailover:
                 self.error = error
                 self.calls = 0
 
-            def detect_votes(self, payload):
+            def detect_votes(self, payload, *, headers=None):
                 self.calls += 1
                 if self.error is not None:
                     raise self.error

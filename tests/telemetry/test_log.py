@@ -1,0 +1,111 @@
+"""Structured JSON logging: redaction guarantees and trace stamping."""
+
+import io
+import json
+import logging
+
+from repro.telemetry.log import (
+    configure_json_logging,
+    log_event,
+    redact_fields,
+    tenant_hash,
+)
+from repro.telemetry.trace import Tracer, activate, span
+
+
+def fresh_logger(stream, name):
+    return configure_json_logging(stream, name=name)
+
+
+class TestRedaction:
+    def test_blocked_names_never_pass(self):
+        fields = {
+            "token": "t",
+            "admin_token": "t",
+            "watermark_secret": "s",
+            "password": "p",
+            "identifier": "123-45-6789",
+            "ssn": "x",
+            "cell_value": "y",
+            "mark_bits": "0101",
+            "k1": "aa",
+            "encryption_key": "bb",
+            "tenant": "hospital-a",
+            "tenant_id": "hospital-a",
+            "rows": 100,
+        }
+        assert redact_fields(fields) == {"rows": 100}
+
+    def test_tenant_hash_is_allowed_and_stable(self):
+        digest = tenant_hash("hospital-a")
+        assert digest == tenant_hash("hospital-a")
+        assert digest != tenant_hash("hospital-b")
+        assert len(digest) == 12
+        assert redact_fields({"tenant_hash": digest}) == {"tenant_hash": digest}
+
+    def test_non_scalars_become_type_names(self):
+        redacted = redact_fields({"rows_list": [1, 2, 3], "mapping": {"a": 1}})
+        assert redacted == {"rows_list": "<list>", "mapping": "<dict>"}
+
+    def test_long_strings_truncate(self):
+        redacted = redact_fields({"note": "x" * 1000})
+        assert len(redacted["note"]) == 200
+
+
+class TestJsonLines:
+    def test_event_is_one_json_object_per_line(self):
+        stream = io.StringIO()
+        logger = fresh_logger(stream, "repro.test.lines")
+        log_event(logger, "http.request", route="detect", status=200, duration_seconds=0.5)
+        doc = json.loads(stream.getvalue().strip())
+        assert doc["event"] == "http.request"
+        assert doc["route"] == "detect"
+        assert doc["status"] == 200
+        assert doc["level"] == "info"
+        assert "trace_id" not in doc  # no ambient trace
+
+    def test_trace_stamping_from_ambient_scope(self):
+        stream = io.StringIO()
+        logger = fresh_logger(stream, "repro.test.stamp")
+        tracer = Tracer()
+        with activate(tracer):
+            with span("http.request") as scope:
+                log_event(logger, "inside", rows=1)
+        doc = json.loads(stream.getvalue().strip())
+        assert doc["trace_id"] == tracer.trace_id
+        assert doc["span_id"] == scope.span_id
+
+    def test_blocked_fields_dropped_at_source(self):
+        stream = io.StringIO()
+        logger = fresh_logger(stream, "repro.test.redact")
+        log_event(logger, "evt", token="SECRET", rows=3)
+        line = stream.getvalue()
+        assert "SECRET" not in line
+        assert json.loads(line)["rows"] == 3
+
+    def test_none_logger_is_noop(self):
+        log_event(None, "evt", rows=1)  # must not raise
+
+    def test_configure_is_idempotent(self):
+        stream = io.StringIO()
+        name = "repro.test.idem"
+        logger = fresh_logger(stream, name)
+        logger = configure_json_logging(stream, name=name)  # reconfigure
+        log_event(logger, "once")
+        lines = [line for line in stream.getvalue().splitlines() if line]
+        assert len(lines) == 1  # handlers did not stack
+
+    def test_exception_type_recorded_without_payload(self):
+        stream = io.StringIO()
+        logger = fresh_logger(stream, "repro.test.exc")
+        try:
+            raise ValueError("cell value leaked?")
+        except ValueError:
+            logger.exception("boom")
+        doc = json.loads(stream.getvalue().splitlines()[0])
+        assert doc["exc_type"] == "ValueError"
+
+    def test_propagation_disabled(self):
+        logger = fresh_logger(io.StringIO(), "repro.test.prop")
+        assert logger.propagate is False
+        assert logger.level == logging.INFO

@@ -1,0 +1,198 @@
+"""Histogram bucketing/quantiles and the Prometheus text exposition."""
+
+import threading
+
+import pytest
+
+from repro.service.http.metrics import ServiceMetrics
+from repro.telemetry.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Histogram,
+    MetricFamily,
+    render_prometheus,
+)
+
+
+class TestHistogramBuckets:
+    def test_upper_bounds_are_inclusive(self):
+        """Prometheus ``le`` semantics: a value exactly on a bound belongs to it."""
+        histogram = Histogram((0.1, 0.2, 0.5))
+        histogram.observe(0.1)
+        histogram.observe(0.2)
+        histogram.observe(0.5)
+        assert histogram.counts == [1, 1, 1, 0]
+
+    def test_just_above_a_bound_lands_in_the_next_bucket(self):
+        histogram = Histogram((0.1, 0.2))
+        histogram.observe(0.10000001)
+        assert histogram.counts == [0, 1, 0]
+
+    def test_overflow_lands_in_inf_bucket(self):
+        histogram = Histogram((0.1, 0.2))
+        histogram.observe(99.0)
+        assert histogram.counts == [0, 0, 1]
+
+    def test_zero_and_negative_land_in_first_bucket(self):
+        histogram = Histogram((0.1,))
+        histogram.observe(0.0)
+        histogram.observe(-1.0)  # clock jitter must never crash recording
+        assert histogram.counts[0] == 2
+
+    def test_cumulative_buckets_are_monotonic_and_end_with_total(self):
+        histogram = Histogram((0.1, 0.2, 0.5))
+        for value in (0.05, 0.15, 0.15, 0.3, 9.0):
+            histogram.observe(value)
+        pairs = histogram.cumulative_buckets()
+        counts = [count for _, count in pairs]
+        assert counts == sorted(counts)
+        assert pairs[-1] == (float("inf"), 5)
+
+    def test_bounds_validation(self):
+        with pytest.raises(ValueError):
+            Histogram(())
+        with pytest.raises(ValueError):
+            Histogram((0.2, 0.1))
+        with pytest.raises(ValueError):
+            Histogram((0.1, 0.1))
+
+
+class TestHistogramQuantiles:
+    def test_empty_is_zero(self):
+        assert Histogram().quantile(0.5) == 0.0
+
+    def test_interpolates_within_bucket(self):
+        histogram = Histogram((1.0, 2.0))
+        for _ in range(4):
+            histogram.observe(1.5)  # all in the (1.0, 2.0] bucket
+        assert 1.0 <= histogram.quantile(0.5) <= 2.0
+
+    def test_inf_bucket_reports_last_finite_bound(self):
+        histogram = Histogram((0.1, 1.0))
+        histogram.observe(50.0)
+        assert histogram.quantile(0.99) == 1.0
+
+    def test_range_checked(self):
+        with pytest.raises(ValueError):
+            Histogram().quantile(1.5)
+
+    def test_snapshot_shape(self):
+        histogram = Histogram()
+        histogram.observe(0.003)
+        snap = histogram.snapshot()
+        assert set(snap) == {"count", "sum_seconds", "p50_seconds", "p95_seconds", "p99_seconds"}
+        assert snap["count"] == 1
+        assert snap["sum_seconds"] == 0.003
+
+
+class TestPrometheusRendering:
+    def test_counter_and_gauge_lines(self):
+        text = render_prometheus(
+            [
+                MetricFamily("x_total", "counter", 'help with "quotes"\nand newline',
+                             [({"route": 'a"b'}, 3)]),
+                MetricFamily("up", "gauge", "plain", [({}, 1.0)]),
+            ]
+        )
+        assert '# HELP x_total help with "quotes"\\nand newline' in text
+        assert "# TYPE x_total counter" in text
+        assert 'x_total{route="a\\"b"} 3' in text
+        assert "up 1" in text
+        assert text.endswith("\n")
+
+    def test_histogram_exposition(self):
+        histogram = Histogram((0.1, 0.5))
+        histogram.observe(0.05)
+        histogram.observe(0.3)
+        histogram.observe(7.0)
+        text = render_prometheus(
+            [MetricFamily("d_seconds", "histogram", "h", [({"route": "r"}, histogram)])]
+        )
+        assert '# TYPE d_seconds histogram' in text
+        assert 'd_seconds_bucket{route="r",le="0.1"} 1' in text
+        assert 'd_seconds_bucket{route="r",le="0.5"} 2' in text
+        assert 'd_seconds_bucket{route="r",le="+Inf"} 3' in text
+        assert 'd_seconds_count{route="r"} 3' in text
+        assert 'd_seconds_sum{route="r"}' in text
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            MetricFamily("x", "summary", "h", [])
+
+
+class TestServiceMetricsConcurrency:
+    def test_threads_hammering_recorders_while_snapshotting(self):
+        """Satellite check: recording and snapshotting race without corruption."""
+        metrics = ServiceMetrics()
+        iterations = 300
+        errors: list[BaseException] = []
+
+        def hammer(which: int) -> None:
+            try:
+                for index in range(iterations):
+                    metrics.record_request(f"route{which}")
+                    metrics.record_response(200)
+                    metrics.observe_request(f"route{which}", 0.001 * (index % 7))
+                    metrics.record_detect("thread", 10, 0.01)
+                    metrics.record_protect("process", 5, 0.02)
+                    metrics.record_chunk(3, 0.005)
+            except BaseException as error:  # noqa: BLE001 - surfaced below
+                errors.append(error)
+
+        def reader() -> None:
+            try:
+                for _ in range(iterations):
+                    snap = metrics.snapshot()
+                    assert snap["detect"]["rows"] >= 0
+                    metrics.prometheus()
+            except BaseException as error:  # noqa: BLE001
+                errors.append(error)
+
+        threads = [threading.Thread(target=hammer, args=(n,)) for n in range(4)]
+        threads += [threading.Thread(target=reader) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        snap = metrics.snapshot()
+        assert snap["requests"] == {f"route{n}": iterations for n in range(4)}
+        assert snap["responses"]["200"] == 4 * iterations
+        assert snap["detect"]["runners"]["thread"]["calls"] == 4 * iterations
+        assert snap["detect"]["rows"] == 4 * iterations * 10
+        assert snap["worker_chunks"]["chunks"] == 4 * iterations
+        assert snap["latency"]["worker_chunks"]["count"] == 4 * iterations
+        for route, histogram in snap["latency"]["requests"].items():
+            assert histogram["count"] == iterations, route
+
+
+class TestServiceMetricsSnapshot:
+    def test_all_seconds_fields_share_one_precision(self):
+        """Satellite check: every duration in the document is round(., 6)."""
+        metrics = ServiceMetrics()
+        metrics.record_detect("thread", 100, 0.123456789)
+        metrics.record_chunk(10, 0.987654321987)
+        snap = metrics.snapshot()
+
+        def walk(node):
+            if isinstance(node, dict):
+                for key, value in node.items():
+                    if isinstance(value, float) and "seconds" in key:
+                        assert value == round(value, 6), (key, value)
+                    walk(value)
+
+        walk(snap)
+        assert snap["detect"]["runners"]["thread"]["seconds"] == 0.123457
+        assert snap["worker_chunks"]["seconds"] == 0.987654
+
+    def test_default_buckets_cover_sub_millisecond_to_a_minute(self):
+        assert DEFAULT_LATENCY_BUCKETS[0] <= 0.001
+        assert DEFAULT_LATENCY_BUCKETS[-1] >= 60.0
+
+    def test_prometheus_document_parses(self):
+        metrics = ServiceMetrics()
+        metrics.record_request("detect")
+        metrics.observe_request("detect", 0.25)
+        text = metrics.prometheus()
+        assert "# TYPE repro_requests_total counter" in text
+        assert 'repro_request_duration_seconds_bucket{route="detect",le="0.25"} 1' in text
+        assert 'repro_request_duration_seconds_count{route="detect"} 1' in text

@@ -1,0 +1,236 @@
+"""Span/Tracer mechanics: scoping, propagation, pickling, tree assembly."""
+
+import pickle
+
+import pytest
+
+from repro.telemetry.trace import (
+    Span,
+    TraceContext,
+    Tracer,
+    activate,
+    adopt,
+    capture,
+    current_span_id,
+    current_tracer,
+    format_span_tree,
+    is_valid_trace_id,
+    new_span_id,
+    new_trace_id,
+    span,
+)
+
+
+class TestIds:
+    def test_fresh_ids_validate(self):
+        assert is_valid_trace_id(new_trace_id())
+        assert is_valid_trace_id(new_span_id())
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "UPPER00", "abc", "g" * 16, "a" * 33, "deadbeef\n", 1234, None],
+    )
+    def test_garbage_rejected(self, bad):
+        assert not is_valid_trace_id(bad)
+
+
+class TestNoopPath:
+    def test_span_without_scope_is_shared_noop(self):
+        first = span("detect.parse", rows=5)
+        second = span("protect.embed")
+        assert first is second  # the singleton: telemetry off allocates nothing
+        with first as scope:
+            scope.set(rows=1)
+            scope.done()
+        assert first.closed
+
+    def test_no_ambient_state(self):
+        assert current_tracer() is None
+        assert current_span_id() is None
+        assert capture() is None
+
+
+class TestScoping:
+    def test_spans_nest_through_contextvar(self):
+        tracer = Tracer()
+        with activate(tracer):
+            with span("outer") as outer:
+                assert current_span_id() == outer.span_id
+                with span("inner"):
+                    pass
+            assert current_span_id() is None
+        spans = {s.name: s for s in tracer.spans}
+        assert spans["inner"].parent_id == spans["outer"].span_id
+        assert spans["outer"].parent_id is None
+        assert spans["outer"].wall_seconds >= spans["inner"].wall_seconds
+
+    def test_root_parent_from_adopted_headers(self):
+        tracer = Tracer("ab" * 8, parent_id="cd" * 4)
+        with activate(tracer):
+            with span("http.request"):
+                pass
+        (recorded,) = tracer.spans
+        assert recorded.parent_id == "cd" * 4
+        assert recorded.trace_id == "ab" * 8
+
+    def test_done_is_idempotent_and_early(self):
+        tracer = Tracer()
+        with activate(tracer):
+            with span("stage") as scope:
+                scope.done(rows=3)
+                scope.done(rows=999)  # ignored: already closed
+        (recorded,) = tracer.spans
+        assert recorded.attrs == {"rows": 3}
+        assert len(tracer.spans) == 1
+
+    def test_attrs_via_set(self):
+        tracer = Tracer()
+        with activate(tracer):
+            with span("stage", lines=7) as scope:
+                scope.set(rows=7)
+        (recorded,) = tracer.spans
+        assert recorded.attrs == {"lines": 7, "rows": 7}
+
+
+class TestContextPropagation:
+    def test_capture_carries_live_tracer_in_process(self):
+        tracer = Tracer()
+        with activate(tracer):
+            with span("outer") as outer:
+                context = capture()
+        assert context.tracer is tracer
+        assert context.parent_id == outer.span_id
+        with adopt(context) as local:
+            assert local is None  # same process: record directly
+            with span("task"):
+                pass
+        names = {s.name for s in tracer.spans}
+        assert "task" in names
+
+    def test_pickling_drops_live_tracer(self):
+        tracer = Tracer()
+        with activate(tracer):
+            context = capture()
+        revived = pickle.loads(pickle.dumps(context))
+        assert isinstance(revived, TraceContext)
+        assert revived.trace_id == tracer.trace_id
+        assert revived.tracer is None
+
+    def test_adopting_pickled_context_yields_local_tracer(self):
+        tracer = Tracer()
+        with activate(tracer):
+            context = capture()
+        revived = pickle.loads(pickle.dumps(context))
+        with adopt(revived) as local:
+            assert local is not None and local is not tracer
+            with span("worker.stage", rows=10):
+                pass
+            exported = local.export()
+        assert tracer.ingest(exported) == 1
+        (recorded,) = tracer.spans
+        assert recorded.name == "worker.stage"
+        assert recorded.trace_id == tracer.trace_id
+
+    def test_adopt_none_is_noop(self):
+        with adopt(None) as local:
+            assert local is None
+            assert span("anything").closed  # still the noop singleton
+
+
+class TestTracer:
+    def test_ingest_skips_malformed_documents(self):
+        tracer = Tracer()
+        good = Span(
+            trace_id=tracer.trace_id,
+            span_id=new_span_id(),
+            parent_id=None,
+            name="ok",
+            origin="pid:1",
+            start=1.0,
+            wall_seconds=0.5,
+            cpu_seconds=0.4,
+        ).to_json()
+        assert tracer.ingest([good, {"nope": 1}, "garbage" and {}, None and {}]) == 1
+
+    def test_span_cap_counts_drops(self):
+        tracer = Tracer()
+        template = dict(
+            parent_id=None, name="s", origin="pid:1", start=0.0, wall_seconds=0.0, cpu_seconds=0.0
+        )
+        for index in range(Tracer.MAX_SPANS + 5):
+            tracer.record(
+                Span(trace_id=tracer.trace_id, span_id=f"{index:08x}", **template)
+            )
+        assert len(tracer.spans) == Tracer.MAX_SPANS
+        assert tracer.dropped == 5
+        assert tracer.to_json()["dropped"] == 5
+
+    def test_export_sorted_and_capped(self):
+        tracer = Tracer()
+        for index, start in enumerate([3.0, 1.0, 2.0]):
+            tracer.record(
+                Span(
+                    trace_id=tracer.trace_id,
+                    span_id=f"{index:08x}",
+                    parent_id=None,
+                    name=f"s{index}",
+                    origin="pid:1",
+                    start=start,
+                    wall_seconds=0.0,
+                    cpu_seconds=0.0,
+                )
+            )
+        starts = [doc["start"] for doc in tracer.export()]
+        assert starts == sorted(starts)
+        capped = tracer.to_json(limit=2)
+        assert len(capped["spans"]) == 2
+        assert capped["dropped"] == 1
+
+    def test_span_json_round_trip(self):
+        original = Span(
+            trace_id="ab" * 8,
+            span_id="cd" * 4,
+            parent_id=None,
+            name="detect.parse",
+            origin="pid:42",
+            start=123.456789,
+            wall_seconds=0.25,
+            cpu_seconds=0.125,
+            attrs={"rows": 100},
+        )
+        assert Span.from_json(original.to_json()) == original
+
+    def test_from_json_raises_on_malformed(self):
+        with pytest.raises(ValueError):
+            Span.from_json({"trace_id": "x"})
+
+
+class TestTreeRendering:
+    def test_foreign_parent_becomes_root(self):
+        tracer = Tracer()
+        tracer.record(
+            Span(
+                trace_id=tracer.trace_id,
+                span_id="aa" * 4,
+                parent_id="ff" * 4,  # not among the rendered spans
+                name="orphan",
+                origin="pid:9",
+                start=0.0,
+                wall_seconds=0.1,
+                cpu_seconds=0.1,
+            )
+        )
+        lines = format_span_tree(tracer.spans)
+        assert len(lines) == 1
+        assert lines[0].startswith("orphan")  # unindented: rendered as a root
+
+    def test_children_indent_under_parents(self):
+        tracer = Tracer()
+        with activate(tracer):
+            with span("service.detect"):
+                with span("detect.parse", rows=10):
+                    pass
+        lines = format_span_tree(tracer.spans)
+        assert lines[0].startswith("service.detect")
+        assert lines[1].startswith("  detect.parse")
+        assert "rows=10" in lines[1]

@@ -1,0 +1,214 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-exposition document — stdlib only.
+
+CI's http-smoke job scrapes ``GET /metrics?format=prometheus`` from a live
+coordinator/worker pair and pipes the body through this checker, so a
+malformed exposition (a histogram whose cumulative buckets decrease, a
+``+Inf`` bucket that disagrees with ``_count``, a sample without a ``TYPE``)
+fails the build instead of failing the first real scraper pointed at it.
+
+    python tools/check_prometheus.py metrics.txt
+    curl -s "$URL/metrics?format=prometheus" | python tools/check_prometheus.py -
+    python tools/check_prometheus.py metrics.txt \
+        --require repro_requests_total --require repro_request_duration_seconds
+
+Checks, per the exposition format spec:
+
+* every line is a comment, blank, or ``name{labels} value``;
+* metric and label names are legal; label values are correctly quoted;
+* every sample's family has a ``# TYPE`` line, declared before use;
+* histogram families expose ``_bucket``/``_sum``/``_count`` series, bucket
+  ``le`` bounds parse, cumulative counts are monotonically non-decreasing
+  within one label set, and the ``+Inf`` bucket equals ``_count``;
+* ``--require NAME`` (repeatable) asserts the family is present.
+
+Exit status: 0 valid, 1 invalid or a required family missing, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import re
+import sys
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)(?:\s+(?P<timestamp>-?\d+))?$"
+)
+LABEL_PAIR = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+#: Suffixes a histogram TYPE declaration covers.
+HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    return float(text)
+
+
+def _family_of(sample_name: str, types: dict[str, str]) -> str | None:
+    """The declared family a sample belongs to (histogram suffixes collapse)."""
+    if sample_name in types:
+        return sample_name
+    for suffix in HISTOGRAM_SUFFIXES:
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if types.get(base) == "histogram":
+                return base
+    return None
+
+
+def _parse_labels(raw: str | None, errors: list[str], lineno: int) -> dict[str, str]:
+    if not raw:
+        return {}
+    labels: dict[str, str] = {}
+    consumed = 0
+    for match in LABEL_PAIR.finditer(raw):
+        name, value = match.group(1), match.group(2)
+        if not LABEL_NAME.match(name):
+            errors.append(f"line {lineno}: illegal label name {name!r}")
+        labels[name] = value
+        consumed = match.end()
+        if consumed < len(raw) and raw[consumed] == ",":
+            consumed += 1
+    if consumed != len(raw):
+        errors.append(f"line {lineno}: malformed label section {raw!r}")
+    return labels
+
+
+def validate(text: str, require: list[str] | None = None) -> list[str]:
+    """Every problem found in *text*; empty means a valid exposition."""
+    errors: list[str] = []
+    types: dict[str, str] = {}
+    helps: set[str] = set()
+    # (family, frozen non-le labels) -> list of (le_bound, cumulative, lineno)
+    buckets: dict[tuple[str, tuple], list[tuple[float, float, int]]] = {}
+    counts: dict[tuple[str, tuple], float] = {}
+    seen_families: set[str] = set()
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 3 or not METRIC_NAME.match(parts[2]):
+                errors.append(f"line {lineno}: malformed HELP line")
+            else:
+                helps.add(parts[2])
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or not METRIC_NAME.match(parts[2]):
+                errors.append(f"line {lineno}: malformed TYPE line")
+                continue
+            name, kind = parts[2], parts[3]
+            if kind not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                errors.append(f"line {lineno}: unknown metric type {kind!r}")
+            if name in types:
+                errors.append(f"line {lineno}: duplicate TYPE for {name}")
+            types[name] = kind
+            continue
+        if line.startswith("#"):
+            continue  # plain comment
+
+        match = SAMPLE_LINE.match(line)
+        if not match:
+            errors.append(f"line {lineno}: unparsable sample line {line!r}")
+            continue
+        name = match.group("name")
+        labels = _parse_labels(match.group("labels"), errors, lineno)
+        try:
+            value = _parse_value(match.group("value"))
+        except ValueError:
+            errors.append(f"line {lineno}: unparsable sample value {match.group('value')!r}")
+            continue
+        family = _family_of(name, types)
+        if family is None:
+            errors.append(f"line {lineno}: sample {name!r} has no preceding TYPE declaration")
+            continue
+        seen_families.add(family)
+
+        if types[family] == "histogram":
+            series = tuple(sorted((k, v) for k, v in labels.items() if k != "le"))
+            key = (family, series)
+            if name.endswith("_bucket"):
+                if "le" not in labels:
+                    errors.append(f"line {lineno}: histogram bucket without an le label")
+                    continue
+                try:
+                    bound = _parse_value(labels["le"])
+                except ValueError:
+                    errors.append(f"line {lineno}: unparsable le bound {labels['le']!r}")
+                    continue
+                buckets.setdefault(key, []).append((bound, value, lineno))
+            elif name.endswith("_count"):
+                counts[key] = value
+
+    for (family, series), entries in buckets.items():
+        entries.sort(key=lambda item: item[0])
+        label_text = ",".join(f"{k}={v}" for k, v in series) or "<no labels>"
+        previous = -1.0
+        for bound, cumulative, lineno in entries:
+            if cumulative < previous:
+                errors.append(
+                    f"line {lineno}: {family}{{{label_text}}} cumulative bucket counts "
+                    f"decrease at le={bound}"
+                )
+            previous = cumulative
+        if not entries or not math.isinf(entries[-1][0]):
+            errors.append(f"{family}{{{label_text}}}: missing +Inf bucket")
+        else:
+            inf_count = entries[-1][1]
+            declared = counts.get((family, series))
+            if declared is None:
+                errors.append(f"{family}{{{label_text}}}: missing _count series")
+            elif inf_count != declared:
+                errors.append(
+                    f"{family}{{{label_text}}}: +Inf bucket ({inf_count}) != _count ({declared})"
+                )
+
+    for name in require or []:
+        if name not in seen_families:
+            errors.append(f"required metric family {name!r} is absent")
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("path", help="exposition file to validate, or - for stdin")
+    parser.add_argument(
+        "--require",
+        action="append",
+        metavar="NAME",
+        help="fail unless this metric family is present (repeatable)",
+    )
+    args = parser.parse_args(argv)
+    if args.path == "-":
+        text = sys.stdin.read()
+    else:
+        try:
+            with open(args.path, encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    errors = validate(text, require=args.require)
+    for error in errors:
+        print(f"invalid exposition: {error}", file=sys.stderr)
+    if not errors:
+        families = len({line.split(" ")[2] for line in text.splitlines() if line.startswith("# TYPE ")})
+        print(f"ok: {families} metric families validate")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
