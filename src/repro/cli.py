@@ -59,7 +59,14 @@ from repro.service.api import DEFAULT_TENANT, ProtectionService, dataset_id_for,
 from repro.service.executor import ShardExecutor
 from repro.service.http.app import ProtectionApp
 from repro.service.http.client import HTTPServiceError, ServiceClient
-from repro.service.http.server import make_http_server
+from repro.service.http.prefork import (
+    DEFAULT_HANDLER_THREADS,
+    DEFAULT_KEEPALIVE_SECONDS,
+    DEFAULT_MAX_REQUESTS_PER_CONNECTION,
+    DEFAULT_QUEUE_LIMIT,
+    PreForkServer,
+    RateLimiter,
+)
 from repro.service.reports import DEFAULT_MAX_LOSS, detect_report, dispute_report, error_payload
 from repro.service.runners import REMOTE_RUNNER_NAME, RUNNER_NAMES, FleetError, RemoteRunner
 from repro.service.vault import KeyVault, VaultError
@@ -421,8 +428,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_upload_bytes=args.max_upload_mb * 1024 * 1024 if args.max_upload_mb else None,
         logger=configure_json_logging() if args.log_json else None,
     )
-    server = make_http_server(app, args.host, args.port, verbose=args.verbose)
-    host, port = server.server_address[:2]
+    rate_limiter = (
+        RateLimiter(args.rate_limit, args.rate_burst) if args.rate_limit else None
+    )
+    # The pre-fork server is the serving layer even at --processes 1: the
+    # single worker still gets keep-alive, the bounded admission queue and
+    # graceful SIGTERM drain (docs/http.md, "Production serving").
+    server = PreForkServer(
+        app,
+        args.host,
+        args.port,
+        processes=args.processes,
+        keepalive_seconds=args.keepalive,
+        max_requests_per_connection=args.max_requests_per_conn,
+        queue_limit=args.queue_limit,
+        handler_threads=args.handler_threads,
+        rate_limiter=rate_limiter,
+        metrics=app.metrics,
+        verbose=args.verbose,
+    )
+    host, port = server.address
     url = f"http://{host}:{port}"
     fleet = list(getattr(runner, "worker_urls", ()))
     payload = {
@@ -431,16 +456,33 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         "runner": executor.runner_name,
         "workers": executor.max_workers,
         "registration": "admin-token" if args.admin_token else "open",
+        "processes": server.processes,
+        "reuseport": server.reuseport,
+        "keepalive_seconds": args.keepalive,
+        "queue_limit": args.queue_limit,
+        "rate_limit": args.rate_limit,
     }
     lines = [
         f"serving vault {service.vault.root} at {url}",
         f"  runner / workers : {executor.runner_name} / {executor.max_workers}",
         f"  registration     : {'admin-token gated' if args.admin_token else 'open'}",
+        f"  processes        : {server.processes} "
+        f"({'SO_REUSEPORT' if server.reuseport else 'inherited socket'})",
+        f"  keep-alive       : {args.keepalive:g}s idle, "
+        f"{args.max_requests_per_conn} requests/connection, queue {args.queue_limit}",
     ]
+    if args.rate_limit:
+        lines.append(
+            f"  rate limit       : {args.rate_limit:g} req/s per token "
+            f"(burst {args.rate_burst or 'auto'}) per worker"
+        )
     if fleet:
         payload["fleet"] = fleet
         lines.append(f"  worker fleet     : {', '.join(fleet)}")
-    lines.append("  stop with Ctrl-C")
+    lines.append("  stop with Ctrl-C (SIGTERM drains gracefully)")
+    # Workers are forked (and listening) before the URL is announced, so a
+    # supervisor may connect the moment it parses this payload.
+    server.start()
     _emit(args, payload, lines)
     sys.stdout.flush()
     try:
@@ -448,7 +490,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         pass
     finally:
-        server.server_close()
+        server.close()
     return EXIT_OK
 
 
@@ -591,7 +633,7 @@ def build_parser() -> argparse.ArgumentParser:
     dispute.set_defaults(func=_cmd_dispute)
 
     serve = subparsers.add_parser(
-        "serve", help="expose a vault's protection service over HTTP (stdlib WSGI)"
+        "serve", help="expose a vault's protection service over HTTP (pre-fork keep-alive server)"
     )
     serve.add_argument("--vault", required=True, help="vault directory to serve")
     serve.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
@@ -603,6 +645,54 @@ def build_parser() -> argparse.ArgumentParser:
         help="default shard runner for detects (remote = coordinate a --worker-url fleet)",
     )
     serve.add_argument("--workers", type=int, help="shard workers per detect (default: cpu-bound)")
+    serve.add_argument(
+        "--processes",
+        type=int,
+        default=1,
+        help="pre-fork this many worker processes sharing the port via "
+        "SO_REUSEPORT (size to CPU cores; default 1)",
+    )
+    serve.add_argument(
+        "--keepalive",
+        type=float,
+        default=DEFAULT_KEEPALIVE_SECONDS,
+        metavar="SECONDS",
+        help=f"idle seconds before a kept-alive connection closes "
+        f"(default {DEFAULT_KEEPALIVE_SECONDS:g})",
+    )
+    serve.add_argument(
+        "--max-requests-per-conn",
+        type=int,
+        default=DEFAULT_MAX_REQUESTS_PER_CONNECTION,
+        help=f"requests served per connection before it is recycled "
+        f"(default {DEFAULT_MAX_REQUESTS_PER_CONNECTION})",
+    )
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=DEFAULT_QUEUE_LIMIT,
+        help=f"connections queued per worker before new arrivals shed with "
+        f"503 + Retry-After (default {DEFAULT_QUEUE_LIMIT})",
+    )
+    serve.add_argument(
+        "--handler-threads",
+        type=int,
+        default=DEFAULT_HANDLER_THREADS,
+        help=f"concurrent connections handled per worker process "
+        f"(default {DEFAULT_HANDLER_THREADS})",
+    )
+    serve.add_argument(
+        "--rate-limit",
+        type=float,
+        metavar="REQ_PER_SEC",
+        help="per-tenant token-bucket rate limit keyed on the bearer token, "
+        "applied per worker process (429 beyond it; default: unlimited)",
+    )
+    serve.add_argument(
+        "--rate-burst",
+        type=int,
+        help="token-bucket burst capacity (default: 2x the rate)",
+    )
     add_fleet(serve)
     serve.add_argument(
         "--admin-token",
@@ -625,6 +715,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _validate(parser: argparse.ArgumentParser, args: argparse.Namespace) -> None:
+    if args.command == "serve":
+        if args.processes < 1:
+            parser.error("serve: --processes must be at least 1")
+        if args.rate_burst is not None and not args.rate_limit:
+            parser.error("serve: --rate-burst requires --rate-limit")
+        if args.rate_limit is not None and args.rate_limit <= 0:
+            parser.error("serve: --rate-limit must be positive (requests/second)")
     if getattr(args, "runner", None) != REMOTE_RUNNER_NAME:
         # Reject, never silently drop, fleet flags outside remote mode.
         for flag in ("worker_urls", "worker_token", "worker_timeout"):

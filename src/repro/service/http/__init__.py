@@ -14,16 +14,22 @@ the :class:`~repro.service.vault.KeyVault`:
   against the vault's token digests (401 missing / 403 wrong);
 * :mod:`repro.service.http.metrics` — the per-process counters behind
   ``GET /metrics`` (request/response counts, rows, per-runner timings);
-* :mod:`repro.service.http.server` — a threading ``wsgiref`` server and the
-  ``repro serve`` entry point;
+* :mod:`repro.service.http.prefork` — the production serving layer: a
+  pre-fork multi-process server (``SO_REUSEPORT`` port sharing, HTTP/1.1
+  keep-alive, bounded admission queue with 503 sheds, per-tenant rate
+  limiting, graceful SIGTERM drain) behind the ``repro serve`` entry point;
+* :mod:`repro.service.http.server` — the legacy threading ``wsgiref``
+  server (one request per connection), kept for embedding and tests;
 * :mod:`repro.service.http.client` — the stdlib client the CLI's ``--url``
-  mode drives (chunked uploads via :mod:`http.client`, streamed downloads)
-  and the :class:`~repro.service.runners.RemoteRunner` posts chunks with.
+  mode drives (chunked uploads via :mod:`http.client`, streamed downloads,
+  pooled keep-alive connections with one transparent stale retry) and the
+  :class:`~repro.service.runners.RemoteRunner` posts chunks with.
 """
 
 from repro.service.http.app import ProtectionApp
 from repro.service.http.client import HTTPServiceError, ServiceClient
 from repro.service.http.metrics import ServiceMetrics
+from repro.service.http.prefork import HTTPWorker, PreForkServer, RateLimiter
 from repro.service.http.server import make_http_server
 
 __all__ = [
@@ -31,5 +37,8 @@ __all__ = [
     "ServiceClient",
     "HTTPServiceError",
     "ServiceMetrics",
+    "HTTPWorker",
+    "PreForkServer",
+    "RateLimiter",
     "make_http_server",
 ]

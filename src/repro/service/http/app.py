@@ -177,8 +177,20 @@ def _iter_request_body(environ: Mapping[str, object]) -> Iterator[bytes]:
     trailers are skipped).  Bodies with ``Content-Length`` are read exactly
     to length in blocks — never ``read()`` to EOF, which can block on a
     keep-alive socket.
+
+    A keep-alive frontend (``repro.service.http.prefork``) decodes transfer
+    framing itself — it has to, to know where a pipelined request's body ends
+    — and advertises that with the de-facto ``wsgi.input_terminated`` flag:
+    the stream then yields exactly the payload bytes and EOFs at the body's
+    end, so this function just reads it out in blocks.
     """
     stream = environ["wsgi.input"]
+    if environ.get("wsgi.input_terminated"):
+        while True:
+            block = stream.read(SPOOL_CHUNK_BYTES)
+            if not block:
+                return
+            yield block
     encoding = str(environ.get("HTTP_TRANSFER_ENCODING", "")).lower()
     if "chunked" in encoding:
         while True:

@@ -7,9 +7,20 @@ copied to the output path in blocks and the JSON report is read from the
 ``X-Repro-Report`` header, so a protect round trip holds at most one block
 of either CSV in memory.
 
-One connection per request (the ``wsgiref`` server speaks one request per
-connection); errors surface as :class:`HTTPServiceError` carrying the status
-and the server's ``{"error": ...}`` message.
+Connections are **kept alive and pooled**: against the pre-fork server
+(:mod:`repro.service.http.prefork`) every call reuses an idle connection
+from a small thread-safe pool, so a fleet detect's hundreds of chunk POSTs
+pay one TCP handshake, not one each.  A connection that went stale while
+idle (the server's keep-alive timeout, a restart) is retried transparently
+exactly once on a fresh connection — safe because a stale close means the
+server never read the request.  Against the legacy one-request-per-
+connection ``wsgiref`` server the responses say ``Connection: close``, the
+pool never retains anything, and behaviour degrades to exactly the old
+connection-per-request model.  ``connections_opened`` counts real TCP
+connects, which is what the keep-alive tests assert on.
+
+Errors surface as :class:`HTTPServiceError` carrying the status and the
+server's ``{"error": ...}`` message.
 """
 
 from __future__ import annotations
@@ -17,6 +28,7 @@ from __future__ import annotations
 import http.client
 import json
 import os
+import threading
 from typing import Iterator, Mapping
 from urllib.parse import urlencode, urlsplit
 
@@ -33,6 +45,20 @@ from repro.telemetry.trace import (
 __all__ = ["HTTPServiceError", "ServiceClient"]
 
 DEFAULT_TIMEOUT = 600.0
+
+#: Idle connections retained per client; more concurrent callers than this
+#: simply open (and afterwards close) extra connections.
+MAX_IDLE_CONNECTIONS = 8
+
+#: What a reused-but-stale connection raises: the server closed it while it
+#: sat idle in the pool, which also guarantees this request was never
+#: processed — the one transparent retry is therefore safe for any verb.
+_STALE_ERRORS = (
+    http.client.BadStatusLine,  # includes RemoteDisconnected
+    ConnectionResetError,
+    ConnectionAbortedError,
+    BrokenPipeError,
+)
 
 
 class HTTPServiceError(RuntimeError):
@@ -54,11 +80,59 @@ def _iter_file(path: str) -> Iterator[bytes]:
             yield block
 
 
+class _PooledResponse:
+    """An ``HTTPResponse`` whose ``close()`` recycles the connection.
+
+    The connection goes back to the client's idle pool only when the
+    response was read to completion **and** the server did not announce
+    ``Connection: close`` — ``will_close`` is how :mod:`http.client` records
+    that, so legacy ``wsgiref`` responses (HTTP/1.0, always closing) recycle
+    nothing and keep the old semantics automatically.
+    """
+
+    def __init__(self, client: "ServiceClient", connection, response) -> None:
+        self._client = client
+        self._connection = connection
+        self._response = response
+
+    def read(self, amt: int | None = None) -> bytes:
+        return self._response.read(amt)
+
+    def close(self) -> None:
+        connection, self._connection = self._connection, None
+        if connection is None:
+            return
+        try:
+            reusable = self._response.isclosed() and not getattr(
+                self._response, "will_close", True
+            )
+        except Exception:  # noqa: BLE001 - never let pooling break a request
+            reusable = False
+        if reusable:
+            self._client._checkin(connection)
+        else:
+            connection.close()
+
+    def __getattr__(self, name: str):
+        return getattr(self._response, name)
+
+
 class ServiceClient:
-    """A thin, connection-per-request client bound to one base URL + token."""
+    """A thin, keep-alive client bound to one base URL + token.
+
+    Thread-safe: the :class:`~repro.service.runners.RemoteRunner` posts
+    chunks through one client from many threads, each call borrowing an
+    idle pooled connection (or opening its own) for the request's duration.
+    Pass ``keepalive=False`` for the old connection-per-request behaviour.
+    """
 
     def __init__(
-        self, base_url: str, token: str | None = None, *, timeout: float = DEFAULT_TIMEOUT
+        self,
+        base_url: str,
+        token: str | None = None,
+        *,
+        timeout: float = DEFAULT_TIMEOUT,
+        keepalive: bool = True,
     ) -> None:
         parts = urlsplit(base_url if "//" in base_url else f"http://{base_url}")
         if parts.scheme not in ("", "http"):
@@ -70,10 +144,39 @@ class ServiceClient:
         self._prefix = parts.path.rstrip("/")
         self._token = token
         self._timeout = timeout
+        self._keepalive = keepalive
+        self._pool_lock = threading.Lock()
+        self._idle: list[http.client.HTTPConnection] = []
+        self._connections_opened = 0
+        self._closed = False
 
     @property
     def base_url(self) -> str:
         return f"http://{self._host}:{self._port}{self._prefix}"
+
+    @property
+    def connections_opened(self) -> int:
+        """TCP connections this client has opened — the keep-alive witness.
+
+        Many requests over few connections is the whole point; tests assert
+        this stays far below the request count against a keep-alive server.
+        """
+        with self._pool_lock:
+            return self._connections_opened
+
+    def close(self) -> None:
+        """Close pooled idle connections (in-flight ones close via their response)."""
+        with self._pool_lock:
+            idle, self._idle = self._idle, []
+            self._closed = True
+        for connection in idle:
+            connection.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # --------------------------------------------------------------------- API
     def health(self) -> dict:
@@ -119,7 +222,7 @@ class ServiceClient:
                 "POST",
                 f"/tenants/{tenant}/datasets/{dataset}/protect",
                 query=query,
-                body=_iter_file(input_csv),
+                body=lambda: _iter_file(input_csv),
             )
         self._ingest_trace(headers)
         try:
@@ -164,7 +267,7 @@ class ServiceClient:
                 "POST",
                 f"/tenants/{tenant}/datasets/{dataset}/detect",
                 query={name: value for name, value in query.items() if value is not None},
-                body=_iter_file(suspect_csv),
+                body=lambda: _iter_file(suspect_csv),
             )
         self._ingest_trace(headers)
         return payload
@@ -173,7 +276,7 @@ class ServiceClient:
         return self._json_request(
             "POST",
             f"/tenants/{tenant}/datasets/{dataset}/dispute",
-            body=_iter_file(disputed_csv),
+            body=lambda: _iter_file(disputed_csv),
         )
 
     def metrics(self) -> dict:
@@ -225,6 +328,15 @@ class ServiceClient:
         headers: Mapping[str, str] | None = None,
         authenticated: bool = True,
     ):
+        """One request over a pooled connection; returns ``(status, headers, response)``.
+
+        *body* may be ``None``, bytes, an iterator, or a **callable returning
+        an iterator** — the callable shape is what streamed uploads use, so
+        the body can be produced afresh if the first attempt hits a stale
+        pooled connection.  A bare iterator is sent as-is but never retried
+        (it may be partially consumed).  Closing the returned response gives
+        the connection back to the pool when it is reusable.
+        """
         target = self._prefix + path
         if query:
             target += "?" + urlencode(query)
@@ -239,21 +351,55 @@ class ServiceClient:
         bearer = token if token is not None else self._token
         if authenticated and bearer:
             request_headers["Authorization"] = f"Bearer {bearer}"
-        connection = http.client.HTTPConnection(self._host, self._port, timeout=self._timeout)
-        try:
+
+        replayable = body is None or isinstance(body, (bytes, bytearray)) or callable(body)
+        retried = False
+        while True:
+            connection, reused = self._acquire()
             try:
-                connection.request(method, target, body=body, headers=request_headers)
-            except (BrokenPipeError, ConnectionResetError):
-                # The server answered (e.g. 401) and closed before draining
-                # our streamed upload; the response is usually still readable.
-                pass
-            response = connection.getresponse()
-        except BaseException:
-            connection.close()
-            raise
-        # The response object owns the connection from here; closing the
-        # response closes the socket (one request per connection anyway).
-        return response.status, dict(response.getheaders()), response
+                payload = body() if callable(body) else body
+                try:
+                    connection.request(method, target, body=payload, headers=request_headers)
+                except (BrokenPipeError, ConnectionResetError):
+                    # The server answered (e.g. 401) and closed before
+                    # draining our streamed upload; the response is usually
+                    # still readable — and if the connection was merely
+                    # stale, getresponse raises and the retry path runs.
+                    pass
+                response = connection.getresponse()
+            except _STALE_ERRORS:
+                connection.close()
+                if reused and replayable and not retried:
+                    # A pooled connection the server closed while it sat
+                    # idle: the request was never processed, retry it once
+                    # on a fresh connection.
+                    retried = True
+                    continue
+                raise
+            except BaseException:
+                connection.close()
+                raise
+            return (
+                response.status,
+                dict(response.getheaders()),
+                _PooledResponse(self, connection, response),
+            )
+
+    def _acquire(self) -> tuple[http.client.HTTPConnection, bool]:
+        if self._keepalive:
+            with self._pool_lock:
+                if self._idle:
+                    return self._idle.pop(), True
+        with self._pool_lock:
+            self._connections_opened += 1
+        return http.client.HTTPConnection(self._host, self._port, timeout=self._timeout), False
+
+    def _checkin(self, connection: http.client.HTTPConnection) -> None:
+        with self._pool_lock:
+            if self._keepalive and not self._closed and len(self._idle) < MAX_IDLE_CONNECTIONS:
+                self._idle.append(connection)
+                return
+        connection.close()
 
     def _json_request(self, method: str, path: str, **kwargs) -> dict:
         payload, _ = self._json_exchange(method, path, **kwargs)

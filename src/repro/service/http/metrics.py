@@ -23,6 +23,14 @@ this document mixes precisions)::
     protect          {"runners": {runner: {calls, rows, seconds}}, "rows": n}
     worker_chunks    {chunks, rows, seconds}  the worker side of distributed
                                               detection (POST /internal/detect-votes)
+    server           {host, pid, connections, queue_depth, queue_limit,
+                      sheds, rate_limited} — the serving-layer story: which
+                      process answered (``host``/``pid`` are stamped at
+                      snapshot time, so they are correct after a pre-fork),
+                      TCP connections accepted, the admission queue's
+                      current depth and configured limit (``queue_limit``
+                      is ``null`` under the legacy threading server),
+                      connections shed with 503, requests refused with 429
     latency          {"requests": {route: H}, "detect": {runner: H},
                       "protect": {runner: H}, "worker_chunks": H}
                      where H = {count, sum_seconds, p50_seconds,
@@ -34,6 +42,8 @@ Counters reset with the process; scrape-and-diff is the consumer's job.
 
 from __future__ import annotations
 
+import os
+import socket
 import threading
 import time
 from collections import Counter, defaultdict
@@ -50,6 +60,8 @@ __all__ = ["ServiceMetrics", "SECONDS_PRECISION"]
 #: Every ``*seconds`` field in the snapshot is rounded to this many decimal
 #: places — the one normalisation rule for the whole document.
 SECONDS_PRECISION = 6
+
+_HOSTNAME = socket.gethostname()
 
 
 class ServiceMetrics:
@@ -73,6 +85,13 @@ class ServiceMetrics:
             lambda: Histogram(DEFAULT_LATENCY_BUCKETS)
         )
         self._chunk_latency = Histogram(DEFAULT_LATENCY_BUCKETS)
+        # Serving-layer counters (filled in by the pre-fork worker; the
+        # legacy threading server leaves them at rest).
+        self._connections = 0
+        self._sheds = 0
+        self._rate_limited = 0
+        self._queue_depth = 0
+        self._queue_limit: int | None = None
 
     # ------------------------------------------------------------- recording
     def record_request(self, route: str) -> None:
@@ -116,6 +135,27 @@ class ServiceMetrics:
             self._chunks[2] += seconds
             self._chunk_latency.observe(seconds)
 
+    def record_connection(self) -> None:
+        """One TCP connection accepted (many requests may follow on it)."""
+        with self._lock:
+            self._connections += 1
+
+    def record_shed(self) -> None:
+        """One connection refused with 503 because the admission queue was full."""
+        with self._lock:
+            self._sheds += 1
+
+    def record_rate_limited(self) -> None:
+        """One request refused with 429 by the per-tenant token bucket."""
+        with self._lock:
+            self._rate_limited += 1
+
+    def record_queue(self, depth: int, limit: int) -> None:
+        """The admission queue's current depth and configured limit."""
+        with self._lock:
+            self._queue_depth = int(depth)
+            self._queue_limit = int(limit)
+
     # -------------------------------------------------------------- snapshot
     def snapshot(self) -> dict:
         """The JSON document described in the module docstring.
@@ -151,6 +191,18 @@ class ServiceMetrics:
                     "rows": int(sum(entry[1] for entry in self._protect.values())),
                 },
                 "worker_chunks": timing(self._chunks, "chunks"),
+                # host/pid stamped per snapshot, not per construction: after a
+                # pre-fork every worker inherits the same object but must
+                # answer with its own identity.
+                "server": {
+                    "host": _HOSTNAME,
+                    "pid": os.getpid(),
+                    "connections": self._connections,
+                    "queue_depth": self._queue_depth,
+                    "queue_limit": self._queue_limit,
+                    "sheds": self._sheds,
+                    "rate_limited": self._rate_limited,
+                },
                 "latency": {
                     "requests": {
                         route: histogram.snapshot(precision=SECONDS_PRECISION)
@@ -176,6 +228,7 @@ class ServiceMetrics:
         Rendered under the lock from the live structures (no snapshot
         round-tripping), so a scrape is one lock acquisition.
         """
+        identity = {"host": _HOSTNAME, "pid": str(os.getpid())}
         with self._lock:
             families = [
                 MetricFamily(
@@ -183,6 +236,42 @@ class ServiceMetrics:
                     "gauge",
                     "Seconds since this server process started.",
                     [({}, time.monotonic() - self._started)],
+                ),
+                MetricFamily(
+                    "repro_server_info",
+                    "gauge",
+                    "Identity of the process answering this scrape (pre-fork: one per worker).",
+                    [(identity, 1)],
+                ),
+                MetricFamily(
+                    "repro_connections_total",
+                    "counter",
+                    "TCP connections accepted by this worker (keep-alive: many requests each).",
+                    [({}, self._connections)],
+                ),
+                MetricFamily(
+                    "repro_queue_depth",
+                    "gauge",
+                    "Connections waiting in this worker's admission queue right now.",
+                    [({}, self._queue_depth)],
+                ),
+                MetricFamily(
+                    "repro_queue_limit",
+                    "gauge",
+                    "Configured admission-queue limit (0 = legacy threading server).",
+                    [({}, self._queue_limit or 0)],
+                ),
+                MetricFamily(
+                    "repro_queue_sheds_total",
+                    "counter",
+                    "Connections shed with 503 because the admission queue was full.",
+                    [({}, self._sheds)],
+                ),
+                MetricFamily(
+                    "repro_rate_limited_total",
+                    "counter",
+                    "Requests refused with 429 by the per-tenant token bucket.",
+                    [({}, self._rate_limited)],
                 ),
                 MetricFamily(
                     "repro_requests_total",

@@ -7,8 +7,12 @@ an ephemeral-port mode for tests and the CI smoke job.  One request per
 connection (no keep-alive) — exactly ``wsgiref``'s model — which the client
 honours by opening a fresh connection per call.
 
-Production deployments can mount :class:`~repro.service.http.app.ProtectionApp`
-in any WSGI container instead; nothing here is load-bearing beyond serving.
+This is the **legacy** server: ``repro serve`` now fronts the app with the
+pre-fork keep-alive layer in :mod:`repro.service.http.prefork`; this module
+stays for embedders and as the threading baseline the load benchmark
+(``benchmarks/bench_load.py``) measures against.  Production deployments can
+also mount :class:`~repro.service.http.app.ProtectionApp` in any WSGI
+container; nothing here is load-bearing beyond serving.
 
 Request *logging* is the app's job, not the server's: keep the handler
 quiet and run ``repro serve --log-json`` for structured per-request records

@@ -709,6 +709,16 @@ class RemoteRunner(ShardRunner):
     def worker_urls(self) -> tuple[str, ...]:
         return tuple(url for url, _ in self._workers)
 
+    @property
+    def connections_opened(self) -> int:
+        """TCP connections opened across the fleet's clients.
+
+        With keep-alive workers this stays near the fleet size however many
+        chunks are posted — the end-to-end witness that chunk POSTs reuse
+        connections (``tests/service/test_prefork.py`` asserts it).
+        """
+        return sum(client.connections_opened for _, client in self._workers)
+
     # ------------------------------------------------------------------- API
     def collect_csv(
         self,

@@ -1,0 +1,86 @@
+"""tools/check_prometheus.py — the exposition validator CI scrapes through.
+
+Focus: the ``--require-label`` gate added for the pre-fork server's
+host/pid-stamped scrapes — a family whose samples drop the stamp must fail,
+an absent family must fail, and a malformed spec is a usage error.
+"""
+
+import importlib.util
+from pathlib import Path
+
+_SPEC = importlib.util.spec_from_file_location(
+    "check_prometheus",
+    Path(__file__).resolve().parents[2] / "tools" / "check_prometheus.py",
+)
+check_prometheus = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(check_prometheus)
+
+
+STAMPED = """\
+# TYPE repro_server_info gauge
+repro_server_info{host="box",pid="41"} 1
+# TYPE repro_connections_total counter
+repro_connections_total{host="box",pid="41"} 7
+"""
+
+UNSTAMPED = """\
+# TYPE repro_server_info gauge
+repro_server_info{host="box"} 1
+repro_server_info{host="box",pid="42"} 1
+"""
+
+
+class TestRequireLabel:
+    def test_stamped_scrape_passes(self):
+        errors = check_prometheus.validate(
+            STAMPED,
+            require_labels=[("repro_server_info", "host"), ("repro_server_info", "pid")],
+        )
+        assert errors == []
+
+    def test_sample_missing_the_label_fails(self):
+        errors = check_prometheus.validate(
+            UNSTAMPED, require_labels=[("repro_server_info", "pid")]
+        )
+        assert len(errors) == 1
+        assert "lacks required label 'pid'" in errors[0]
+
+    def test_absent_family_fails(self):
+        errors = check_prometheus.validate(
+            STAMPED, require_labels=[("repro_queue_depth", "host")]
+        )
+        assert errors == ["label-required metric family 'repro_queue_depth' is absent"]
+
+    def test_histogram_samples_are_covered(self):
+        text = (
+            "# TYPE repro_latency_seconds histogram\n"
+            'repro_latency_seconds_bucket{le="+Inf"} 3\n'
+            "repro_latency_seconds_sum 0.5\n"
+            "repro_latency_seconds_count 3\n"
+        )
+        errors = check_prometheus.validate(
+            text, require_labels=[("repro_latency_seconds", "pid")]
+        )
+        assert len(errors) == 3  # bucket, sum and count samples all unstamped
+
+
+class TestCli:
+    def test_require_label_via_cli(self, tmp_path, capsys):
+        path = tmp_path / "scrape.txt"
+        path.write_text(STAMPED)
+        assert (
+            check_prometheus.main([str(path), "--require-label", "repro_server_info=pid"])
+            == 0
+        )
+        path.write_text(UNSTAMPED)
+        assert (
+            check_prometheus.main([str(path), "--require-label", "repro_server_info=pid"])
+            == 1
+        )
+        assert "lacks required label" in capsys.readouterr().err
+
+    def test_malformed_spec_is_usage_error(self, tmp_path, capsys):
+        path = tmp_path / "scrape.txt"
+        path.write_text(STAMPED)
+        assert check_prometheus.main([str(path), "--require-label", "nonsense"]) == 2
+        assert "FAMILY=LABEL" in capsys.readouterr().err

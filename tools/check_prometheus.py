@@ -11,6 +11,8 @@ fails the build instead of failing the first real scraper pointed at it.
     curl -s "$URL/metrics?format=prometheus" | python tools/check_prometheus.py -
     python tools/check_prometheus.py metrics.txt \
         --require repro_requests_total --require repro_request_duration_seconds
+    python tools/check_prometheus.py metrics.txt \
+        --require-label repro_server_info=host --require-label repro_server_info=pid
 
 Checks, per the exposition format spec:
 
@@ -20,7 +22,11 @@ Checks, per the exposition format spec:
 * histogram families expose ``_bucket``/``_sum``/``_count`` series, bucket
   ``le`` bounds parse, cumulative counts are monotonically non-decreasing
   within one label set, and the ``+Inf`` bucket equals ``_count``;
-* ``--require NAME`` (repeatable) asserts the family is present.
+* ``--require NAME`` (repeatable) asserts the family is present;
+* ``--require-label FAMILY=LABEL`` (repeatable) asserts the family is
+  present *and* every one of its samples carries the label — the guard for
+  the pre-fork server's per-worker ``host``/``pid`` stamping, where an
+  unstamped sample would silently collide across workers in an aggregator.
 
 Exit status: 0 valid, 1 invalid or a required family missing, 2 usage error.
 """
@@ -85,9 +91,16 @@ def _parse_labels(raw: str | None, errors: list[str], lineno: int) -> dict[str, 
     return labels
 
 
-def validate(text: str, require: list[str] | None = None) -> list[str]:
+def validate(
+    text: str,
+    require: list[str] | None = None,
+    require_labels: list[tuple[str, str]] | None = None,
+) -> list[str]:
     """Every problem found in *text*; empty means a valid exposition."""
     errors: list[str] = []
+    label_demands: dict[str, set[str]] = {}
+    for family, label in require_labels or []:
+        label_demands.setdefault(family, set()).add(label)
     types: dict[str, str] = {}
     helps: set[str] = set()
     # (family, frozen non-le labels) -> list of (le_bound, cumulative, lineno)
@@ -136,6 +149,11 @@ def validate(text: str, require: list[str] | None = None) -> list[str]:
             errors.append(f"line {lineno}: sample {name!r} has no preceding TYPE declaration")
             continue
         seen_families.add(family)
+        for demanded in sorted(label_demands.get(family, ())):
+            if demanded not in labels:
+                errors.append(
+                    f"line {lineno}: sample of {family!r} lacks required label {demanded!r}"
+                )
 
         if types[family] == "histogram":
             series = tuple(sorted((k, v) for k, v in labels.items() if k != "le"))
@@ -179,6 +197,9 @@ def validate(text: str, require: list[str] | None = None) -> list[str]:
     for name in require or []:
         if name not in seen_families:
             errors.append(f"required metric family {name!r} is absent")
+    for family in sorted(label_demands):
+        if family not in seen_families:
+            errors.append(f"label-required metric family {family!r} is absent")
     return errors
 
 
@@ -191,7 +212,23 @@ def main(argv: list[str] | None = None) -> int:
         metavar="NAME",
         help="fail unless this metric family is present (repeatable)",
     )
+    parser.add_argument(
+        "--require-label",
+        action="append",
+        metavar="FAMILY=LABEL",
+        help=(
+            "fail unless this metric family is present and every one of its "
+            "samples carries the label (repeatable)"
+        ),
+    )
     args = parser.parse_args(argv)
+    require_labels: list[tuple[str, str]] = []
+    for spec in args.require_label or []:
+        family, separator, label = spec.partition("=")
+        if not separator or not family or not label:
+            print(f"error: --require-label wants FAMILY=LABEL, got {spec!r}", file=sys.stderr)
+            return 2
+        require_labels.append((family, label))
     if args.path == "-":
         text = sys.stdin.read()
     else:
@@ -201,7 +238,7 @@ def main(argv: list[str] | None = None) -> int:
         except OSError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
-    errors = validate(text, require=args.require)
+    errors = validate(text, require=args.require, require_labels=require_labels)
     for error in errors:
         print(f"invalid exposition: {error}", file=sys.stderr)
     if not errors:
