@@ -3,6 +3,11 @@
 Paper shape to reproduce: the mark degrades gracefully as more tuples are
 altered (well below total loss even at 70-80 % alteration), and a smaller η
 (more embedded tuples) is at least as resilient as a larger one.
+
+On top of the paper's majority-vote column, each point carries the soft
+decoder's loss over the *same* votes: the soft column must never lose more
+bits than majority voting, and at heavy alteration (fractions >= 0.5, summed
+across the etas) it must recover strictly more.
 """
 
 from conftest import run_once
@@ -17,7 +22,13 @@ def test_fig12a_subset_alteration(benchmark, bench_config):
     points = run_once(benchmark, run_fig12a, bench_config, etas=ETAS, fractions=FRACTIONS)
 
     benchmark.extra_info["series"] = [
-        {"eta": point.eta, "fraction": point.fraction, "mark_loss": round(point.mark_loss, 3)}
+        {
+            "eta": point.eta,
+            "fraction": point.fraction,
+            "mark_loss": round(point.mark_loss, 3),
+            "soft_mark_loss": round(point.soft_mark_loss, 3),
+            "corrected_bits": point.corrected_bits,
+        }
         for point in points
     ]
 
@@ -29,3 +40,13 @@ def test_fig12a_subset_alteration(benchmark, bench_config):
         assert heaviest.mark_loss >= clean.mark_loss
         # Robustness: even at 80 % alteration a majority of the mark survives.
         assert heaviest.mark_loss < 0.5
+
+    # The soft decoder never recovers fewer bits than majority voting...
+    for point in points:
+        assert point.soft_mark_loss <= point.mark_loss, (point.eta, point.fraction)
+    # ...and strictly dominates under heavy alteration (per attack rate,
+    # recovered bits summed across the eta curves).
+    for fraction in (f for f in FRACTIONS if f >= 0.5):
+        hard_loss = sum(p.mark_loss for p in points if p.fraction == fraction)
+        soft_loss = sum(p.soft_mark_loss for p in points if p.fraction == fraction)
+        assert soft_loss < hard_loss, fraction

@@ -16,7 +16,13 @@ def test_fig12b_subset_addition(benchmark, bench_config):
     points = run_once(benchmark, run_fig12b, bench_config, etas=ETAS, fractions=FRACTIONS)
 
     benchmark.extra_info["series"] = [
-        {"eta": point.eta, "fraction": point.fraction, "mark_loss": round(point.mark_loss, 3)}
+        {
+            "eta": point.eta,
+            "fraction": point.fraction,
+            "mark_loss": round(point.mark_loss, 3),
+            "soft_mark_loss": round(point.soft_mark_loss, 3),
+            "corrected_bits": point.corrected_bits,
+        }
         for point in points
     ]
 
@@ -26,3 +32,6 @@ def test_fig12b_subset_addition(benchmark, bench_config):
         assert clean.mark_loss == 0.0
         # Addition never erases existing bits, so the loss stays moderate.
         assert all(point.mark_loss <= 0.45 for point in curve)
+    # The soft decoder never recovers fewer bits than majority voting.
+    for point in points:
+        assert point.soft_mark_loss <= point.mark_loss, (point.eta, point.fraction)

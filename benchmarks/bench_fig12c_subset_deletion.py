@@ -17,7 +17,13 @@ def test_fig12c_subset_deletion(benchmark, bench_config):
     points = run_once(benchmark, run_fig12c, bench_config, etas=ETAS, fractions=FRACTIONS)
 
     benchmark.extra_info["series"] = [
-        {"eta": point.eta, "fraction": point.fraction, "mark_loss": round(point.mark_loss, 3)}
+        {
+            "eta": point.eta,
+            "fraction": point.fraction,
+            "mark_loss": round(point.mark_loss, 3),
+            "soft_mark_loss": round(point.soft_mark_loss, 3),
+            "corrected_bits": point.corrected_bits,
+        }
         for point in points
     ]
 
@@ -27,3 +33,6 @@ def test_fig12c_subset_deletion(benchmark, bench_config):
         # Deleting tuples only removes votes; the mark degrades but gradually.
         assert all(point.mark_loss <= 0.4 for point in curve)
         assert curve[-1].mark_loss >= curve[0].mark_loss
+    # The soft decoder never recovers fewer bits than majority voting.
+    for point in points:
+        assert point.soft_mark_loss <= point.mark_loss, (point.eta, point.fraction)

@@ -136,6 +136,42 @@ def test_detect_shard_parallel(benchmark, service_env):
     assert outcome.mark_loss == 0.0
 
 
+def test_detect_soft_decode_overhead(benchmark, service_env):
+    """Soft (ECC) decoding must ride along nearly for free on a full detect.
+
+    Vote collection dominates detection; swapping the finalize stage from the
+    hard two-stage majority to the soft combiner re-prices only the decode,
+    so the end-to-end ratio is asserted ``<= 1.1`` (from the perf-gate size
+    up — the 1k smoke just records the numbers).
+    """
+    service = service_env.service
+    kwargs = {"dataset_id": "bench", "workers": 1}
+    hard = service.detect("owner", service_env.protected_csv, **kwargs)
+    soft = service.detect("owner", service_env.protected_csv, code="soft", **kwargs)
+    # On the un-attacked table both decoders recover the registered mark.
+    assert hard.mark_loss == 0.0
+    assert soft.mark_loss == 0.0
+    assert soft.code == "soft"
+    assert hard.code == "repetition"
+    assert len(soft.bit_confidence) == len(soft.mark)
+
+    hard_time = _best_of(lambda: service.detect("owner", service_env.protected_csv, **kwargs))
+    soft_time = _best_of(
+        lambda: service.detect("owner", service_env.protected_csv, code="soft", **kwargs)
+    )
+    ratio = soft_time / hard_time
+    benchmark.extra_info["rows"] = service_env.rows
+    benchmark.extra_info["hard_seconds"] = round(hard_time, 4)
+    benchmark.extra_info["soft_seconds"] = round(soft_time, 4)
+    benchmark.extra_info["soft_over_hard"] = round(ratio, 3)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if service_env.rows >= 5000:
+        assert ratio <= 1.1, (
+            f"soft decode ({soft_time:.3f}s) must stay within 1.1x of the "
+            f"majority-vote detect ({hard_time:.3f}s) at {service_env.rows} rows"
+        )
+
+
 def test_detect_thread_vs_process_runner(benchmark, service_env):
     """The PR 3 acceptance bar: ProcessRunner beats threads at scale, bit-identically."""
     service = service_env.service

@@ -72,6 +72,7 @@ from repro.service.runners import REMOTE_RUNNER_NAME, RUNNER_NAMES, FleetError, 
 from repro.service.vault import KeyVault, VaultError
 from repro.telemetry.log import configure_json_logging
 from repro.telemetry.trace import Tracer, activate as _trace_activate, format_span_tree
+from repro.watermarking.ecc import resolve_code
 from repro.watermarking.mark import Mark, mark_loss
 
 __all__ = ["main", "build_parser"]
@@ -105,6 +106,7 @@ def _framework(args: argparse.Namespace) -> ProtectionFramework:
         eta=args.eta,
         mark_length=args.mark_length,
         copies=args.copies,
+        code=getattr(args, "code", None),
     )
 
 
@@ -186,6 +188,7 @@ def _cmd_vault_init(args: argparse.Namespace) -> int:
         mark_length=args.mark_length,
         copies=args.copies,
         metrics_depth=args.metrics_depth,
+        code=args.code,
     )
     _emit(
         args,
@@ -196,12 +199,13 @@ def _cmd_vault_init(args: argparse.Namespace) -> int:
             "k": record.k,
             "mark_length": record.mark_length,
             "copies": record.copies,
+            "code": record.code,
         },
         [
             f"initialised vault {vault.root}",
             f"  tenant     : {record.tenant_id}",
             f"  parameters : k={record.k} eta={record.eta} "
-            f"mark_length={record.mark_length} copies={record.copies}",
+            f"mark_length={record.mark_length} copies={record.copies} code={record.code}",
             "  secrets    : stored in the vault (mode 0600); back the directory up securely",
         ],
     )
@@ -326,6 +330,9 @@ def _detect_lines(args: argparse.Namespace, payload: dict) -> list[str]:
         f"  recovered mark : {payload['mark']}",
         f"  positions voted: {payload['positions_with_votes']} (coverage {coverage:.0%})",
     ]
+    code = payload.get("code", "repetition")
+    if code != "repetition":
+        lines.append(f"  mark code      : {code} (corrected {payload.get('corrected_bits', 0)} bits)")
     if payload.get("expected_mark") is not None:
         lines += [
             f"  expected mark  : {payload['expected_mark']}",
@@ -352,6 +359,7 @@ def _cmd_detect(args: argparse.Namespace) -> int:
             runner=args.runner,
             max_loss=args.max_loss,
             expected_mark=args.expected_mark,
+            code=args.code,
         )
         _emit(args, payload, _detect_lines(args, payload))
         return _detect_exit(payload)
@@ -362,6 +370,7 @@ def _cmd_detect(args: argparse.Namespace) -> int:
             dataset_id=args.dataset,
             workers=args.workers,
             runner=_runner_for(args),
+            code=args.code,
         )
         payload = detect_report(
             outcome, expected_mark=args.expected_mark, max_loss=args.max_loss
@@ -377,6 +386,9 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         "mark": str(report.mark),
         "coverage": report.coverage,
         "positions_with_votes": report.positions_with_votes,
+        "code": report.code,
+        "corrected_bits": report.corrected_bits,
+        "bit_confidence": list(report.bit_confidence),
         "expected_mark": args.expected_mark or None,
         "mark_loss": None,
         "ok": None,
@@ -386,6 +398,8 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         f"  recovered mark : {report.mark}",
         f"  positions voted: {report.positions_with_votes} (coverage {report.coverage:.0%})",
     ]
+    if report.code != "repetition":
+        lines.append(f"  mark code      : {report.code} (corrected {report.corrected_bits} bits)")
     exit_code = 0
     if args.expected_mark:
         expected = Mark.from_string(args.expected_mark)
@@ -561,6 +575,11 @@ def build_parser() -> argparse.ArgumentParser:
     vault_init = vault_sub.add_parser("init", help="create a vault and register its first tenant")
     vault_init.add_argument("path", help="vault directory to create")
     vault_init.add_argument("--tenant", default=DEFAULT_TENANT, help="tenant id to register")
+    vault_init.add_argument(
+        "--code",
+        default="repetition",
+        help='mark code used to encode/decode the mark (e.g. "repetition", "soft", "interleaved")',
+    )
     add_params(vault_init)
     add_secrets(vault_init, required_without_vault=False)
     add_json(vault_init)
@@ -591,6 +610,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="where pass 2 runs: thread (default) or process "
         "(remote is detect-only and is rejected)",
     )
+    protect.add_argument(
+        "--code",
+        help="mark code for embedding (explicit-secret mode only; vault tenants fix it at registration)",
+    )
     add_params(protect, vault_aware=True)
     add_secrets(protect, required_without_vault=True)
     add_vault(protect)
@@ -611,6 +634,11 @@ def build_parser() -> argparse.ArgumentParser:
         choices=(*RUNNER_NAMES, REMOTE_RUNNER_NAME),
         help="where shard votes are collected: thread (default), process, "
         "or remote — a --worker-url fleet (vault mode)",
+    )
+    detect.add_argument(
+        "--code",
+        help='decode with this mark code (e.g. "soft") instead of the registered one; '
+        "only codes sharing the repetition encoder can be swapped at detect time",
     )
     add_fleet(detect)
     add_params(detect, vault_aware=True)
@@ -736,8 +764,21 @@ def _validate(parser: argparse.ArgumentParser, args: argparse.Namespace) -> None
             "ship worker urls; configure the fleet on the server's 'repro serve')"
         )
     if args.command in ("protect", "detect"):
+        if args.code is not None:
+            try:
+                resolve_code(args.code)
+            except ValueError as error:
+                parser.error(f"{args.command}: {error}")
         if args.url and args.vault:
             parser.error(f"{args.command}: --url (client mode) conflicts with --vault")
+        if args.command == "protect" and (args.url or args.vault) and args.code is not None:
+            # Embedding parameters are write-once on the tenant record; only
+            # detect may swap the decoder.
+            owner = "--vault" if args.vault else "--url"
+            parser.error(
+                f"protect: --code conflicts with {owner} "
+                "(the mark code is fixed at tenant registration; use 'vault init --code')"
+            )
         if args.url or args.vault:
             # The vault's tenant record — local or behind the server — owns
             # parameters and secrets; silently ignoring explicit flags would

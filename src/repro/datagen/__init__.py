@@ -13,11 +13,14 @@ exercises exactly the code paths the paper measures.
 """
 
 from repro.datagen.distributions import AgeMixture, SkewedCategorical
+from repro.datagen.finance import FinancialDataGenerator, generate_financial_table
 from repro.datagen.medical import MedicalDataGenerator, generate_medical_table
 
 __all__ = [
     "MedicalDataGenerator",
     "generate_medical_table",
+    "FinancialDataGenerator",
+    "generate_financial_table",
     "SkewedCategorical",
     "AgeMixture",
 ]

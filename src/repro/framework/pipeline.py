@@ -67,6 +67,7 @@ class ProtectionFramework:
         level_weighting: bool = False,
         ownership_tau: float = 1e7,
         max_mark_bit_errors: int = 2,
+        code: str | None = None,
     ) -> None:
         self._trees = dict(trees)
         self._binning_agent = BinningAgent(trees, usage_metrics, k_spec, encryption_key)
@@ -76,6 +77,7 @@ class ProtectionFramework:
         self._copies = copies
         self._watermark_columns = tuple(watermark_columns) if watermark_columns is not None else None
         self._level_weighting = level_weighting
+        self._code = code
         self._registry = OwnershipRegistry(
             mark_length=mark_length, tau=ownership_tau, max_bit_errors=max_mark_bit_errors
         )
@@ -138,6 +140,7 @@ class ProtectionFramework:
                 columns=self._watermark_columns,
                 copies=self._copies,
                 level_weighting=self._level_weighting,
+                code=self._code,
             )
         return self._watermarker
 
@@ -212,6 +215,7 @@ class ProtectionFramework:
             encryption_key=self._encryption_key,
             copies=self._copies,
             columns=self._watermark_columns,
+            code=self.watermarker().code_name,
         )
 
     def resolve_dispute(self, disputed: BinnedTable, claims: Sequence[OwnershipClaim]):

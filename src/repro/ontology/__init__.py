@@ -18,6 +18,7 @@ documentation and tests.
 
 from repro.ontology.age import age_tree
 from repro.ontology.drugs import prescription_tree
+from repro.ontology.finance import financial_ontology, financial_schema
 from repro.ontology.geography import zip_code_tree
 from repro.ontology.icd9 import symptom_tree
 from repro.ontology.practitioners import doctor_tree
@@ -31,5 +32,7 @@ __all__ = [
     "prescription_tree",
     "roles_tree",
     "standard_ontology",
+    "financial_ontology",
+    "financial_schema",
     "OntologyRegistry",
 ]

@@ -1,0 +1,135 @@
+"""A financial-transactions schema with its domain hierarchy trees.
+
+The paper's pipeline is schema-agnostic: binning and watermarking consume only
+the column taxonomy, the per-column DHTs and the value→leaf mapping.  This
+module provides a second, independent domain — card transactions instead of
+clinical records — to exercise that claim end to end:
+
+``T(account_id, region, merchant_category, channel, amount_band)``
+
+with one identifying column (``account_id``, ten-digit numeric strings so the
+registration statistic of Section 4.2 is defined) and four categorical
+quasi-identifiers, each with a three-level DHT of its own.
+"""
+
+from __future__ import annotations
+
+from repro.dht import DomainHierarchyTree, from_nested_mapping
+from repro.ontology.registry import OntologyRegistry
+from repro.relational.schema import Column, ColumnKind, ColumnType, TableSchema
+
+__all__ = [
+    "REGION_SPEC",
+    "MERCHANT_SPEC",
+    "CHANNEL_SPEC",
+    "AMOUNT_SPEC",
+    "region_tree",
+    "merchant_category_tree",
+    "channel_tree",
+    "amount_band_tree",
+    "financial_schema",
+    "financial_ontology",
+]
+
+REGION_SPEC: dict[str, dict[str, list[str]]] = {
+    "Americas": {
+        "North America": ["US East", "US West", "US Central", "Canada"],
+        "Latin America": ["Brazil", "Mexico", "Argentina"],
+    },
+    "EMEA": {
+        "Europe": ["United Kingdom", "Germany", "France", "Nordics"],
+        "Middle East and Africa": ["UAE", "South Africa", "Nigeria"],
+    },
+    "APAC": {
+        "East Asia": ["Japan", "South Korea", "Greater China"],
+        "South and Southeast Asia": ["India", "Singapore", "Indonesia"],
+        "Oceania": ["Australia", "New Zealand"],
+    },
+}
+
+MERCHANT_SPEC: dict[str, dict[str, list[str]]] = {
+    "Retail": {
+        "Groceries": ["Supermarket", "Convenience store", "Specialty food"],
+        "General merchandise": ["Department store", "Discount store", "Online marketplace"],
+    },
+    "Services": {
+        "Professional": ["Legal services", "Accounting", "Consulting"],
+        "Personal": ["Hair and beauty", "Fitness", "Dry cleaning"],
+    },
+    "Travel": {
+        "Transport": ["Airline", "Rail", "Ride hailing"],
+        "Lodging": ["Hotel", "Vacation rental"],
+    },
+    "Digital": {
+        "Media": ["Streaming", "Gaming", "News subscription"],
+        "Software": ["SaaS subscription", "App store"],
+    },
+}
+
+CHANNEL_SPEC: dict[str, list[str]] = {
+    "Card present": ["POS terminal", "Contactless", "ATM"],
+    "Card absent": ["E-commerce", "Phone order", "Recurring billing"],
+    "Account transfer": ["Wire", "ACH", "Instant transfer"],
+}
+
+AMOUNT_SPEC: dict[str, list[str]] = {
+    "Micro": ["Under 10", "10 to 50"],
+    "Mid": ["50 to 200", "200 to 1000"],
+    "Large": ["1000 to 5000", "Over 5000"],
+}
+
+
+def region_tree() -> DomainHierarchyTree:
+    return from_nested_mapping("region", "World", REGION_SPEC)
+
+
+def merchant_category_tree() -> DomainHierarchyTree:
+    return from_nested_mapping("merchant_category", "Commerce", MERCHANT_SPEC)
+
+
+def channel_tree() -> DomainHierarchyTree:
+    return from_nested_mapping("channel", "Payments", CHANNEL_SPEC)
+
+
+def amount_band_tree() -> DomainHierarchyTree:
+    return from_nested_mapping("amount_band", "Any amount", AMOUNT_SPEC)
+
+
+def financial_schema() -> TableSchema:
+    """``T(account_id, region, merchant_category, channel, amount_band)``."""
+    return TableSchema(
+        (
+            Column(
+                "account_id",
+                ColumnKind.IDENTIFYING,
+                ColumnType.CATEGORICAL,
+                "ten-digit account number",
+            ),
+            Column("region", ColumnKind.QUASI_IDENTIFYING, ColumnType.CATEGORICAL, "cardholder region"),
+            Column(
+                "merchant_category",
+                ColumnKind.QUASI_IDENTIFYING,
+                ColumnType.CATEGORICAL,
+                "merchant category",
+            ),
+            Column("channel", ColumnKind.QUASI_IDENTIFYING, ColumnType.CATEGORICAL, "payment channel"),
+            Column(
+                "amount_band",
+                ColumnKind.QUASI_IDENTIFYING,
+                ColumnType.CATEGORICAL,
+                "transaction amount band",
+            ),
+        )
+    )
+
+
+def financial_ontology() -> OntologyRegistry:
+    """The DHT registry for the quasi-identifiers of :func:`financial_schema`."""
+    return OntologyRegistry(
+        {
+            "region": region_tree(),
+            "merchant_category": merchant_category_tree(),
+            "channel": channel_tree(),
+            "amount_band": amount_band_tree(),
+        }
+    )

@@ -152,6 +152,9 @@ class DetectOutcome:
     tuples_selected: int
     shards: int
     runner: str = "thread"
+    code: str = "repetition"
+    corrected_bits: int = 0
+    bit_confidence: tuple[float, ...] = ()
 
     @property
     def matches(self) -> bool | None:
@@ -377,6 +380,7 @@ class ProtectionService:
         workers: int | None = None,
         runner: "str | ShardRunner | None" = None,
         chunk_size: int | None = None,
+        code: str | None = None,
     ) -> DetectOutcome:
         """Recover the mark from *suspect_csv* using only vault state.
 
@@ -386,6 +390,10 @@ class ProtectionService:
         When the dataset was protected through this vault, the recovered mark
         is compared against the registered one.  An empty CSV (header only)
         yields a clean zero-coverage report, not an error.
+
+        *code* overrides the registered mark code for this run (wire string,
+        e.g. ``"soft"``); only codes sharing the repetition encoder can be
+        swapped at detect time.
         """
         with _stage_span("service.detect"):
             return self._detect(
@@ -395,6 +403,7 @@ class ProtectionService:
                 workers=workers,
                 runner=runner,
                 chunk_size=chunk_size,
+                code=code,
             )
 
     def _detect(
@@ -406,6 +415,7 @@ class ProtectionService:
         workers: int | None,
         runner: "str | ShardRunner | None",
         chunk_size: int | None,
+        code: str | None = None,
     ) -> DetectOutcome:
         record = self._vault.tenant(tenant_id)
         framework = self.framework_for(tenant_id)
@@ -422,6 +432,8 @@ class ProtectionService:
 
         executor = self._executor_for(workers, runner)
         watermarker = framework.watermarker()
+        if code is not None:
+            watermarker = watermarker.with_code(code)
         row_counter = [0]
 
         def count_rows(n: int) -> None:
@@ -449,6 +461,9 @@ class ProtectionService:
             tuples_selected=report.tuples_selected,
             shards=executor.max_workers,
             runner=executor.runner_name,
+            code=report.code,
+            corrected_bits=report.corrected_bits,
+            bit_confidence=report.bit_confidence,
         )
 
     def detect_binned(
@@ -576,4 +591,5 @@ class ProtectionService:
             watermark_columns=record.watermark_columns,
             ownership_tau=record.ownership_tau,
             max_mark_bit_errors=record.max_mark_bit_errors,
+            code=record.code,
         )

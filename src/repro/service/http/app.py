@@ -69,6 +69,7 @@ from repro.service.streaming import SPOOL_CHUNK_BYTES, spool_stream
 from repro.service.vault import VaultError
 from repro.service.wire import metadata_from_json, spec_from_json, votes_to_json
 from repro.telemetry.log import log_event, tenant_hash
+from repro.watermarking.ecc import resolve_code
 from repro.telemetry.trace import (
     PARENT_HEADER,
     TRACE_HEADER,
@@ -129,6 +130,7 @@ _REGISTRATION_PARAMS = (
     "metrics_depth",
     "ownership_tau",
     "max_mark_bit_errors",
+    "code",
 )
 
 
@@ -537,6 +539,12 @@ class ProtectionApp:
             )
         max_loss = _float_param(query, "max_loss", default=DEFAULT_MAX_LOSS)
         expected_mark = _str_param(query, "expected_mark")
+        code = _str_param(query, "code")
+        if code is not None:
+            try:
+                resolve_code(code)
+            except ValueError as error:
+                raise _HTTPError(400, str(error)) from None
         upload = self._spool_upload(environ)
         started = time.perf_counter()
         try:
@@ -547,6 +555,7 @@ class ProtectionApp:
                 workers=workers,
                 runner=runner,
                 chunk_size=chunk_size,
+                code=code,
             )
         finally:
             _unlink_quietly(upload)

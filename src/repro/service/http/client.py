@@ -254,6 +254,7 @@ class ServiceClient:
         max_loss: float | None = None,
         expected_mark: str | None = None,
         chunk_size: int | None = None,
+        code: str | None = None,
     ) -> dict:
         query = {
             "workers": workers,
@@ -261,6 +262,7 @@ class ServiceClient:
             "max_loss": max_loss,
             "expected_mark": expected_mark,
             "chunk_size": chunk_size,
+            "code": code,
         }
         with _stage_span("http.client.detect"):
             payload, headers = self._json_exchange(

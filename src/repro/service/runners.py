@@ -136,6 +136,7 @@ class WatermarkerSpec:
     copies: int
     level_weighting: bool
     batch: bool
+    code: str = "repetition"
 
     @classmethod
     def of(cls, watermarker: HierarchicalWatermarker) -> "WatermarkerSpec":
@@ -148,6 +149,7 @@ class WatermarkerSpec:
             copies=watermarker.copies,
             level_weighting=watermarker.level_weighting,
             batch=watermarker.batched,
+            code=watermarker.code_name,
         )
 
     def build(self) -> HierarchicalWatermarker:
@@ -157,6 +159,7 @@ class WatermarkerSpec:
             copies=self.copies,
             level_weighting=self.level_weighting,
             batch=self.batch,
+            code=self.code,
         )
 
 

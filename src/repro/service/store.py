@@ -62,6 +62,7 @@ def claim_to_json(claim: OwnershipClaim) -> dict:
         "encryption_key": _key_to_json(claim.encryption_key),
         "copies": claim.copies,
         "columns": list(claim.columns) if claim.columns is not None else None,
+        "code": claim.code,
     }
 
 
@@ -79,6 +80,9 @@ def claim_from_json(payload: dict) -> OwnershipClaim:
         encryption_key=_key_from_json(payload["encryption_key"]),
         copies=payload["copies"],
         columns=tuple(columns) if columns is not None else None,
+        # Claims written before the coding layer carry no code: the seed
+        # scheme was the only one, so default to it.
+        code=payload.get("code"),
     )
 
 

@@ -79,12 +79,18 @@ class TenantRecord:
     watermark_columns: tuple[str, ...] | None = None
     ownership_tau: float = 1e7
     max_mark_bit_errors: int = 2
+    code: str = "repetition"
 
     def __post_init__(self) -> None:
         if not self.tenant_id:
             raise ValueError("tenant_id must be non-empty")
         if not self.encryption_key or not self.watermark_secret:
             raise ValueError("tenant secrets must be non-empty")
+        # Fail at registration, not at first detect: the code string is part
+        # of the write-once embedding parameters.
+        from repro.watermarking.ecc import resolve_code
+
+        resolve_code(self.code)
 
 
 @dataclass(frozen=True)

@@ -102,6 +102,7 @@ def spec_to_json(spec) -> dict:
         "copies": spec.copies,
         "level_weighting": spec.level_weighting,
         "batch": spec.batch,
+        "code": spec.code,
     }
 
 
@@ -119,6 +120,8 @@ def spec_from_json(payload: Mapping):
             copies=int(payload["copies"]),
             level_weighting=bool(payload["level_weighting"]),
             batch=bool(payload["batch"]),
+            # Pre-ECC peers omit the key; default to the seed scheme.
+            code=str(payload.get("code", "repetition")),
         )
     except (KeyError, TypeError) as error:
         raise ValueError(f"malformed watermarker spec: {error!r}") from None

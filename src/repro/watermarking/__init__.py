@@ -12,6 +12,8 @@ The package contains:
 * :mod:`repro.watermarking.keys` — the secret watermarking key (k1, k2, η),
 * :mod:`repro.watermarking.mark` — mark bit-strings, replication, majority
   voting and the mark-loss metric used in the evaluation,
+* :mod:`repro.watermarking.ecc` — pluggable mark codes over the replication
+  channel (repetition, soft-combining, interleaved block parity),
 * :mod:`repro.watermarking.selection` — the keyed tuple selection of Eq. (5),
 * :mod:`repro.watermarking.hierarchical` — the hierarchical scheme of
   Figure 9 (the paper's contribution),
@@ -32,6 +34,18 @@ from repro.watermarking.mark import (
     random_mark,
     replicate_mark,
     string_to_bits,
+    vote_margin,
+)
+from repro.watermarking.ecc import (
+    CODE_NAMES,
+    DecodeResult,
+    InterleavedBlockCode,
+    MarkCode,
+    RepetitionCode,
+    SoftRepetitionCode,
+    code_from_wire,
+    code_to_wire,
+    resolve_code,
 )
 from repro.watermarking.selection import is_selected, selected_row_indices
 from repro.watermarking.hierarchical import DetectionReport, EmbeddingReport, HierarchicalWatermarker
@@ -45,9 +59,19 @@ __all__ = [
     "random_mark",
     "replicate_mark",
     "majority_vote",
+    "vote_margin",
     "mark_loss",
     "bits_to_string",
     "string_to_bits",
+    "MarkCode",
+    "DecodeResult",
+    "RepetitionCode",
+    "SoftRepetitionCode",
+    "InterleavedBlockCode",
+    "CODE_NAMES",
+    "resolve_code",
+    "code_to_wire",
+    "code_from_wire",
     "is_selected",
     "selected_row_indices",
     "HierarchicalWatermarker",

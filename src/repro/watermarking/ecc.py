@@ -1,0 +1,444 @@
+"""Mark coding: pluggable error-correcting codes over the replication channel.
+
+The paper's detector (``MajorVot``, Section 5.3) treats the replicated mark as
+a repetition code and decodes it with two rounds of hard majority voting.
+That discards the *confidence* carried by each position's vote list — a
+position recovered 9-to-1 counts exactly as much as one recovered 5-to-4 —
+so recovered-bit accuracy degrades roughly linearly under the fig12 attacks.
+
+This module makes the coding layer pluggable behind a fixed bandwidth
+contract: every :class:`MarkCode` encodes ``mark_length`` bits into exactly
+``mark_length * copies`` channel bits (the seed's ``wmd``), so tuple
+selection, position hashing, :class:`~repro.watermarking.hierarchical.DetectionVotes`
+and the wire format are untouched regardless of the code in use.
+
+Three codes ship:
+
+``repetition``
+    The default.  Bit-identical to the seed detector: ``Duplicate`` on the
+    encode side, the two-stage hard majority vote on the decode side.
+
+``soft``
+    Repetition with soft combining: each position contributes a clipped
+    log-likelihood-style margin (ones minus zeros) instead of a hard bit, and
+    each mark bit is the sign of the summed margins of its copies.  Iterating
+    on soft decisions instead of hard thresholds is the standard move from
+    the iterative-decoding literature ("New Criteria for Iterative Decoding",
+    PAPERS.md); here one pass of soft combining is enough because the
+    repetition copies are independent.
+
+``interleaved``
+    A product-style block code: the mark is laid out on an ``r x c`` grid,
+    extended with row and column parities, and the resulting codeword is
+    interleaved cyclically across the channel.  Decoding seeds per-symbol
+    soft decisions from the vote margins and then runs bounded iterative
+    bit-flipping over the parity checks, always flipping the symbol in the
+    most unsatisfied checks (ties to the least confident symbol).  Because
+    the encoder differs from replication this is a *registration-time*
+    choice: detect must use the code the data was protected with.
+
+Codes serialize to a canonical string (``"name"`` or ``"name:key=value,..."``
+with sorted keys) so they can ride inside the frozen, picklable
+``WatermarkerSpec`` and the JSON wire/vault documents losslessly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.watermarking.mark import majority_vote
+
+__all__ = [
+    "DecodeResult",
+    "MarkCode",
+    "RepetitionCode",
+    "SoftRepetitionCode",
+    "InterleavedBlockCode",
+    "CODE_NAMES",
+    "DEFAULT_CODE_NAME",
+    "resolve_code",
+    "code_to_wire",
+    "code_from_wire",
+]
+
+DEFAULT_CODE_NAME = "repetition"
+#: Soft-combining margin clip.  Votes at one position are correlated (an
+#: altered cell corrupts all its level reads at once), so a position's margin
+#: grows sub-linearly in information: clip low and compress, rather than let
+#: one deep vote list dominate a mark bit.
+DEFAULT_LLR_CAP = 2.0
+#: Linear-clip default for the interleaved block decoder's symbol LLRs.
+DEFAULT_BLOCK_LLR_CAP = 4.0
+
+
+@dataclass(frozen=True)
+class DecodeResult:
+    """What a :meth:`MarkCode.decode` call recovered.
+
+    ``corrected_bits`` counts mark bits where the decoder overruled the
+    channel's initial hard decision (0 by construction for the pure
+    repetition code).  ``bit_confidence`` is the per-bit normalized margin
+    ``|evidence for the decision| / |total evidence|`` in ``[0, 1]`` — 0.0
+    for bits that received no votes at all.
+    """
+
+    mark_bits: tuple[int, ...]
+    wmd_bits: tuple[int, ...]
+    corrected_bits: int
+    bit_confidence: tuple[float, ...]
+
+
+def _position_hard_bits(votes: Mapping[int, Sequence[int]], wmd_length: int) -> list[int]:
+    """Stage-one hard decisions: per-position majority, 0 for silent positions."""
+    return [majority_vote(votes[position]) if position in votes else 0 for position in range(wmd_length)]
+
+
+def _position_margin(tuple_votes: Sequence[int]) -> int:
+    """Signed vote margin of one position: ones minus zeros."""
+    ones = sum(tuple_votes)
+    return 2 * ones - len(tuple_votes)
+
+
+def _clip(value: float, cap: float) -> float:
+    return max(-cap, min(cap, value))
+
+
+def _repetition_decode(votes: Mapping[int, Sequence[int]], mark_length: int, copies: int) -> tuple[list[int], list[int], list[float]]:
+    """The seed's exact two-stage majority decode, plus per-bit confidences.
+
+    Returns ``(mark_bits, wmd_bits, confidences)``.  The decision logic is a
+    verbatim transcription of the seed ``_finalize_votes``: silent positions
+    decode to 0 but are *excluded* from the per-bit copy vote, empty copy
+    votes decode to 0, and all ties resolve to 0.
+    """
+    wmd_length = mark_length * copies
+    wmd_bits = _position_hard_bits(votes, wmd_length)
+    mark_bits: list[int] = []
+    confidences: list[float] = []
+    for bit_index in range(mark_length):
+        copy_votes = [
+            wmd_bits[position]
+            for position in range(bit_index, wmd_length, mark_length)
+            if position in votes
+        ]
+        mark_bits.append(majority_vote(copy_votes) if copy_votes else 0)
+        if copy_votes:
+            confidences.append(abs(_position_margin(copy_votes)) / len(copy_votes))
+        else:
+            confidences.append(0.0)
+    return mark_bits, wmd_bits, confidences
+
+
+class MarkCode:
+    """Interface: encode a mark into the ``wmd`` channel and decode votes back.
+
+    Every code MUST encode ``len(bits)`` mark bits into exactly
+    ``len(bits) * copies`` channel bits — the bandwidth contract the embedder,
+    the position hash and the vote containers are built around.
+    """
+
+    name: str = "abstract"
+
+    def params(self) -> dict[str, object]:
+        """The code's tunable parameters (defaults omitted from the wire form)."""
+        return {}
+
+    def encode(self, bits: Sequence[int], copies: int) -> list[int]:
+        raise NotImplementedError
+
+    def decode(self, votes: Mapping[int, Sequence[int]], mark_length: int, copies: int) -> DecodeResult:
+        raise NotImplementedError
+
+    def correction_radius(self, mark_length: int, copies: int) -> int:
+        """Channel-bit corruptions guaranteed recoverable (one clean vote per position)."""
+        raise NotImplementedError
+
+    def wire(self) -> str:
+        """Canonical string form (``"name"`` or ``"name:key=value,..."``)."""
+        return code_to_wire(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.wire()!r})"
+
+
+class RepetitionCode(MarkCode):
+    """The seed scheme: ``Duplicate`` + two-stage hard majority voting."""
+
+    name = "repetition"
+
+    def encode(self, bits: Sequence[int], copies: int) -> list[int]:
+        if copies < 1:
+            raise ValueError("copies must be at least 1")
+        return list(bits) * copies
+
+    def decode(self, votes: Mapping[int, Sequence[int]], mark_length: int, copies: int) -> DecodeResult:
+        mark_bits, wmd_bits, confidences = _repetition_decode(votes, mark_length, copies)
+        return DecodeResult(
+            mark_bits=tuple(mark_bits),
+            wmd_bits=tuple(wmd_bits),
+            corrected_bits=0,
+            bit_confidence=tuple(confidences),
+        )
+
+    def correction_radius(self, mark_length: int, copies: int) -> int:
+        # A 1-bit dies at ceil(l/2) flipped copies (the tie resolves to 0), a
+        # 0-bit at floor(l/2)+1; one less than the smaller of the two is
+        # (l-1)//2 for either parity.
+        return (copies - 1) // 2
+
+
+class SoftRepetitionCode(MarkCode):
+    """Repetition with LLR-style soft combining across copies.
+
+    Each position's vote list collapses to a *compressed* margin instead of a
+    hard bit: ``sign(margin) * sqrt(min(|margin|, llr_cap))``.  A position
+    recovered 9-to-1 outweighs one recovered 5-to-4 — the information the
+    hard two-stage vote throws away — but only sub-linearly: votes at one
+    position are correlated (one altered cell corrupts all its level reads),
+    so the clip plus square-root compression keeps a single deep vote list
+    from dominating a mark bit.  Tied positions contribute nothing (they
+    abstain, where the hard vote's tie casts a biased 0), an exactly tied bit
+    decodes to 0 matching the repetition bias, and ``corrected_bits`` counts
+    the bits where soft combining overruled the hard two-stage decision.
+    """
+
+    name = "soft"
+
+    def __init__(self, llr_cap: float = DEFAULT_LLR_CAP) -> None:
+        if llr_cap <= 0:
+            raise ValueError("llr_cap must be positive")
+        self._llr_cap = float(llr_cap)
+
+    def params(self) -> dict[str, object]:
+        return {"llr_cap": self._llr_cap}
+
+    def encode(self, bits: Sequence[int], copies: int) -> list[int]:
+        if copies < 1:
+            raise ValueError("copies must be at least 1")
+        return list(bits) * copies
+
+    def decode(self, votes: Mapping[int, Sequence[int]], mark_length: int, copies: int) -> DecodeResult:
+        hard_bits, wmd_bits, _ = _repetition_decode(votes, mark_length, copies)
+        wmd_length = mark_length * copies
+        mark_bits: list[int] = []
+        confidences: list[float] = []
+        for bit_index in range(mark_length):
+            margins = []
+            for position in range(bit_index, wmd_length, mark_length):
+                if position not in votes:
+                    continue
+                margin = _position_margin(votes[position])
+                if margin == 0:
+                    continue
+                magnitude = math.sqrt(min(abs(margin), self._llr_cap))
+                margins.append(magnitude if margin > 0 else -magnitude)
+            total = math.fsum(abs(margin) for margin in margins)
+            score = math.fsum(margins)
+            # score == 0 (including "no votes") decodes to 0, the repetition bias.
+            mark_bits.append(1 if score > 0 else 0)
+            confidences.append(abs(score) / total if total > 0 else 0.0)
+        corrected = sum(1 for hard, soft in zip(hard_bits, mark_bits) if hard != soft)
+        return DecodeResult(
+            mark_bits=tuple(mark_bits),
+            wmd_bits=tuple(wmd_bits),
+            corrected_bits=corrected,
+            bit_confidence=tuple(confidences),
+        )
+
+    def correction_radius(self, mark_length: int, copies: int) -> int:
+        # With one clean vote per position every margin is +/-1, so the soft
+        # sum degenerates to the hard copy vote: same radius as repetition.
+        return (copies - 1) // 2
+
+
+class InterleavedBlockCode(MarkCode):
+    """Product-style grid parity code, interleaved cyclically over the channel.
+
+    ``k`` data bits sit row-major on an ``r x c`` grid (``r = isqrt(k)``,
+    ``c = ceil(k / r)``, absent cells read as 0); one parity per row and per
+    column extends the codeword to ``n_cw = k + r + c`` symbols.  Channel
+    position ``p`` carries codeword symbol ``p mod n_cw``, spreading every
+    symbol's copies across the table.  Decoding seeds each symbol with the
+    summed clipped margins of its positions, then iteratively flips the
+    symbol appearing in the most unsatisfied parity checks (ties broken
+    toward the least-confident symbol, then the lowest index) until all
+    checks pass or the iteration bound is hit.
+    """
+
+    name = "interleaved"
+
+    def __init__(self, llr_cap: float = DEFAULT_BLOCK_LLR_CAP, max_iterations: int = 32) -> None:
+        if llr_cap <= 0:
+            raise ValueError("llr_cap must be positive")
+        if max_iterations < 0:
+            raise ValueError("max_iterations must be non-negative")
+        self._llr_cap = float(llr_cap)
+        self._max_iterations = int(max_iterations)
+
+    def params(self) -> dict[str, object]:
+        return {"llr_cap": self._llr_cap, "max_iterations": self._max_iterations}
+
+    @staticmethod
+    def geometry(mark_length: int) -> tuple[int, int, int]:
+        """``(rows, cols, codeword_length)`` of the parity grid for ``mark_length`` bits."""
+        if mark_length < 1:
+            raise ValueError("mark_length must be at least 1")
+        rows = max(1, math.isqrt(mark_length))
+        cols = -(-mark_length // rows)
+        return rows, cols, mark_length + rows + cols
+
+    def encode(self, bits: Sequence[int], copies: int) -> list[int]:
+        if copies < 1:
+            raise ValueError("copies must be at least 1")
+        data = [int(bit) for bit in bits]
+        codeword = data + self._parities(data)
+        length = len(data) * copies
+        return [codeword[position % len(codeword)] for position in range(length)]
+
+    def _parities(self, data: Sequence[int]) -> list[int]:
+        rows, cols, _ = self.geometry(len(data))
+        row_parity = [0] * rows
+        col_parity = [0] * cols
+        for index, bit in enumerate(data):
+            row_parity[index // cols] ^= bit
+            col_parity[index % cols] ^= bit
+        return row_parity + col_parity
+
+    def _checks(self, mark_length: int) -> list[list[int]]:
+        """Parity-check symbol sets: each row/column plus its parity symbol."""
+        rows, cols, _ = self.geometry(mark_length)
+        checks: list[list[int]] = []
+        for row in range(rows):
+            members = [index for index in range(mark_length) if index // cols == row]
+            checks.append(members + [mark_length + row])
+        for col in range(cols):
+            members = [index for index in range(mark_length) if index % cols == col]
+            checks.append(members + [mark_length + rows + col])
+        return checks
+
+    def decode(self, votes: Mapping[int, Sequence[int]], mark_length: int, copies: int) -> DecodeResult:
+        rows, cols, n_cw = self.geometry(mark_length)
+        wmd_length = mark_length * copies
+        wmd_bits = _position_hard_bits(votes, wmd_length)
+
+        # Soft initialization: fold every position's clipped margin into its
+        # codeword symbol.  Positions are walked in sorted order so the float
+        # accumulation is independent of vote-dict insertion order (serial vs
+        # merged shards).
+        llr = [0.0] * n_cw
+        total = [0.0] * n_cw
+        for position in sorted(votes):
+            if position >= wmd_length:
+                continue
+            margin = _clip(float(_position_margin(votes[position])), self._llr_cap)
+            symbol = position % n_cw
+            llr[symbol] += margin
+            total[symbol] += abs(margin)
+        hard = [1 if value > 0 else 0 for value in llr]
+        initial = hard[:mark_length]
+
+        # A channel shorter than one codeword never transmits some symbols,
+        # so the parity checks carry no information there — decode from the
+        # margins alone and skip the flipping loop entirely.
+        iterations = self._max_iterations if wmd_length >= n_cw else 0
+        checks = self._checks(mark_length)
+        for _ in range(iterations):
+            unsatisfied = [members for members in checks if sum(hard[symbol] for symbol in members) & 1]
+            if not unsatisfied:
+                break
+            counts = [0] * n_cw
+            for members in unsatisfied:
+                for symbol in members:
+                    counts[symbol] += 1
+            flip = min(
+                (symbol for symbol in range(n_cw) if counts[symbol] > 0),
+                key=lambda symbol: (-counts[symbol], abs(llr[symbol]), symbol),
+            )
+            hard[flip] ^= 1
+            llr[flip] = -llr[flip]
+
+        mark_bits = hard[:mark_length]
+        corrected = sum(1 for before, after in zip(initial, mark_bits) if before != after)
+        confidences = [
+            abs(llr[symbol]) / total[symbol] if total[symbol] > 0 else 0.0
+            for symbol in range(mark_length)
+        ]
+        return DecodeResult(
+            mark_bits=tuple(mark_bits),
+            wmd_bits=tuple(wmd_bits),
+            corrected_bits=corrected,
+            bit_confidence=tuple(confidences),
+        )
+
+    def correction_radius(self, mark_length: int, copies: int) -> int:
+        # Conservative: with m full interleaved copies of the codeword on the
+        # channel, any symbol survives up to (m-1)//2 corrupted positions by
+        # margin alone, before the parity checks contribute anything.
+        _, _, n_cw = self.geometry(mark_length)
+        full_copies = (mark_length * copies) // n_cw
+        if full_copies < 1:
+            return 0
+        return (full_copies - 1) // 2
+
+
+_CODES: dict[str, type[MarkCode]] = {
+    RepetitionCode.name: RepetitionCode,
+    SoftRepetitionCode.name: SoftRepetitionCode,
+    InterleavedBlockCode.name: InterleavedBlockCode,
+}
+
+CODE_NAMES: tuple[str, ...] = tuple(sorted(_CODES))
+
+
+def _format_param(value: object) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)
+
+
+def code_to_wire(code: MarkCode) -> str:
+    """Canonical string form: ``"name"``, params only when they differ from defaults."""
+    defaults = _CODES[code.name]().params()
+    overrides = {
+        key: value for key, value in sorted(code.params().items()) if value != defaults.get(key)
+    }
+    if not overrides:
+        return code.name
+    rendered = ",".join(f"{key}={_format_param(value)}" for key, value in overrides.items())
+    return f"{code.name}:{rendered}"
+
+
+def code_from_wire(text: str) -> MarkCode:
+    """Parse the canonical string form back into a :class:`MarkCode`."""
+    name, _, rendered = text.partition(":")
+    name = name.strip()
+    cls = _CODES.get(name)
+    if cls is None:
+        raise ValueError(f"unknown mark code {name!r} (expected one of: {', '.join(CODE_NAMES)})")
+    params: dict[str, object] = {}
+    if rendered:
+        defaults = cls().params()
+        for part in rendered.split(","):
+            key, separator, value = part.partition("=")
+            key = key.strip()
+            if not separator or key not in defaults:
+                raise ValueError(f"invalid parameter {part!r} for mark code {name!r}")
+            default = defaults[key]
+            try:
+                params[key] = int(value) if isinstance(default, int) else float(value)
+            except ValueError as error:
+                raise ValueError(f"invalid parameter {part!r} for mark code {name!r}") from error
+    return cls(**params)
+
+
+def resolve_code(code: "MarkCode | str | None") -> MarkCode:
+    """Coerce ``None`` / wire string / instance to a :class:`MarkCode`."""
+    if code is None:
+        return RepetitionCode()
+    if isinstance(code, MarkCode):
+        return code
+    if isinstance(code, str):
+        return code_from_wire(code)
+    raise TypeError(f"cannot resolve a mark code from {type(code).__name__}")

@@ -42,8 +42,9 @@ from repro.crypto.batch import ScalarWatermarkEngine, WatermarkHashEngine, make_
 from repro.dht.node import DHTNode
 from repro.dht.tree import DomainHierarchyTree
 from repro.telemetry.trace import span as _stage_span
+from repro.watermarking.ecc import MarkCode, resolve_code
 from repro.watermarking.keys import WatermarkKey
-from repro.watermarking.mark import Mark, majority_vote, replicate_mark
+from repro.watermarking.mark import Mark, majority_vote
 
 __all__ = ["EmbeddingReport", "DetectionReport", "DetectionVotes", "HierarchicalWatermarker"]
 
@@ -70,7 +71,14 @@ class EmbeddingReport:
 
 @dataclass(frozen=True)
 class DetectionReport:
-    """What :meth:`HierarchicalWatermarker.detect` recovered."""
+    """What :meth:`HierarchicalWatermarker.detect` recovered.
+
+    ``code`` is the wire form of the mark code that produced the decision;
+    ``corrected_bits`` counts mark bits where that code overruled the plain
+    hard-majority decision (always 0 for ``"repetition"``), and
+    ``bit_confidence`` is the decoder's per-bit normalized margin in
+    ``[0, 1]`` (0.0 for bits with no votes at all).
+    """
 
     mark: Mark
     wmd_bits: tuple[int, ...]
@@ -78,6 +86,9 @@ class DetectionReport:
     tuples_selected: int
     cells_read: int
     votes_cast: int
+    code: str = "repetition"
+    corrected_bits: int = 0
+    bit_confidence: tuple[float, ...] = ()
 
     @property
     def coverage(self) -> float:
@@ -257,6 +268,7 @@ class HierarchicalWatermarker:
         level_weighting: bool = False,
         batch: bool = True,
         engine: "WatermarkHashEngine | ScalarWatermarkEngine | None" = None,
+        code: "MarkCode | str | None" = None,
     ) -> None:
         """
         Parameters
@@ -287,6 +299,11 @@ class HierarchicalWatermarker:
         engine:
             Explicit hash engine, overriding the one *batch* would build.
             Must be keyed with the same ``(k1, k2, η)``.
+        code:
+            Mark code (a :class:`~repro.watermarking.ecc.MarkCode`, its wire
+            string, or ``None`` for the default ``"repetition"``) used to
+            encode the mark into ``wmd`` and decode the collected votes.
+            ``"repetition"`` reproduces the seed detector bit-identically.
         """
         if copies < 1:
             raise ValueError("copies must be at least 1")
@@ -296,6 +313,7 @@ class HierarchicalWatermarker:
         self._level_weighting = level_weighting
         self._batch = batch
         self._engine = engine if engine is not None else make_engine(key, batch=batch)
+        self._code = resolve_code(code)
 
     @property
     def key(self) -> WatermarkKey:
@@ -324,6 +342,33 @@ class HierarchicalWatermarker:
         """The keyed-hash engine driving selection, positions and permutations."""
         return self._engine
 
+    @property
+    def code(self) -> MarkCode:
+        """The mark code encoding/decoding the replicated-mark channel."""
+        return self._code
+
+    @property
+    def code_name(self) -> str:
+        """Canonical wire string of the configured mark code."""
+        return self._code.wire()
+
+    def with_code(self, code: "MarkCode | str | None") -> "HierarchicalWatermarker":
+        """A clone decoding with *code*, sharing the (expensive) hash engine.
+
+        Safe at detect time for codes sharing the repetition encoder
+        (``repetition`` <-> ``soft``); codes that change the encoding
+        (``interleaved``) must match what the data was protected with.
+        """
+        return type(self)(
+            self._key,
+            columns=self._columns,
+            copies=self._copies,
+            level_weighting=self._level_weighting,
+            batch=self._batch,
+            engine=self._engine,
+            code=code,
+        )
+
     # ---------------------------------------------------------------- helpers
     def _resolve_columns(self, binned: BinnedTable) -> tuple[str, ...]:
         if self._columns is not None:
@@ -342,6 +387,17 @@ class HierarchicalWatermarker:
             )
             for column in columns
         }
+
+    def _encode_mark(self, mark: Mark) -> list[int]:
+        """Encode *mark* into the ``wmd`` channel, enforcing the bandwidth contract."""
+        wmd = self._code.encode(list(mark.bits), self._copies)
+        expected = len(mark) * self._copies
+        if len(wmd) != expected:
+            raise ValueError(
+                f"mark code {self._code.wire()!r} encoded {len(wmd)} channel bits, "
+                f"expected {expected} (= {len(mark)} bits x {self._copies} copies)"
+            )
+        return wmd
 
     def _position(self, ident: object, column: str, wmd_length: int) -> int:
         """Position of this cell's bit within the replicated mark ``wmd``."""
@@ -384,7 +440,7 @@ class HierarchicalWatermarker:
         columns = self._resolve_columns(binned)
         frontiers = self._frontiers(binned, columns)
         watermarked = self._copy_for_embedding(binned)
-        wmd = replicate_mark(mark, self._copies)
+        wmd = self._encode_mark(mark)
 
         tuples_selected = 0
         cells_embedded = 0
@@ -527,25 +583,18 @@ class HierarchicalWatermarker:
                 f"expected {wmd_length} (= {mark_length} bits x {self._copies} copies)"
             )
         votes = collected.votes
-        wmd_bits = [
-            majority_vote(votes[position]) if position in votes else 0 for position in range(wmd_length)
-        ]
-        mark_bits = []
-        for bit_index in range(mark_length):
-            copy_votes = [
-                wmd_bits[position]
-                for position in range(bit_index, wmd_length, mark_length)
-                if position in votes
-            ]
-            mark_bits.append(majority_vote(copy_votes) if copy_votes else 0)
+        decoded = self._code.decode(votes, mark_length, self._copies)
 
         return DetectionReport(
-            mark=Mark.from_bits(mark_bits),
-            wmd_bits=tuple(wmd_bits),
+            mark=Mark.from_bits(decoded.mark_bits),
+            wmd_bits=decoded.wmd_bits,
             positions_with_votes=len(votes),
             tuples_selected=collected.tuples_selected,
             cells_read=collected.cells_read,
             votes_cast=collected.votes_cast,
+            code=self._code.wire(),
+            corrected_bits=decoded.corrected_bits,
+            bit_confidence=decoded.bit_confidence,
         )
 
     @staticmethod

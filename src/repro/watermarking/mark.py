@@ -14,6 +14,7 @@ detector gets wrong after an attack.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from operator import xor
 from typing import Iterable, Sequence
@@ -26,6 +27,7 @@ __all__ = [
     "random_mark",
     "replicate_mark",
     "majority_vote",
+    "vote_margin",
     "mark_loss",
     "bits_to_string",
     "string_to_bits",
@@ -109,25 +111,40 @@ def majority_vote(votes: Sequence[int], *, weights: Sequence[float] | None = Non
     from (Section 5.3 notes that copies from higher levels may be considered
     more reliable); unweighted voting is the default.
     """
-    # Validate once, up front, so the accumulation loop below stays free of
+    score = vote_margin(votes, weights=weights)
+    if score > 0:
+        return 1
+    if score < 0:
+        return 0
+    return tie_value
+
+
+def vote_margin(votes: Sequence[int], *, weights: Sequence[float] | None = None) -> float:
+    """Signed (weighted) margin of 1-votes over 0-votes; 0.0 is an exact tie.
+
+    The weighted margin must be a pure function of the two weight *multisets*
+    — the thread- and process-parallel detectors merge shard votes in shard
+    order, and a naive left-to-right float accumulation can turn an exact tie
+    into a spurious majority when the ordering differs.  Summing each side in
+    sorted order with :func:`math.fsum` (exactly rounded) makes the result
+    permutation-invariant, and identical multisets on both sides always cancel
+    to exactly 0.0.
+    """
+    # Validate once, up front, so the accumulation below stays free of
     # per-vote branching (this function sits inside the detector's per-cell
     # voting loops).
     if any(vote not in (0, 1) for vote in votes):
         raise ValueError("votes must be 0 or 1")
     if weights is None:
         ones = sum(votes)
-        score: float = 2 * ones - len(votes)
-    else:
-        if len(weights) != len(votes):
-            raise ValueError("votes and weights must have the same length")
-        if any(weight < 0 for weight in weights):
-            raise ValueError("weights must be non-negative")
-        score = sum(weight if vote else -weight for vote, weight in zip(votes, weights))
-    if score > 0:
-        return 1
-    if score < 0:
-        return 0
-    return tie_value
+        return float(2 * ones - len(votes))
+    if len(weights) != len(votes):
+        raise ValueError("votes and weights must have the same length")
+    if any(weight < 0 for weight in weights):
+        raise ValueError("weights must be non-negative")
+    positive = math.fsum(sorted(weight for vote, weight in zip(votes, weights) if vote))
+    negative = math.fsum(sorted(weight for vote, weight in zip(votes, weights) if not vote))
+    return positive - negative
 
 
 def mark_loss(original: Mark, detected: Mark) -> float:

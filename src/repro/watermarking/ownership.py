@@ -68,6 +68,7 @@ class OwnershipClaim:
     encryption_key: bytes | str
     copies: int = 4
     columns: tuple[str, ...] | None = None
+    code: str | None = None
 
 
 @dataclass(frozen=True)
@@ -183,7 +184,7 @@ class OwnershipRegistry:
             claim.registered_statistic, self._mark_length, precision=self._precision
         )
         watermarker = HierarchicalWatermarker(
-            claim.watermark_key, columns=claim.columns, copies=claim.copies
+            claim.watermark_key, columns=claim.columns, copies=claim.copies, code=claim.code
         )
         detected = watermarker.detect(disputed, self._mark_length)
         bit_errors = detected.mark.hamming_distance(expected)

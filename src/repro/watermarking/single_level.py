@@ -21,11 +21,12 @@ from repro.binning.binner import BinnedTable
 from repro.dht.node import DHTNode
 from repro.watermarking.hierarchical import (
     DetectionReport,
+    DetectionVotes,
     EmbeddingReport,
     HierarchicalWatermarker,
     _Frontiers,
 )
-from repro.watermarking.mark import Mark, majority_vote, replicate_mark
+from repro.watermarking.mark import Mark
 
 __all__ = ["SingleLevelWatermarker"]
 
@@ -43,7 +44,7 @@ class SingleLevelWatermarker(HierarchicalWatermarker):
         columns = self._resolve_columns(binned)
         frontiers = self._frontiers(binned, columns)
         watermarked = self._copy_for_embedding(binned)
-        wmd = replicate_mark(mark, self._copies)
+        wmd = self._encode_mark(mark)
 
         tuples_selected = 0
         cells_embedded = 0
@@ -106,18 +107,15 @@ class SingleLevelWatermarker(HierarchicalWatermarker):
         columns = self._resolve_columns(binned)
         frontiers = self._frontiers(binned, columns)
         wmd_length = mark_length * self._copies
-        votes: dict[int, list[int]] = {}
-
-        tuples_selected = 0
-        cells_read = 0
-        votes_cast = 0
+        collected = DetectionVotes(wmd_length=wmd_length)
+        votes = collected.votes
 
         table = binned.table
         idents = binned.ident_values()
         for index, coords in enumerate(self._engine.tuple_coordinates(idents, columns, wmd_length)):
             if coords is None:
                 continue
-            tuples_selected += 1
+            collected.tuples_selected += 1
             row = table[index]
             for column in columns:
                 front = frontiers[column]
@@ -127,30 +125,11 @@ class SingleLevelWatermarker(HierarchicalWatermarker):
                 vote = self._read_single_level(front, node)
                 if vote is None:
                     continue
-                cells_read += 1
-                votes_cast += 1
+                collected.cells_read += 1
+                collected.votes_cast += 1
                 votes.setdefault(coords.position(column), []).append(vote)
 
-        wmd_bits = [
-            majority_vote(votes[position]) if position in votes else 0 for position in range(wmd_length)
-        ]
-        mark_bits = []
-        for bit_index in range(mark_length):
-            copy_votes = [
-                wmd_bits[position]
-                for position in range(bit_index, wmd_length, mark_length)
-                if position in votes
-            ]
-            mark_bits.append(majority_vote(copy_votes) if copy_votes else 0)
-
-        return DetectionReport(
-            mark=Mark.from_bits(mark_bits),
-            wmd_bits=tuple(wmd_bits),
-            positions_with_votes=len(votes),
-            tuples_selected=tuples_selected,
-            cells_read=cells_read,
-            votes_cast=votes_cast,
-        )
+        return self.finalize_votes(collected, mark_length)
 
     @staticmethod
     def _read_single_level(front: _Frontiers, node: DHTNode) -> int | None:

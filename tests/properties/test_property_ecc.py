@@ -1,0 +1,162 @@
+"""Property-based tests for the pluggable mark-coding layer."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.watermarking.ecc import (
+    InterleavedBlockCode,
+    RepetitionCode,
+    SoftRepetitionCode,
+)
+from repro.watermarking.mark import majority_vote, vote_margin
+
+BITS = st.lists(st.integers(0, 1), min_size=1, max_size=32)
+
+# Sparse vote dicts over a small channel: position -> non-empty vote list.
+VOTE_DICTS = st.dictionaries(
+    keys=st.integers(0, 59),
+    values=st.lists(st.integers(0, 1), min_size=1, max_size=7),
+    max_size=40,
+)
+
+
+def clean_votes(encoded):
+    """One clean vote per channel position — the noiseless channel."""
+    return {position: [bit] for position, bit in enumerate(encoded)}
+
+
+class TestBandwidthContract:
+    @given(bits=BITS, copies=st.integers(1, 6))
+    @settings(max_examples=80, deadline=None)
+    def test_every_code_fills_the_channel_exactly(self, bits, copies):
+        for code in (RepetitionCode(), SoftRepetitionCode(), InterleavedBlockCode()):
+            encoded = code.encode(bits, copies)
+            assert len(encoded) == len(bits) * copies
+            assert all(bit in (0, 1) for bit in encoded)
+
+
+class TestCleanRoundtrip:
+    @given(bits=BITS, copies=st.integers(1, 6))
+    @settings(max_examples=80, deadline=None)
+    def test_noiseless_channel_roundtrips(self, bits, copies):
+        for code in (RepetitionCode(), SoftRepetitionCode(), InterleavedBlockCode()):
+            encoded = code.encode(bits, copies)
+            result = code.decode(clean_votes(encoded), len(bits), copies)
+            assert list(result.mark_bits) == bits, code.name
+            assert all(0.0 <= c <= 1.0 for c in result.bit_confidence)
+
+
+class TestCorrectionRadius:
+    @given(bits=BITS, copies=st.integers(1, 8), data=st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_corruption_within_radius_roundtrips(self, bits, copies, data):
+        for code in (RepetitionCode(), SoftRepetitionCode(), InterleavedBlockCode()):
+            radius = code.correction_radius(len(bits), copies)
+            encoded = code.encode(bits, copies)
+            flips = data.draw(
+                st.lists(
+                    st.integers(0, len(encoded) - 1),
+                    max_size=radius,
+                    unique=True,
+                ),
+                label=f"{code.name} flips",
+            )
+            votes = clean_votes(encoded)
+            for position in flips:
+                votes[position] = [1 - encoded[position]]
+            result = code.decode(votes, len(bits), copies)
+            assert list(result.mark_bits) == bits, (code.name, flips)
+
+    @given(bits=BITS, copies=st.integers(1, 8), data=st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_erasures_within_radius_roundtrip(self, bits, copies, data):
+        for code in (RepetitionCode(), SoftRepetitionCode(), InterleavedBlockCode()):
+            radius = code.correction_radius(len(bits), copies)
+            encoded = code.encode(bits, copies)
+            erased = data.draw(
+                st.lists(
+                    st.integers(0, len(encoded) - 1),
+                    max_size=radius,
+                    unique=True,
+                ),
+                label=f"{code.name} erasures",
+            )
+            votes = clean_votes(encoded)
+            for position in erased:
+                del votes[position]
+            result = code.decode(votes, len(bits), copies)
+            assert list(result.mark_bits) == bits, (code.name, erased)
+
+
+class TestRepetitionEquivalence:
+    @given(votes=VOTE_DICTS, mark_length=st.integers(1, 10), copies=st.integers(1, 6))
+    @settings(max_examples=120, deadline=None)
+    def test_decode_matches_two_stage_majority_vote(self, votes, mark_length, copies):
+        wmd_length = mark_length * copies
+        votes = {p: v for p, v in votes.items() if p < wmd_length}
+        result = RepetitionCode().decode(votes, mark_length, copies)
+        wmd_bits = [
+            majority_vote(votes[p]) if p in votes else 0 for p in range(wmd_length)
+        ]
+        assert list(result.wmd_bits) == wmd_bits
+        for bit_index in range(mark_length):
+            copy_votes = [
+                wmd_bits[position]
+                for position in range(bit_index, wmd_length, mark_length)
+                if position in votes
+            ]
+            expected = majority_vote(copy_votes) if copy_votes else 0
+            assert result.mark_bits[bit_index] == expected
+        assert result.corrected_bits == 0
+
+    @given(votes=VOTE_DICTS, mark_length=st.integers(1, 10), copies=st.integers(1, 6))
+    @settings(max_examples=80, deadline=None)
+    def test_soft_reports_its_disagreement_with_hard_decode(self, votes, mark_length, copies):
+        votes = {p: v for p, v in votes.items() if p < mark_length * copies}
+        hard = RepetitionCode().decode(votes, mark_length, copies)
+        soft = SoftRepetitionCode().decode(votes, mark_length, copies)
+        disagreements = sum(
+            1 for h, s in zip(hard.mark_bits, soft.mark_bits) if h != s
+        )
+        assert soft.corrected_bits == disagreements
+
+
+class TestVoteMarginProperties:
+    @given(
+        pairs=st.lists(
+            st.tuples(st.integers(0, 1), st.floats(0.0, 10.0, allow_nan=False)),
+            min_size=1,
+            max_size=12,
+        ),
+        data=st.data(),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_weighted_margin_is_permutation_invariant(self, pairs, data):
+        shuffled = data.draw(st.permutations(pairs))
+        votes = [vote for vote, _ in pairs]
+        weights = [weight for _, weight in pairs]
+        shuffled_votes = [vote for vote, _ in shuffled]
+        shuffled_weights = [weight for _, weight in shuffled]
+        assert vote_margin(votes, weights=weights) == vote_margin(
+            shuffled_votes, weights=shuffled_weights
+        )
+        assert majority_vote(votes, weights=weights, tie_value=1) == majority_vote(
+            shuffled_votes, weights=shuffled_weights, tie_value=1
+        )
+
+    @given(votes=st.lists(st.integers(0, 1), min_size=1, max_size=25))
+    @settings(max_examples=80, deadline=None)
+    def test_unweighted_margin_agrees_with_counts(self, votes):
+        assert vote_margin(votes) == float(2 * sum(votes) - len(votes))
+
+    @given(
+        weights=st.lists(st.floats(0.0, 10.0, allow_nan=False), min_size=1, max_size=10),
+        tie=st.integers(0, 1),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_mirrored_weights_always_tie(self, weights, tie):
+        # Equal weight mass on both sides must hit the tie branch exactly,
+        # regardless of float accumulation order.
+        votes = [1] * len(weights) + [0] * len(weights)
+        assert vote_margin(votes, weights=weights + weights) == 0.0
+        assert majority_vote(votes, weights=weights + weights, tie_value=tie) == tie

@@ -8,7 +8,7 @@ from repro.watermarking.mark import Mark
 from repro.watermarking.ownership import OwnershipClaim
 
 
-def _claim(claimant="owner", encryption_key="enc-secret"):
+def _claim(claimant="owner", encryption_key="enc-secret", code=None):
     return OwnershipClaim(
         claimant=claimant,
         registered_statistic=496540741.525,
@@ -17,6 +17,7 @@ def _claim(claimant="owner", encryption_key="enc-secret"):
         encryption_key=encryption_key,
         copies=4,
         columns=("age", "zip_code"),
+        code=code,
     )
 
 
@@ -39,6 +40,17 @@ class TestClaimSerialisation:
             encryption_key="e",
         )
         assert claim_from_json(claim_to_json(claim)) == claim
+
+    def test_round_trip_mark_code(self):
+        claim = _claim(code="interleaved")
+        back = claim_from_json(claim_to_json(claim))
+        assert back == claim and back.code == "interleaved"
+
+    def test_pre_ecc_payload_defaults_to_the_seed_code(self):
+        # Stores written before the coding layer have no "code" key.
+        payload = claim_to_json(_claim())
+        del payload["code"]
+        assert claim_from_json(payload).code is None
 
 
 class TestClaimStore:

@@ -1,0 +1,260 @@
+"""Tests for the pluggable mark-coding layer (repro.watermarking.ecc)."""
+
+import pytest
+
+from repro.watermarking.ecc import (
+    CODE_NAMES,
+    DEFAULT_LLR_CAP,
+    InterleavedBlockCode,
+    RepetitionCode,
+    SoftRepetitionCode,
+    code_from_wire,
+    code_to_wire,
+    resolve_code,
+)
+from repro.watermarking.hierarchical import HierarchicalWatermarker
+from repro.watermarking.keys import WatermarkKey
+from repro.watermarking.mark import majority_vote, random_mark
+
+
+def seed_reference_decode(votes, mark_length, copies):
+    """The seed detector's two-stage majority decode, transcribed verbatim."""
+    wmd_length = mark_length * copies
+    wmd_bits = [majority_vote(votes[p]) if p in votes else 0 for p in range(wmd_length)]
+    mark_bits = []
+    for bit_index in range(mark_length):
+        copy_votes = [
+            wmd_bits[position]
+            for position in range(bit_index, wmd_length, mark_length)
+            if position in votes
+        ]
+        mark_bits.append(majority_vote(copy_votes) if copy_votes else 0)
+    return mark_bits, wmd_bits
+
+
+class TestWireFormat:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "repetition",
+            "soft",
+            "soft:llr_cap=3",
+            "interleaved",
+            "interleaved:llr_cap=2,max_iterations=8",
+        ],
+    )
+    def test_roundtrip_is_canonical(self, text):
+        assert code_from_wire(text).wire() == text
+
+    def test_defaults_are_omitted(self):
+        assert SoftRepetitionCode().wire() == "soft"
+        assert SoftRepetitionCode(DEFAULT_LLR_CAP).wire() == "soft"
+        assert InterleavedBlockCode(max_iterations=32).wire() == "interleaved"
+        assert code_to_wire(SoftRepetitionCode(3.0)) == "soft:llr_cap=3"
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValueError, match="unknown mark code"):
+            code_from_wire("turbo")
+
+    @pytest.mark.parametrize("text", ["soft:nope=1", "soft:llr_cap", "soft:llr_cap=abc"])
+    def test_bad_parameters_rejected(self, text):
+        with pytest.raises(ValueError):
+            code_from_wire(text)
+
+    def test_registry_names(self):
+        assert CODE_NAMES == ("interleaved", "repetition", "soft")
+
+    def test_resolve_code(self):
+        assert isinstance(resolve_code(None), RepetitionCode)
+        code = SoftRepetitionCode(1.5)
+        assert resolve_code(code) is code
+        assert isinstance(resolve_code("interleaved"), InterleavedBlockCode)
+        with pytest.raises(TypeError):
+            resolve_code(3)
+
+
+class TestRepetitionCode:
+    def test_encode_is_replication(self):
+        bits = [1, 0, 1, 1]
+        assert RepetitionCode().encode(bits, 3) == bits * 3
+
+    def test_invalid_copies_rejected(self):
+        with pytest.raises(ValueError):
+            RepetitionCode().encode([1], 0)
+
+    def test_decode_matches_seed_reference(self):
+        # Sparse votes, silent positions, ties and empty-copy bits included.
+        votes = {
+            0: [1, 1, 0],
+            1: [0, 1],  # tie -> 0
+            3: [0, 0],
+            4: [1],
+            6: [1, 1],
+            7: [0],
+        }
+        mark_length, copies = 4, 3
+        result = RepetitionCode().decode(votes, mark_length, copies)
+        ref_mark, ref_wmd = seed_reference_decode(votes, mark_length, copies)
+        assert list(result.mark_bits) == ref_mark
+        assert list(result.wmd_bits) == ref_wmd
+        assert result.corrected_bits == 0
+        assert len(result.bit_confidence) == mark_length
+        assert all(0.0 <= c <= 1.0 for c in result.bit_confidence)
+
+    def test_correction_radius(self):
+        code = RepetitionCode()
+        assert code.correction_radius(20, 1) == 0
+        assert code.correction_radius(20, 4) == 1
+        assert code.correction_radius(20, 5) == 2
+
+
+class TestSoftRepetitionCode:
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ValueError):
+            SoftRepetitionCode(0.0)
+
+    def test_soft_overrules_weakly_supported_hard_decision(self):
+        # One deep, unanimous position against one shallow dissenter and one
+        # tied position.  The hard two-stage vote sees copy bits [1, 0, 0]
+        # (the tie casts a biased 0) and decodes 0; soft combining weighs the
+        # deep position's margin and decodes 1.
+        votes = {0: [1, 1, 1, 1, 1], 1: [0, 1], 2: [0, 0, 1]}
+        hard = RepetitionCode().decode(votes, 1, 3)
+        soft = SoftRepetitionCode().decode(votes, 1, 3)
+        assert hard.mark_bits == (0,)
+        assert soft.mark_bits == (1,)
+        assert soft.corrected_bits == 1
+
+    def test_no_votes_decode_to_zero_with_zero_confidence(self):
+        result = SoftRepetitionCode().decode({}, 3, 4)
+        assert result.mark_bits == (0, 0, 0)
+        assert result.bit_confidence == (0.0, 0.0, 0.0)
+        assert result.corrected_bits == 0
+
+    def test_unanimous_votes_have_full_confidence(self):
+        votes = {p: [1, 1, 1] for p in range(6)}
+        result = SoftRepetitionCode().decode(votes, 2, 3)
+        assert result.mark_bits == (1, 1)
+        assert result.bit_confidence == (1.0, 1.0)
+
+    def test_vote_list_order_does_not_matter(self):
+        forward = {0: [1, 1, 0, 1], 1: [0, 0, 1], 2: [1, 0]}
+        backward = {k: list(reversed(v)) for k, v in forward.items()}
+        shuffled = dict(reversed(list(backward.items())))
+        for code in (RepetitionCode(), SoftRepetitionCode(), InterleavedBlockCode()):
+            assert code.decode(forward, 1, 3) == code.decode(shuffled, 1, 3)
+
+
+class TestInterleavedBlockCode:
+    def test_geometry(self):
+        assert InterleavedBlockCode.geometry(20) == (4, 5, 29)
+        assert InterleavedBlockCode.geometry(1) == (1, 1, 3)
+        with pytest.raises(ValueError):
+            InterleavedBlockCode.geometry(0)
+
+    def test_encode_differs_from_replication(self):
+        bits = [1, 0, 1, 1, 0, 0, 1, 0]
+        code = InterleavedBlockCode()
+        encoded = code.encode(bits, 4)
+        assert len(encoded) == len(bits) * 4
+        assert encoded != bits * 4
+
+    def test_clean_roundtrip(self):
+        bits = [1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 0, 1, 0, 0, 1, 0, 1, 0, 1, 1]
+        code = InterleavedBlockCode()
+        copies = 6
+        encoded = code.encode(bits, copies)
+        votes = {position: [bit] for position, bit in enumerate(encoded)}
+        result = code.decode(votes, len(bits), copies)
+        assert list(result.mark_bits) == bits
+        assert result.corrected_bits == 0
+
+    def test_parity_recovers_an_erased_symbol(self):
+        # Wipe out every channel position of one data symbol: the margin for
+        # that symbol is 0, the row/column checks fail, and bit-flipping must
+        # restore it.
+        bits = [1, 0, 1, 1, 0, 0, 1, 0, 1]
+        code = InterleavedBlockCode()
+        copies = 8
+        encoded = code.encode(bits, copies)
+        _, _, n_cw = code.geometry(len(bits))
+        erased_symbol = 4
+        votes = {
+            position: [bit]
+            for position, bit in enumerate(encoded)
+            if position % n_cw != erased_symbol
+        }
+        result = code.decode(votes, len(bits), copies)
+        assert list(result.mark_bits) == bits
+        assert result.corrected_bits == (1 if bits[erased_symbol] == 1 else 0)
+
+    def test_correction_radius(self):
+        code = InterleavedBlockCode()
+        # 20 bits -> n_cw 29; 6 copies = 120 channel bits = 4 full codewords.
+        assert code.correction_radius(20, 6) == 1
+        # Channel shorter than one codeword: no guarantee.
+        assert code.correction_radius(20, 1) == 0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            InterleavedBlockCode(llr_cap=-1.0)
+        with pytest.raises(ValueError):
+            InterleavedBlockCode(max_iterations=-1)
+
+
+class TestWatermarkerIntegration:
+    @pytest.fixture(scope="class")
+    def key(self):
+        return WatermarkKey.from_secret("ecc-test-secret", eta=20)
+
+    @pytest.fixture(scope="class")
+    def mark(self):
+        return random_mark(20, seed="ecc-tests")
+
+    def test_repetition_and_soft_share_votes_and_clean_mark(self, binned_small, key, mark):
+        watermarker = HierarchicalWatermarker(key, copies=4)
+        embedded = watermarker.embed(binned_small.binned, mark)
+        report = watermarker.detect(embedded.watermarked, len(mark))
+        assert report.code == "repetition"
+        assert report.corrected_bits == 0
+        assert len(report.bit_confidence) == len(mark)
+
+        soft = watermarker.with_code("soft")
+        assert soft.code_name == "soft"
+        soft_report = soft.detect(embedded.watermarked, len(mark))
+        assert soft_report.code == "soft"
+        assert soft_report.mark == mark
+
+    def test_with_code_shares_engine(self, key):
+        watermarker = HierarchicalWatermarker(key, copies=4)
+        soft = watermarker.with_code("soft")
+        assert soft is not watermarker
+        assert soft._engine is watermarker._engine
+        assert watermarker.code_name == "repetition"
+
+    def test_interleaved_roundtrip_through_watermarker(self, binned_small, key):
+        mark = random_mark(20, seed="ecc-interleaved")
+        watermarker = HierarchicalWatermarker(key, copies=6, code="interleaved")
+        embedded = watermarker.embed(binned_small.binned, mark)
+        report = watermarker.detect(embedded.watermarked, len(mark))
+        assert report.code == "interleaved"
+        assert report.mark == mark
+
+    def test_shard_merge_order_invariance(self, binned_small, key, mark):
+        # Thread and process runners merge shard votes in different orders;
+        # the decoded report must not depend on vote-list ordering.
+        watermarker = HierarchicalWatermarker(key, copies=4)
+        embedded = watermarker.embed(binned_small.binned, mark)
+        votes = watermarker.collect_votes(embedded.watermarked, len(mark))
+        permuted = type(votes)(wmd_length=votes.wmd_length)
+        permuted.tuples_selected = votes.tuples_selected
+        permuted.cells_read = votes.cells_read
+        permuted.votes_cast = votes.votes_cast
+        for position in reversed(sorted(votes.votes)):
+            permuted.votes[position] = list(reversed(votes.votes[position]))
+        for decoder in (watermarker, watermarker.with_code("soft")):
+            original = decoder.finalize_votes(votes, len(mark))
+            reordered = decoder.finalize_votes(permuted, len(mark))
+            assert original.mark == reordered.mark
+            assert original.bit_confidence == reordered.bit_confidence
+            assert original.corrected_bits == reordered.corrected_bits

@@ -2,6 +2,8 @@
 
 import pytest
 
+import itertools
+
 from repro.watermarking.mark import (
     Mark,
     bits_to_string,
@@ -10,6 +12,7 @@ from repro.watermarking.mark import (
     random_mark,
     replicate_mark,
     string_to_bits,
+    vote_margin,
 )
 
 
@@ -96,6 +99,38 @@ class TestMajorityVote:
             majority_vote([1, 0], weights=[1.0])
         with pytest.raises(ValueError):
             majority_vote([1], weights=[-1.0])
+
+    def test_weighted_exact_tie_is_order_independent(self):
+        # Regression: both sides carry the weight multiset {0.1, 0.2, 0.3},
+        # whose left-to-right float accumulation depends on ordering —
+        # 0.1 + 0.2 + 0.3 - 0.3 - 0.2 - 0.1 != 0.0 summed naively.  Thread
+        # and process runners merge shard votes in different list orders, so
+        # an exact weighted tie must resolve to tie_value for EVERY ordering.
+        pairs = [(1, 0.1), (1, 0.2), (1, 0.3), (0, 0.3), (0, 0.2), (0, 0.1)]
+        for permutation in itertools.permutations(pairs):
+            votes = [vote for vote, _ in permutation]
+            weights = [weight for _, weight in permutation]
+            assert vote_margin(votes, weights=weights) == 0.0
+            assert majority_vote(votes, weights=weights, tie_value=0) == 0
+            assert majority_vote(votes, weights=weights, tie_value=1) == 1
+
+    def test_weighted_margin_is_permutation_invariant(self):
+        pairs = [(1, 0.7), (0, 0.1), (1, 0.25), (0, 0.3), (1, 0.05), (0, 0.15)]
+        margins = {
+            vote_margin([v for v, _ in p], weights=[w for _, w in p])
+            for p in itertools.permutations(pairs)
+        }
+        assert len(margins) == 1
+        decisions = {
+            majority_vote([v for v, _ in p], weights=[w for _, w in p])
+            for p in itertools.permutations(pairs)
+        }
+        assert len(decisions) == 1
+
+    def test_unweighted_margin(self):
+        assert vote_margin([1, 1, 0]) == 1.0
+        assert vote_margin([0, 0, 1, 1]) == 0.0
+        assert vote_margin([]) == 0.0
 
 
 class TestBitStrings:

@@ -61,6 +61,35 @@ class TestDisputeResolution:
             protected_small.registered_statistic, abs=1.0
         )
 
+    def test_owner_claim_carries_the_mark_code(self, protection_framework, protected_small):
+        claim = protection_framework.owner_claim()
+        assert claim.code == "repetition"
+
+    def test_interleaved_protection_wins_its_dispute(self, trees, depth1_metrics, medium_table):
+        # Regression: assess_claim used to rebuild its detection watermarker
+        # without the claim's code, so interleaved-encoded marks were decoded
+        # as repetition and the owner's own claim failed.
+        from repro.binning.kanonymity import EnforcementMode, KAnonymitySpec
+        from repro.framework.pipeline import ProtectionFramework
+
+        framework = ProtectionFramework(
+            trees,
+            depth1_metrics,
+            KAnonymitySpec(k=10, mode=EnforcementMode.MONO, epsilon=5),
+            encryption_key="test-encryption-key",
+            watermark_secret="test-watermark-secret",
+            eta=25,
+            mark_length=20,
+            copies=6,
+            code="interleaved",
+        )
+        protected = framework.protect(medium_table)
+        claim = framework.owner_claim()
+        assert claim.code == "interleaved"
+        verdict = framework.resolve_dispute(protected.watermarked, [claim])
+        assert verdict.winner == "owner"
+        assert verdict.assessments[0].mark_bit_errors == 0
+
     def test_claim_with_wrong_encryption_key_fails(self, protection_framework, protected_small):
         owner = protection_framework.owner_claim("hospital")
         impostor = OwnershipClaim(
