@@ -69,7 +69,9 @@ from repro.service.http.prefork import (
 )
 from repro.service.reports import DEFAULT_MAX_LOSS, detect_report, dispute_report, error_payload
 from repro.service.runners import REMOTE_RUNNER_NAME, RUNNER_NAMES, FleetError, RemoteRunner
-from repro.service.vault import KeyVault, VaultError
+from repro.service.audit import AuditChainError
+from repro.service.backends import BACKEND_NAMES
+from repro.service.vault import KeyVault, VaultError, migrate_vault
 from repro.telemetry.log import configure_json_logging
 from repro.telemetry.trace import Tracer, activate as _trace_activate, format_span_tree
 from repro.watermarking.ecc import resolve_code
@@ -177,8 +179,10 @@ def _runner_for(args: argparse.Namespace):
 
 # ------------------------------------------------------------------- commands
 def _cmd_vault_init(args: argparse.Namespace) -> int:
-    vault = KeyVault.init(args.path)
-    record = vault.register_tenant(
+    vault = KeyVault.init(args.path, backend=args.backend)
+    # Register through the service facade so the very first tenant lands on
+    # the audit chain as record 0, like every later registration.
+    record = ProtectionService(vault).register_tenant(
         args.tenant,
         encryption_key=args.encryption_key,
         watermark_secret=args.watermark_secret,
@@ -194,6 +198,7 @@ def _cmd_vault_init(args: argparse.Namespace) -> int:
         args,
         {
             "vault": vault.root,
+            "backend": vault.backend,
             "tenant": record.tenant_id,
             "eta": record.eta,
             "k": record.k,
@@ -203,6 +208,7 @@ def _cmd_vault_init(args: argparse.Namespace) -> int:
         },
         [
             f"initialised vault {vault.root}",
+            f"  backend    : {vault.backend}",
             f"  tenant     : {record.tenant_id}",
             f"  parameters : k={record.k} eta={record.eta} "
             f"mark_length={record.mark_length} copies={record.copies} code={record.code}",
@@ -210,6 +216,49 @@ def _cmd_vault_init(args: argparse.Namespace) -> int:
         ],
     )
     return 0
+
+
+def _cmd_vault_migrate(args: argparse.Namespace) -> int:
+    source = KeyVault(args.source)
+    destination = KeyVault.init(args.destination, backend=args.backend)
+    summary = migrate_vault(source, destination)
+    _emit(
+        args,
+        {
+            "source": source.root,
+            "destination": destination.root,
+            "from_backend": source.backend,
+            "to_backend": destination.backend,
+            **summary,
+        },
+        [
+            f"migrated vault {source.root} ({source.backend}) "
+            f"-> {destination.root} ({destination.backend})",
+            f"  tenants       : {summary['tenants']}",
+            f"  claims        : {summary['claims']}",
+            f"  audit records : {summary['audit_records']} (chain verified while copying)",
+        ],
+    )
+    return EXIT_OK
+
+
+def _cmd_audit_verify(args: argparse.Namespace) -> int:
+    log = KeyVault(args.vault).audit_log()
+    try:
+        count = log.verify()
+    except AuditChainError as error:
+        payload = {"ok": False, "failed_index": error.index, "error": str(error)}
+        _emit(args, payload, [f"audit chain BROKEN at record {error.index}: {error.reason}"])
+        return EXIT_VERDICT
+    head = None
+    for record in log.entries():
+        head = record["digest"]
+    payload = {"ok": True, "records": count, "head": head}
+    lines = [f"audit chain OK: {count} records"]
+    if head is not None:
+        lines.append(f"  head digest: {head}")
+    _emit(args, payload, lines)
+    return EXIT_OK
 
 
 def _cmd_vault_status(args: argparse.Namespace) -> int:
@@ -220,7 +269,8 @@ def _cmd_vault_status(args: argparse.Namespace) -> int:
     if args.json:
         print(json.dumps(status, indent=2, sort_keys=True))
         return EXIT_OK
-    print(f"vault {status.get('vault', args.url)}")
+    backend = f" [{status['backend']}]" if status.get("backend") else ""
+    print(f"vault {status.get('vault', args.url)}{backend}")
     for tenant, info in status["tenants"].items():
         print(f"  tenant {tenant}: k={info['k']} eta={info['eta']}")
         for dataset, details in info["datasets"].items():
@@ -580,10 +630,30 @@ def build_parser() -> argparse.ArgumentParser:
         default="repetition",
         help='mark code used to encode/decode the mark (e.g. "repetition", "soft", "interleaved")',
     )
+    vault_init.add_argument(
+        "--backend",
+        choices=BACKEND_NAMES,
+        help="registry storage backend: file (zero-dep JSON, default) or sqlite "
+        "(WAL registry.db, per-row mutations); also settable via a path scheme "
+        "like sqlite:DIR or $REPRO_VAULT_BACKEND",
+    )
     add_params(vault_init)
     add_secrets(vault_init, required_without_vault=False)
     add_json(vault_init)
     vault_init.set_defaults(func=_cmd_vault_init)
+    vault_migrate = vault_sub.add_parser(
+        "migrate",
+        help="copy a vault's registry and audit chain into a fresh vault on another backend",
+    )
+    vault_migrate.add_argument("source", help="existing vault directory to copy from")
+    vault_migrate.add_argument("destination", help="vault directory to create")
+    vault_migrate.add_argument(
+        "--backend",
+        choices=BACKEND_NAMES,
+        help="backend of the destination vault (default: file, or the path scheme)",
+    )
+    add_json(vault_migrate)
+    vault_migrate.set_defaults(func=_cmd_vault_migrate)
     vault_status = vault_sub.add_parser("status", help="list a vault's tenants and datasets")
     vault_status.add_argument("path", nargs="?", help="vault directory to inspect")
     vault_status.add_argument(
@@ -599,6 +669,19 @@ def build_parser() -> argparse.ArgumentParser:
     vault_token.add_argument("--tenant", default=DEFAULT_TENANT, help="tenant id within the vault")
     add_json(vault_token)
     vault_token.set_defaults(func=_cmd_vault_token)
+
+    audit = subparsers.add_parser(
+        "audit", help="inspect and verify a vault's hash-chained audit log"
+    )
+    audit_sub = audit.add_subparsers(dest="audit_command", required=True)
+    audit_verify = audit_sub.add_parser(
+        "verify",
+        help="walk the chain, recomputing every digest; exit 1 with the exact "
+        "failing index when any record was edited, deleted or reordered",
+    )
+    audit_verify.add_argument("--vault", required=True, help="vault directory holding the chain")
+    add_json(audit_verify)
+    audit_verify.set_defaults(func=_cmd_audit_verify)
 
     protect = subparsers.add_parser("protect", help="bin + watermark a raw CSV table")
     protect.add_argument("input", help="raw CSV with columns ssn,age,zip_code,doctor,symptom,prescription")

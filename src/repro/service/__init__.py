@@ -7,10 +7,15 @@ operable service for the paper's actual threat model — a data *owner* who
 protects many outsourced datasets and must later detect and litigate from a
 cold process:
 
-* :mod:`repro.service.vault` — atomic, file-backed per-tenant/per-dataset
-  secrets, registered statistics and marks;
+* :mod:`repro.service.vault` — durable per-tenant/per-dataset secrets,
+  registered statistics and marks over a pluggable backend;
 * :mod:`repro.service.store` — persistent ownership claims backing the
   dispute flow of Section 5.4;
+* :mod:`repro.service.backends` — the storage backends behind both facades:
+  atomic JSON documents (``file``, the zero-dep default) or a WAL-mode
+  SQLite ``registry.db`` with per-row mutations (``sqlite``);
+* :mod:`repro.service.audit` — the append-only hash-chained audit log of
+  register/protect/detect/dispute events (tamper-evident provenance);
 * :mod:`repro.service.streaming` — chunked CSV ingest/emit so million-row
   files never materialise as a full table;
 * :mod:`repro.service.executor` — shard-parallel embed/detect, bit-identical
@@ -32,6 +37,14 @@ cold process:
 """
 
 from repro.service.api import DetectOutcome, ProtectOutcome, ProtectionService, suspect_view
+from repro.service.audit import AuditChainError, FileAuditLog, SQLiteAuditLog
+from repro.service.backends import (
+    BACKEND_ENV,
+    BACKEND_NAMES,
+    FileRegistryBackend,
+    SQLiteRegistryBackend,
+    VaultError,
+)
 from repro.service.executor import ShardExecutor, shard_spans
 from repro.service.runners import (
     FleetError,
@@ -42,9 +55,18 @@ from repro.service.runners import (
     resolve_runner,
 )
 from repro.service.store import ClaimStore
-from repro.service.vault import DatasetRecord, KeyVault, TenantRecord
+from repro.service.vault import DatasetRecord, KeyVault, TenantRecord, migrate_vault
 
 __all__ = [
+    "AuditChainError",
+    "FileAuditLog",
+    "SQLiteAuditLog",
+    "BACKEND_ENV",
+    "BACKEND_NAMES",
+    "FileRegistryBackend",
+    "SQLiteRegistryBackend",
+    "VaultError",
+    "migrate_vault",
     "ProtectionService",
     "ProtectOutcome",
     "DetectOutcome",

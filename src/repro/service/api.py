@@ -32,7 +32,7 @@ from repro.relational.schema import TableSchema, medical_schema
 from repro.relational.table import Table
 from repro.service.executor import ShardExecutor
 from repro.service.runners import ProtectPlan, ShardRunner, WatermarkerSpec
-from repro.service.store import CLAIMS_FILENAME, ClaimStore
+from repro.service.store import ClaimStore
 from repro.service.streaming import DEFAULT_CHUNK_SIZE, iter_rows
 from repro.service.vault import DatasetRecord, KeyVault, TenantRecord, VaultError
 from repro.telemetry.trace import span as _stage_span
@@ -186,11 +186,16 @@ class ProtectionService:
         executor: ShardExecutor | None = None,
         runner: "str | ShardRunner | None" = None,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
+        audit: bool = True,
     ) -> None:
         if executor is not None and runner is not None:
             raise ValueError("pass either executor or runner, not both")
         self._vault = vault if isinstance(vault, KeyVault) else KeyVault(vault)
-        self._claims = ClaimStore(os.path.join(self._vault.root, CLAIMS_FILENAME))
+        self._claims = self._vault.claim_store()
+        # Every successful register/protect/detect/dispute lands one record
+        # on the vault's hash chain; ``audit=False`` is for vaults on
+        # read-only media, where appending would be the error.
+        self._audit = self._vault.audit_log() if audit else None
         self._schema = schema if schema is not None else medical_schema()
         self._trees = dict(trees) if trees is not None else dict(standard_ontology().items())
         self._executor = executor if executor is not None else ShardExecutor(runner=runner)
@@ -205,6 +210,17 @@ class ProtectionService:
     @property
     def claim_store(self) -> ClaimStore:
         return self._claims
+
+    @property
+    def audit(self):
+        """The vault's audit log, or ``None`` when auditing is disabled."""
+        return self._audit
+
+    def _record_audit(
+        self, event: str, tenant: str | None, dataset: str | None = None, **payload
+    ) -> None:
+        if self._audit is not None:
+            self._audit.append(event, tenant, dataset=dataset, payload=payload)
 
     @property
     def schema(self) -> TableSchema:
@@ -223,7 +239,18 @@ class ProtectionService:
     # ----------------------------------------------------------------- tenants
     def register_tenant(self, tenant_id: str = DEFAULT_TENANT, **kwargs) -> TenantRecord:
         """Register a tenant (generating secrets unless supplied); see the vault."""
-        return self._vault.register_tenant(tenant_id, **kwargs)
+        record = self._vault.register_tenant(tenant_id, **kwargs)
+        # Parameters only — secrets never reach the (exportable) audit chain.
+        self._record_audit(
+            "register",
+            tenant_id,
+            eta=record.eta,
+            k=record.k,
+            mark_length=record.mark_length,
+            copies=record.copies,
+            code=record.code,
+        )
+        return record
 
     def framework_for(self, tenant_id: str) -> ProtectionFramework:
         """The (cached) framework rebuilt from the tenant's vault record."""
@@ -354,6 +381,16 @@ class ProtectionService:
             ),
         )
         self._claims.add_claim(dataset_id, framework.owner_claim(tenant_id))
+        self._record_audit(
+            "protect",
+            tenant_id,
+            dataset_id,
+            rows=rows,
+            mark=str(mark),
+            registered_statistic=statistic,
+            cells_changed=cells_changed,
+            runner=executor.runner_name,
+        )
 
         return ProtectOutcome(
             tenant=tenant_id,
@@ -449,6 +486,16 @@ class ProtectionService:
             on_rows=count_rows,
         )
         loss = mark_loss(expected, report.mark) if expected is not None else None
+        self._record_audit(
+            "detect",
+            tenant_id,
+            dataset_id,
+            rows=row_counter[0],
+            mark=str(report.mark),
+            mark_loss=loss,
+            coverage=report.coverage,
+            runner=executor.runner_name,
+        )
         return DetectOutcome(
             tenant=tenant_id,
             dataset=dataset_id,
@@ -516,6 +563,7 @@ class ProtectionService:
     def register_claim(self, dataset_id: str, claim: OwnershipClaim) -> None:
         """Record a (possibly rival) claim over *dataset_id* for later disputes."""
         self._claims.add_claim(dataset_id, claim)
+        self._record_audit("claim", claim.claimant, dataset_id)
 
     def dispute(
         self,
@@ -542,7 +590,16 @@ class ProtectionService:
         binned = suspect_view(
             table, self._trees, self._schema, k=record.k, metrics_depth=record.metrics_depth
         )
-        return framework.resolve_dispute(binned, claims)
+        verdict = framework.resolve_dispute(binned, claims)
+        self._record_audit(
+            "dispute",
+            tenant_id,
+            dataset_id,
+            winner=verdict.winner,
+            claimants=[assessment.claimant for assessment in verdict.assessments],
+            valid_claimants=verdict.valid_claimants,
+        )
+        return verdict
 
     # ------------------------------------------------------------------ status
     def status(self, tenant_id: str | None = None) -> dict:
@@ -553,7 +610,11 @@ class ProtectionService:
         """
         self._vault.reload_if_changed()
         tenants = [tenant_id] if tenant_id is not None else self._vault.tenants()
-        out: dict = {"vault": self._vault.root, "tenants": {}}
+        out: dict = {
+            "vault": self._vault.root,
+            "backend": self._vault.backend,
+            "tenants": {},
+        }
         for tenant in tenants:
             record = self._vault.tenant(tenant)
             datasets = {}

@@ -1,0 +1,403 @@
+"""Append-only, hash-chained audit log of registry events.
+
+A dispute verdict is only as credible as the history behind it: *when* was
+the dataset protected, *what* statistic was registered, *who* asked for the
+detect that preceded the claim?  The audit log records every successful
+protect/detect/dispute/register event as one immutable record, and makes the
+sequence tamper-evident by chaining digests — record *i* carries the digest
+of record *i-1*, so editing, deleting, or reordering any record breaks every
+digest after it.  Verification walks the chain and reports the exact index
+of the first broken record.
+
+Record format
+-------------
+
+One JSON object per record with exactly these keys::
+
+    {
+      "index":   0,                  # position in the chain, dense from 0
+      "prev":    "000…0",            # digest of record index-1 (64 zeros at genesis)
+      "ts":      1754650000.123456,  # unix seconds, 6 decimal places
+      "event":   "protect",          # register | token | protect | detect |
+                                     # dispute | claim | migrate
+      "tenant":  "alice",            # or null for vault-level events
+      "dataset": "trial-7",          # or null
+      "payload": {...},              # event-specific facts (never secrets)
+      "digest":  "ab12…"            # sha256 over the record minus this key
+    }
+
+``digest`` is ``sha256`` of the canonical JSON serialisation (sorted keys,
+no whitespace) of the record *without* its ``digest`` key.  The scheme is
+deliberately reimplementable from this paragraph alone —
+``tools/check_audit.py`` does exactly that, sharing no code with this
+module, so an auditor needs nothing but the chain file and the stdlib.
+
+Storage
+-------
+
+The file backend appends JSONL to ``audit.log`` under the vault's advisory
+lock (O_APPEND + fsync per record); the SQLite backend inserts rows into the
+``audit`` table of ``registry.db`` inside a ``BEGIN IMMEDIATE`` transaction.
+Both serialise the read-last/append step, so concurrent writers extend the
+chain instead of forking it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from typing import Iterator
+
+from repro.service.locking import FileLock, lock_path_for
+
+__all__ = [
+    "GENESIS_DIGEST",
+    "AUDIT_EVENTS",
+    "AuditChainError",
+    "AuditRecord",
+    "FileAuditLog",
+    "SQLiteAuditLog",
+    "record_digest",
+    "verify_records",
+]
+
+#: ``prev`` of the first record: 64 zeros, the width of a sha256 hex digest.
+GENESIS_DIGEST = "0" * 64
+
+#: The event vocabulary (informative, not enforced — forward compatible).
+AUDIT_EVENTS = ("register", "token", "protect", "detect", "dispute", "claim", "migrate")
+
+_RECORD_KEYS = frozenset({"index", "prev", "ts", "event", "tenant", "dataset", "payload", "digest"})
+
+
+class AuditChainError(RuntimeError):
+    """A broken audit chain, pinpointing the first bad record.
+
+    ``index`` is the position (0-based) of the first record that fails
+    verification; ``reason`` says how it fails.
+    """
+
+    def __init__(self, index: int, reason: str) -> None:
+        super().__init__(f"audit chain broken at record {index}: {reason}")
+        self.index = index
+        self.reason = reason
+
+
+def _canonical(body: dict) -> str:
+    return json.dumps(body, sort_keys=True, separators=(",", ":"))
+
+
+def record_digest(body: dict) -> str:
+    """sha256 over the canonical JSON of a record body (sans ``digest``)."""
+    return hashlib.sha256(_canonical(body).encode("utf-8")).hexdigest()
+
+
+def build_record(
+    index: int,
+    prev: str,
+    event: str,
+    tenant: str | None,
+    dataset: str | None,
+    payload: dict,
+    *,
+    ts: float | None = None,
+) -> dict:
+    """A fully-formed, digest-sealed audit record."""
+    body = {
+        "index": index,
+        "prev": prev,
+        "ts": round(time.time() if ts is None else ts, 6),
+        "event": event,
+        "tenant": tenant,
+        "dataset": dataset,
+        "payload": payload,
+    }
+    return {**body, "digest": record_digest(body)}
+
+
+class AuditRecord(dict):
+    """A verified audit record (a plain dict with attribute sugar)."""
+
+    @property
+    def index(self) -> int:
+        return self["index"]
+
+    @property
+    def event(self) -> str:
+        return self["event"]
+
+    @property
+    def digest(self) -> str:
+        return self["digest"]
+
+
+def _check_record(doc: dict, index: int, prev: str) -> None:
+    if not isinstance(doc, dict):
+        raise AuditChainError(index, "record is not a JSON object")
+    missing = _RECORD_KEYS - doc.keys()
+    if missing:
+        raise AuditChainError(index, f"missing keys: {', '.join(sorted(missing))}")
+    extra = doc.keys() - _RECORD_KEYS
+    if extra:
+        raise AuditChainError(index, f"unexpected keys: {', '.join(sorted(extra))}")
+    if doc["index"] != index:
+        raise AuditChainError(index, f"index discontinuity (found {doc['index']!r})")
+    if doc["prev"] != prev:
+        raise AuditChainError(index, "prev digest does not match the preceding record")
+    body = {key: value for key, value in doc.items() if key != "digest"}
+    if record_digest(body) != doc["digest"]:
+        raise AuditChainError(index, "digest mismatch (record was modified)")
+
+
+def verify_records(records) -> int:
+    """Walk *records* checking linkage and digests; return the chain length.
+
+    Raises :class:`AuditChainError` naming the first failing index.  An
+    empty chain verifies trivially (length 0).
+    """
+    prev = GENESIS_DIGEST
+    index = 0
+    for doc in records:
+        _check_record(doc, index, prev)
+        prev = doc["digest"]
+        index += 1
+    return index
+
+
+class _AuditLogBase:
+    """Shared verification surface over the storage-specific logs."""
+
+    def verify(self) -> int:
+        """Chain length when intact; :class:`AuditChainError` when not."""
+        return verify_records(self.entries())
+
+    def entries(self) -> Iterator[AuditRecord]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.entries())
+
+
+class FileAuditLog(_AuditLogBase):
+    """JSONL chain in ``audit.log``, appended under the vault's file lock.
+
+    The writer keeps a cached tail (byte offset + last digest) and catches up
+    by reading only the bytes other processes appended since — appends stay
+    O(new records), not O(chain length).
+    """
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self._path = os.fspath(path)
+        self._lock_path = lock_path_for(self._path)
+        self._offset = 0
+        self._next_index = 0
+        self._last_digest = GENESIS_DIGEST
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    @property
+    def exists(self) -> bool:
+        return os.path.exists(self._path)
+
+    def append(
+        self,
+        event: str,
+        tenant: str | None,
+        *,
+        dataset: str | None = None,
+        payload: dict | None = None,
+    ) -> AuditRecord:
+        """Seal one record onto the chain and fsync it to disk."""
+        with FileLock(self._lock_path):
+            self._catch_up()
+            record = build_record(
+                self._next_index,
+                self._last_digest,
+                event,
+                tenant,
+                dataset,
+                payload or {},
+            )
+            line = (_canonical(record) + "\n").encode("utf-8")
+            fd = os.open(self._path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o600)
+            try:
+                os.write(fd, line)
+                os.fsync(fd)
+            finally:
+                os.close(fd)
+            self._offset += len(line)
+            self._next_index += 1
+            self._last_digest = record["digest"]
+        return AuditRecord(record)
+
+    def append_raw(self, record: dict) -> None:
+        """Append an already-sealed record (migration), verifying linkage."""
+        with FileLock(self._lock_path):
+            self._catch_up()
+            _check_record(record, self._next_index, self._last_digest)
+            line = (_canonical(record) + "\n").encode("utf-8")
+            fd = os.open(self._path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o600)
+            try:
+                os.write(fd, line)
+                os.fsync(fd)
+            finally:
+                os.close(fd)
+            self._offset += len(line)
+            self._next_index += 1
+            self._last_digest = record["digest"]
+
+    def _catch_up(self) -> None:
+        """Advance the cached tail over records other processes appended.
+
+        Called under the lock.  A shrunken file (external truncation) forces
+        a rescan from byte 0; the records read are fully verified (linkage
+        and digests), because appending on top of a broken chain would
+        launder the damage — refuse loudly instead.
+        """
+        try:
+            size = os.path.getsize(self._path)
+        except OSError:
+            self._offset, self._next_index, self._last_digest = 0, 0, GENESIS_DIGEST
+            return
+        if size < self._offset:
+            self._offset, self._next_index, self._last_digest = 0, 0, GENESIS_DIGEST
+        if size == self._offset:
+            return
+        with open(self._path, "rb") as handle:
+            handle.seek(self._offset)
+            tail = handle.read(size - self._offset)
+        for raw in tail.splitlines():
+            try:
+                doc = json.loads(raw.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError) as error:
+                raise AuditChainError(
+                    self._next_index, f"malformed record on disk: {error}"
+                ) from error
+            _check_record(doc, self._next_index, self._last_digest)
+            self._next_index += 1
+            self._last_digest = doc["digest"]
+        self._offset = size
+
+    def entries(self) -> Iterator[AuditRecord]:
+        """Every record in chain order (malformed lines raise with their index)."""
+        if not os.path.exists(self._path):
+            return
+        with open(self._path, "rb") as handle:
+            for index, raw in enumerate(handle):
+                try:
+                    doc = json.loads(raw.decode("utf-8"))
+                except (ValueError, UnicodeDecodeError) as error:
+                    raise AuditChainError(index, f"malformed record: {error}") from error
+                yield AuditRecord(doc)
+
+
+class SQLiteAuditLog(_AuditLogBase):
+    """Chain rows in the ``audit`` table of a :class:`SQLiteRegistryBackend`.
+
+    The read-last/insert step runs inside ``BEGIN IMMEDIATE``, so concurrent
+    appenders across processes serialise on the database write lock and the
+    chain stays linear.
+    """
+
+    def __init__(self, backend) -> None:
+        self._backend = backend
+
+    @property
+    def path(self) -> str:
+        return self._backend.path
+
+    @property
+    def exists(self) -> bool:
+        return self._backend.exists
+
+    def append(
+        self,
+        event: str,
+        tenant: str | None,
+        *,
+        dataset: str | None = None,
+        payload: dict | None = None,
+    ) -> AuditRecord:
+        from repro.service.backends import _Transaction
+
+        conn = self._backend.connection()
+        with _Transaction(conn):
+            row = conn.execute(
+                "SELECT idx, digest FROM audit ORDER BY idx DESC LIMIT 1"
+            ).fetchone()
+            index = row[0] + 1 if row is not None else 0
+            prev = row[1] if row is not None else GENESIS_DIGEST
+            record = build_record(index, prev, event, tenant, dataset, payload or {})
+            conn.execute(
+                "INSERT INTO audit (idx, prev, ts, event, tenant, dataset, payload, digest) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    record["index"],
+                    record["prev"],
+                    record["ts"],
+                    record["event"],
+                    record["tenant"],
+                    record["dataset"],
+                    _canonical(record["payload"]),
+                    record["digest"],
+                ),
+            )
+        return AuditRecord(record)
+
+    def append_raw(self, record: dict) -> None:
+        from repro.service.backends import _Transaction
+
+        conn = self._backend.connection()
+        with _Transaction(conn):
+            row = conn.execute(
+                "SELECT idx, digest FROM audit ORDER BY idx DESC LIMIT 1"
+            ).fetchone()
+            index = row[0] + 1 if row is not None else 0
+            prev = row[1] if row is not None else GENESIS_DIGEST
+            _check_record(record, index, prev)
+            conn.execute(
+                "INSERT INTO audit (idx, prev, ts, event, tenant, dataset, payload, digest) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    record["index"],
+                    record["prev"],
+                    record["ts"],
+                    record["event"],
+                    record["tenant"],
+                    record["dataset"],
+                    _canonical(record["payload"]),
+                    record["digest"],
+                ),
+            )
+
+    def entries(self) -> Iterator[AuditRecord]:
+        rows = self._backend.connection().execute(
+            "SELECT idx, prev, ts, event, tenant, dataset, payload, digest "
+            "FROM audit ORDER BY idx"
+        )
+        for position, row in enumerate(rows):
+            idx, prev, ts, event, tenant, dataset, payload, digest = row
+            try:
+                parsed = json.loads(payload)
+            except ValueError as error:
+                raise AuditChainError(position, f"malformed payload: {error}") from error
+            yield AuditRecord(
+                {
+                    "index": idx,
+                    "prev": prev,
+                    "ts": ts,
+                    "event": event,
+                    "tenant": tenant,
+                    "dataset": dataset,
+                    "payload": parsed,
+                    "digest": digest,
+                }
+            )
+
+
+#: Either storage flavour — the facades only use the shared surface.
+AuditLog = FileAuditLog | SQLiteAuditLog

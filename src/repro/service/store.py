@@ -3,35 +3,33 @@
 A dispute is resolved from :class:`~repro.watermarking.ownership.OwnershipClaim`
 objects — the registered statistic, the mark, the watermark key and the
 encryption key each claimant brings to court.  The in-memory objects die with
-the process, so the :class:`ClaimStore` serialises them to JSON next to the
-vault and re-hydrates full ``OwnershipClaim`` instances on demand: a cold
-process can call ``resolve_dispute`` with nothing but the store's path.
+the process, so the :class:`ClaimStore` serialises them next to the vault and
+re-hydrates full ``OwnershipClaim`` instances on demand: a cold process can
+call ``resolve_dispute`` with nothing but the store's location.
 
 Claims are keyed by dataset, so rival claims over the *same* disputed table
 (the paper's Attack 1/Attack 2 scenarios) naturally accumulate under one key
-and are assessed together.  Writing goes through the same atomic
-tmp-file-plus-``os.replace`` discipline as the vault, and — like the vault —
-every mutation re-reads the document under an advisory
-:class:`~repro.service.locking.FileLock`, so two concurrent protects (or a
-protect racing a rival registering a bogus claim over HTTP) never lose each
-other's entries.
+and are assessed together.  Storage goes through the vault's pluggable
+backend (:mod:`repro.service.backends`): the ``file`` backend keeps the
+original atomic ``claims.json`` document, the ``sqlite`` backend keeps one
+row per (dataset, claimant) in ``registry.db``.  Either way mutations are
+serialised, so two concurrent protects (or a protect racing a rival
+registering a bogus claim over HTTP) never lose each other's entries — and
+claim *order* (arrival order, replaced claims moving to the end) is
+identical across backends because disputes see it.
 """
 
 from __future__ import annotations
 
-import json
 import os
 
-from repro.service.locking import FileLock, lock_path_for
-from repro.service.vault import _atomic_write_json
-from repro.telemetry.trace import span as _stage_span
+from repro.service.backends import CLAIMS_FILENAME, FileRegistryBackend
 from repro.watermarking.keys import WatermarkKey
 from repro.watermarking.mark import Mark
 from repro.watermarking.ownership import OwnershipClaim
 
-__all__ = ["ClaimStore"]
+__all__ = ["ClaimStore", "claim_to_json", "claim_from_json", "CLAIMS_FILENAME"]
 
-CLAIMS_FILENAME = "claims.json"
 CLAIMS_VERSION = 1
 
 
@@ -87,120 +85,74 @@ def claim_from_json(payload: dict) -> OwnershipClaim:
 
 
 class ClaimStore:
-    """File-backed store of ownership claims, keyed by dataset.
+    """Backend-backed store of ownership claims, keyed by dataset.
 
     One claimant holds at most one claim per dataset: re-adding (a
-    re-protect, or an attacker refreshing a bogus claim) replaces the previous
-    entry so disputes never double-count a claimant.
+    re-protect, or an attacker refreshing a bogus claim) replaces the
+    previous entry so disputes never double-count a claimant.
+
+    Constructed either from a ``claims.json`` *path* (standalone, always the
+    file format — the historic API) or from a vault's *backend* (via
+    :meth:`KeyVault.claim_store`), in which case claims share the vault's
+    storage and backend choice.
     """
 
-    def __init__(self, path: str | os.PathLike) -> None:
-        self._path = os.fspath(path)
-        self._lock_path = lock_path_for(self._path)
-        self._loaded_signature: tuple[int, int, int] | None = None
-        if os.path.exists(self._path):
-            self._load()
-        else:
-            # Created lazily on the first mutation: a store that only ever
-            # reads (detect, status, a vault on read-only media) must not
-            # write anything.
-            self._claims: dict[str, list[dict]] = {}
+    def __init__(self, path: str | os.PathLike | None = None, *, backend=None) -> None:
+        if backend is None:
+            if path is None:
+                raise ValueError("ClaimStore needs a path or a backend")
+            path = os.fspath(path)
+            backend = FileRegistryBackend(os.path.dirname(path) or ".", claims_path=path)
+        self._backend = backend
+        # Load eagerly (file backend) so an unusable store fails at open, not
+        # first read; a missing file stays untouched — created lazily on the
+        # first mutation, because a store that only ever reads (detect,
+        # status, a vault on read-only media) must not write anything.
+        if os.path.exists(self._backend.claims_path):
+            self._backend.reload_claims()
 
     @property
     def path(self) -> str:
-        return self._path
+        return self._backend.claims_path
 
     # --------------------------------------------------------------------- API
     def add_claim(self, dataset_id: str, claim: OwnershipClaim) -> None:
         """Persist *claim* for *dataset_id* (replacing the claimant's previous one).
 
-        A locked read-modify-write: concurrent writers see each other's
-        claims instead of overwriting the document wholesale.
+        A serialised read-modify-write: concurrent writers see each other's
+        claims instead of overwriting the store wholesale.
         """
         if not dataset_id:
             raise ValueError("dataset_id must be non-empty")
-        with FileLock(self._lock_path):
-            if os.path.exists(self._path):
-                self._load()
-            entries = self._claims.get(dataset_id, [])
-            # Rebind rather than mutate in place: a concurrent reader (a
-            # dispute on another server thread) iterating the old list keeps
-            # a consistent snapshot instead of observing the removed-but-not-
-            # yet-re-added window.
-            self._claims[dataset_id] = [
-                entry for entry in entries if entry["claimant"] != claim.claimant
-            ] + [claim_to_json(claim)]
-            self._save()
+        self._backend.append_claim(dataset_id, claim.claimant, claim_to_json(claim))
 
     def claims(self, dataset_id: str) -> list[OwnershipClaim]:
         """Every stored claim over *dataset_id*, re-hydrated.
 
-        Reads pick up writes from other processes first (gated on the file's
-        stat signature, so an unchanged store costs one ``stat``): a dispute
-        served by a long-running process must see the claim a CLI protect
-        just persisted.
+        Reads pick up writes from other processes first (gated on the
+        backend's change signal, so an unchanged store costs one ``stat`` /
+        one pragma): a dispute served by a long-running process must see the
+        claim a CLI protect just persisted.
         """
-        self.reload_if_changed()
-        return [claim_from_json(entry) for entry in self._claims.get(dataset_id, [])]
+        self._backend.refresh_claims()
+        return [claim_from_json(entry) for entry in self._backend.list_claims(dataset_id)]
 
     def claimants(self, dataset_id: str) -> list[str]:
-        self.reload_if_changed()
-        return [entry["claimant"] for entry in self._claims.get(dataset_id, [])]
+        self._backend.refresh_claims()
+        return [entry["claimant"] for entry in self._backend.list_claims(dataset_id)]
 
     def datasets(self) -> list[str]:
-        self.reload_if_changed()
-        return sorted(self._claims)
+        self._backend.refresh_claims()
+        return self._backend.claim_datasets()
 
     def remove_claim(self, dataset_id: str, claimant: str) -> bool:
         """Drop *claimant*'s claim over *dataset_id*; return whether one existed."""
-        with FileLock(self._lock_path):
-            if os.path.exists(self._path):
-                self._load()
-            entries = self._claims.get(dataset_id, [])
-            kept = [entry for entry in entries if entry["claimant"] != claimant]
-            removed = len(kept) != len(entries)
-            if removed:
-                if kept:
-                    self._claims[dataset_id] = kept
-                else:
-                    del self._claims[dataset_id]
-                self._save()
-        return removed
+        return self._backend.remove_claim(dataset_id, claimant)
 
     # ------------------------------------------------------------- persistence
     def reload(self) -> None:
-        self._load()
+        self._backend.reload_claims()
 
     def reload_if_changed(self) -> bool:
-        """Re-read only when the file on disk differs from what we loaded."""
-        signature = self._stat_signature()
-        if signature is None or signature == self._loaded_signature:
-            return False
-        try:
-            self._load()
-        except (OSError, ValueError):  # pragma: no cover - torn deploy
-            return False
-        return True
-
-    def _stat_signature(self) -> tuple[int, int, int] | None:
-        try:
-            stat = os.stat(self._path)
-        except OSError:
-            return None
-        return (stat.st_ino, stat.st_size, stat.st_mtime_ns)
-
-    def _load(self) -> None:
-        with _stage_span("claims.load"):
-            signature = self._stat_signature()
-            with open(self._path, encoding="utf-8") as handle:
-                document = json.load(handle)
-            version = document.get("version")
-            if version != CLAIMS_VERSION:
-                raise ValueError(f"unsupported claim store version {version!r}")
-            self._claims = document["claims"]
-            self._loaded_signature = signature
-
-    def _save(self) -> None:
-        with _stage_span("claims.save"):
-            _atomic_write_json(self._path, {"version": CLAIMS_VERSION, "claims": self._claims})
-            self._loaded_signature = self._stat_signature()
+        """Refresh from the backend's change signal; report whether it moved."""
+        return self._backend.refresh_claims()

@@ -1,28 +1,38 @@
-"""Atomic, file-backed vault for per-tenant secrets and ownership records.
+"""Durable vault for per-tenant secrets and ownership records.
 
 The vault is what makes the protection framework *litigable from a cold
 process*: everything the owner must retain to later detect a mark or prevail
 in court — the encryption and watermarking secrets, the embedding parameters
 and, per protected dataset, the registered statistic ``v`` and the mark
-``F(v)`` — lives in one JSON document on disk, and nothing else is needed to
+``F(v)`` — persists under one vault directory, and nothing else is needed to
 rebuild a working :class:`~repro.framework.pipeline.ProtectionFramework`.
+
+Storage is pluggable (see :mod:`repro.service.backends`): the default
+``file`` backend keeps the original atomic ``vault.json`` document, the
+``sqlite`` backend keeps per-row state in a WAL-mode ``registry.db`` that
+stays fast at 10k+ tenants.  :class:`KeyVault` is a facade over either — the
+API, the error messages, and (crucially) every protect/detect/dispute result
+are identical across backends.
 
 Durability contract
 -------------------
 
-Every mutation rewrites the whole document through a temporary file in the
-same directory followed by ``os.replace`` (atomic on POSIX and NT), then
-fsyncs the file.  A reader therefore always sees either the previous or the
-new state, never a torn write.  The vault file is created with mode ``0600``;
-secrets are stored in the clear — wrapping them in a KMS/HSM is a deployment
-concern outside this reproduction's scope.
+File backend: every mutation rewrites the whole document through a temporary
+file followed by ``os.replace`` (atomic on POSIX and NT), then fsyncs.  A
+reader always sees either the previous or the new state, never a torn write.
+SQLite backend: every mutation is one WAL transaction under ``BEGIN
+IMMEDIATE``.  Both artifacts are created with mode ``0600``; secrets are
+stored in the clear — wrapping them in a KMS/HSM is a deployment concern
+outside this reproduction's scope.
 
-Concurrent writers *are* arbitrated: every mutation runs under an advisory
-:class:`~repro.service.locking.FileLock` and re-reads the document before
-applying itself, so two protects racing against one vault (two CLI
-invocations, or two HTTP requests on different worker threads) serialise
-instead of losing the earlier update.  Concurrent readers remain safe
-without the lock.
+Concurrent writers *are* arbitrated on both backends (advisory
+:class:`~repro.service.locking.FileLock` read-modify-writes, respectively
+database write transactions), so two protects racing against one vault (two
+CLI invocations, or two HTTP requests on different worker threads or
+processes) serialise instead of losing the earlier update.  Lookup misses
+retry once after the backend's change signal reports fresh state
+(``refresh()``), which is how long-lived pre-fork workers see mutations made
+by other processes without a restart.
 
 Beyond the secrets, the vault also stores one **bearer-token digest** per
 tenant for the HTTP frontend: :meth:`KeyVault.issue_token` generates a token
@@ -36,25 +46,30 @@ from __future__ import annotations
 
 import hashlib
 import hmac as _hmac
-import json
 import os
 import secrets as _secrets
 from dataclasses import asdict, dataclass
 from typing import Iterator
 
-from repro.service.locking import FileLock, lock_path_for
-from repro.telemetry.trace import span as _stage_span
+from repro.service.backends import (
+    VAULT_FILENAME,
+    VAULT_VERSION,
+    VaultError,
+    _atomic_write_json,  # noqa: F401  (re-exported; historic import site)
+    make_backend,
+    resolve_backend,
+)
 
-__all__ = ["TenantRecord", "DatasetRecord", "KeyVault", "VaultError"]
+__all__ = [
+    "TenantRecord",
+    "DatasetRecord",
+    "KeyVault",
+    "VaultError",
+    "migrate_vault",
+]
 
-VAULT_FILENAME = "vault.json"
-VAULT_VERSION = 1
 #: 128-bit secrets, hex-encoded, when the operator does not supply their own.
 GENERATED_SECRET_BYTES = 16
-
-
-class VaultError(RuntimeError):
-    """Raised for vault lookups/initialisation that cannot be satisfied."""
 
 
 @dataclass(frozen=True)
@@ -135,42 +150,56 @@ def _tenant_from_json(payload: dict) -> TenantRecord:
 
 
 class KeyVault:
-    """The persistent key/claim material store, one JSON document per vault.
+    """The persistent key/claim material store, one backend per vault.
 
-    A vault is a *directory* (so sibling artifacts such as the claim store can
-    live next to the key material) holding ``vault.json``.  Use
-    :meth:`KeyVault.init` to create one and the constructor to open an
-    existing one.
+    A vault is a *directory* (so sibling artifacts such as the claim store
+    and the audit chain live next to the key material) holding either
+    ``vault.json`` (``file`` backend, the default) or ``registry.db``
+    (``sqlite``).  Use :meth:`KeyVault.init` to create one and the
+    constructor to open an existing one; both accept ``backend=`` or a path
+    scheme (``sqlite:/srv/vault``), and opening auto-detects from what is on
+    disk.
     """
 
-    def __init__(self, root: str | os.PathLike) -> None:
-        self._root = os.fspath(root)
-        self._file = os.path.join(self._root, VAULT_FILENAME)
-        self._lock_path = lock_path_for(self._file)
-        if not os.path.exists(self._file):
+    def __init__(self, root: str | os.PathLike, *, backend: str | None = None) -> None:
+        if backend is not None and not isinstance(backend, str):
+            # An already-constructed backend object (init's hand-off).
+            self._backend = backend
+            self._root = backend.root
+        else:
+            name, bare = resolve_backend(root, backend)
+            self._root = bare
+            self._backend = make_backend(name, bare)
+        if not self._backend.exists:
             raise VaultError(
-                f"no vault at {self._root!r} (expected {VAULT_FILENAME}; run 'repro vault init' first)"
+                f"no vault at {self._root!r} "
+                f"(expected {self._backend.artifact}; run 'repro vault init' first)"
             )
-        self._load()
+        # Load eagerly so an unusable vault fails at open, not first lookup.
+        self._backend.reload()
 
     # ------------------------------------------------------------ construction
     @classmethod
-    def init(cls, root: str | os.PathLike) -> "KeyVault":
-        """Create an empty vault at *root* (the directory is created too)."""
-        root = os.fspath(root)
-        file = os.path.join(root, VAULT_FILENAME)
-        os.makedirs(root, exist_ok=True)
-        with FileLock(lock_path_for(file)):
-            if os.path.exists(file):
-                raise VaultError(f"vault already initialised at {root!r}")
-            _atomic_write_json(file, {"version": VAULT_VERSION, "tenants": {}})
-        return cls(root)
+    def init(cls, root: str | os.PathLike, *, backend: str | None = None) -> "KeyVault":
+        """Create an empty vault at *root* (the directory is created too).
+
+        The backend of a fresh vault is the path scheme / ``backend=`` if
+        given, else ``$REPRO_VAULT_BACKEND``, else ``file``.
+        """
+        name, bare = resolve_backend(root, backend, for_init=True)
+        store = make_backend(name, bare)
+        store.create()
+        return cls(bare, backend=store)
 
     @classmethod
-    def open_or_init(cls, root: str | os.PathLike) -> "KeyVault":
+    def open_or_init(cls, root: str | os.PathLike, *, backend: str | None = None) -> "KeyVault":
         """Open *root*, initialising it first when empty (service convenience)."""
-        file = os.path.join(os.fspath(root), VAULT_FILENAME)
-        return cls(root) if os.path.exists(file) else cls.init(root)
+        from repro.service.backends import detect_backend, split_backend_scheme
+
+        _, bare = split_backend_scheme(root)
+        if detect_backend(bare) is not None:
+            return cls(root, backend=backend)
+        return cls.init(root, backend=backend)
 
     # -------------------------------------------------------------- properties
     @property
@@ -179,8 +208,32 @@ class KeyVault:
 
     @property
     def path(self) -> str:
-        """Path of the backing JSON document."""
-        return self._file
+        """Path of the backing artifact (``vault.json`` or ``registry.db``)."""
+        return self._backend.path
+
+    @property
+    def backend(self) -> str:
+        """The storage backend name (``file`` or ``sqlite``)."""
+        return self._backend.name
+
+    @property
+    def registry(self):
+        """The underlying backend object (shared with sibling facades)."""
+        return self._backend
+
+    def claim_store(self):
+        """A :class:`~repro.service.store.ClaimStore` over this vault's backend."""
+        from repro.service.store import ClaimStore
+
+        return ClaimStore(backend=self._backend)
+
+    def audit_log(self):
+        """This vault's append-only hash-chained audit log."""
+        return self._backend.audit_log()
+
+    def change_signal(self) -> tuple:
+        """The backend-provided freshness signal (stat triple / data_version)."""
+        return self._backend.change_signal()
 
     # ----------------------------------------------------------------- tenants
     def register_tenant(
@@ -196,8 +249,8 @@ class KeyVault:
         Generated secrets come from :mod:`secrets` (CSPRNG).  Registration is
         write-once: the embedding parameters must never drift between protect
         and detect, so re-registering an existing tenant is an error (also
-        when a concurrent writer registered it between our load and now —
-        the mutation re-reads the document under the lock).
+        when a concurrent writer registered it first — the mutation is
+        serialised by the backend).
         """
         record = TenantRecord(
             tenant_id=tenant_id,
@@ -205,27 +258,23 @@ class KeyVault:
             watermark_secret=watermark_secret or _secrets.token_hex(GENERATED_SECRET_BYTES),
             **params,
         )
-        with FileLock(self._lock_path):
-            self._load()
-            if tenant_id in self._tenants:
-                raise VaultError(f"tenant {tenant_id!r} is already registered")
-            self._tenants[tenant_id] = {"record": _tenant_to_json(record), "datasets": {}}
-            self._save()
+        if not self._backend.put_tenant(tenant_id, _tenant_to_json(record)):
+            raise VaultError(f"tenant {tenant_id!r} is already registered")
         return record
 
     def tenant(self, tenant_id: str) -> TenantRecord:
-        payload = self._tenants.get(tenant_id)
-        if payload is None and self.reload_if_changed():
-            payload = self._tenants.get(tenant_id)
+        payload = self._backend.get_tenant(tenant_id)
+        if payload is None and self._backend.refresh():
+            payload = self._backend.get_tenant(tenant_id)
         if payload is None:
             raise VaultError(f"unknown tenant {tenant_id!r} in vault {self._root!r}")
-        return _tenant_from_json(payload["record"])
+        return _tenant_from_json(payload)
 
     def tenants(self) -> list[str]:
-        return sorted(self._tenants)
+        return self._backend.list_tenants()
 
     def __contains__(self, tenant_id: object) -> bool:
-        return tenant_id in self._tenants
+        return self._backend.get_tenant(tenant_id) is not None
 
     def __iter__(self) -> Iterator[str]:
         return iter(self.tenants())
@@ -239,13 +288,8 @@ class KeyVault:
         digest, which is the recovery path for a lost token.
         """
         token = _secrets.token_urlsafe(GENERATED_SECRET_BYTES * 2)
-        digest = _token_digest(token)
-        with FileLock(self._lock_path):
-            self._load()
-            if tenant_id not in self._tenants:
-                raise VaultError(f"unknown tenant {tenant_id!r} in vault {self._root!r}")
-            self._tenants[tenant_id]["token_sha256"] = digest
-            self._save()
+        if not self._backend.set_token(tenant_id, _token_digest(token)):
+            raise VaultError(f"unknown tenant {tenant_id!r} in vault {self._root!r}")
         return token
 
     def verify_token(self, tenant_id: str, token: str) -> bool:
@@ -253,52 +297,45 @@ class KeyVault:
 
         Constant-time digest comparison; ``False`` for unknown tenants and
         tenants that never had a token issued (never an exception — this is
-        the authentication hot path).  A miss against the in-memory state
-        re-reads the document once before failing, so tokens issued or
-        rotated by *another process* (``repro vault token`` against a vault a
-        server is already serving) take effect without a restart.
+        the authentication hot path).  A miss retries once after the
+        backend's change signal, so tokens issued or rotated by *another
+        process* (``repro vault token`` against a vault a server is already
+        serving) take effect without a restart.
         """
         if not token:
             return False
         if self._token_matches(tenant_id, token):
             return True
-        return self.reload_if_changed() and self._token_matches(tenant_id, token)
+        return self._backend.refresh() and self._token_matches(tenant_id, token)
 
     def _token_matches(self, tenant_id: str, token: str) -> bool:
-        payload = self._tenants.get(tenant_id)
-        stored = payload.get("token_sha256") if payload is not None else None
+        stored = self._backend.get_token(tenant_id)
         if not stored:
             return False
         return _hmac.compare_digest(stored, _token_digest(token))
 
     def has_token(self, tenant_id: str) -> bool:
         """Whether a bearer token has ever been issued for *tenant_id*."""
-        payload = self._tenants.get(tenant_id)
-        return bool(payload and payload.get("token_sha256"))
+        return bool(self._backend.get_token(tenant_id))
 
     # ---------------------------------------------------------------- datasets
     def record_dataset(self, tenant_id: str, record: DatasetRecord) -> None:
         """Register (or refresh, after a re-protect) a dataset's ownership record.
 
-        Runs as a locked read-modify-write so a concurrent protect of a
-        *different* dataset (or by a different tenant) is never overwritten
-        by this save.
+        Serialised by the backend, so a concurrent protect of a *different*
+        dataset (or by a different tenant) is never overwritten by this save.
         """
-        with FileLock(self._lock_path):
-            self._load()
-            if tenant_id not in self._tenants:
-                raise VaultError(f"unknown tenant {tenant_id!r} in vault {self._root!r}")
-            self._tenants[tenant_id]["datasets"][record.dataset_id] = asdict(record)
-            self._save()
+        if not self._backend.put_dataset(tenant_id, record.dataset_id, asdict(record)):
+            raise VaultError(f"unknown tenant {tenant_id!r} in vault {self._root!r}")
 
     def dataset(self, tenant_id: str, dataset_id: str) -> DatasetRecord:
         self.tenant(tenant_id)  # raises for unknown tenants
-        payload = self._tenants[tenant_id]["datasets"].get(dataset_id)
-        if payload is None and self.reload_if_changed():
+        payload = self._backend.get_dataset(tenant_id, dataset_id)
+        if payload is None and self._backend.refresh():
             # A protect in another process (CLI against a vault a server is
             # already serving) may have registered the dataset since we
             # loaded; one gated re-read makes it visible without a restart.
-            payload = self._tenants.get(tenant_id, {}).get("datasets", {}).get(dataset_id)
+            payload = self._backend.get_dataset(tenant_id, dataset_id)
         if payload is None:
             raise VaultError(
                 f"tenant {tenant_id!r} has no dataset {dataset_id!r} in vault {self._root!r}"
@@ -307,86 +344,67 @@ class KeyVault:
 
     def datasets(self, tenant_id: str) -> list[str]:
         self.tenant(tenant_id)
-        return sorted(self._tenants[tenant_id]["datasets"])
+        return self._backend.list_datasets(tenant_id)
 
     # ------------------------------------------------------------- persistence
     def reload(self) -> None:
-        """Re-read the backing file (another process may have written it)."""
-        self._load()
+        """Re-read the backing store (another process may have written it)."""
+        self._backend.reload()
 
     def reload_if_changed(self) -> bool:
-        """Re-read only when the file on disk differs from what we loaded.
+        """Refresh only when the backend's change signal moved.
 
-        The lookup paths fall back to this on a miss, so writes from other
-        processes become visible without a per-request parse: an unchanged
-        file (by inode/size/mtime — ``os.replace`` always changes the inode)
-        costs one ``stat``, not a JSON load.  Returns whether a reload
-        happened; a vanished or corrupt file reads as "unchanged" because the
-        in-memory state is the best remaining truth.
+        File backend: one ``stat`` against the document's inode/size/mtime.
+        SQLite backend: one ``PRAGMA data_version`` (reads are live there, so
+        this only reports whether another connection committed).  Returns
+        whether anything changed.
         """
-        signature = self._stat_signature()
-        if signature is None or signature == self._loaded_signature:
-            return False
-        try:
-            self._load()
-        except (OSError, ValueError, VaultError):  # pragma: no cover - torn deploy
-            return False
-        return True
+        return self._backend.refresh()
 
-    def _stat_signature(self) -> tuple[int, int, int] | None:
-        try:
-            stat = os.stat(self._file)
-        except OSError:
-            return None
-        return (stat.st_ino, stat.st_size, stat.st_mtime_ns)
+    # ----------------------------------------------------------- bulk (ops/CLI)
+    def export_state(self) -> dict:
+        """The whole registry (tenants + claims) as one JSON-able document."""
+        return self._backend.export_state()
 
-    def _load(self) -> None:
-        with _stage_span("vault.load"):
-            signature = self._stat_signature()
-            with open(self._file, encoding="utf-8") as handle:
-                document = json.load(handle)
-            version = document.get("version")
-            if version != VAULT_VERSION:
-                raise VaultError(
-                    f"unsupported vault version {version!r} (expected {VAULT_VERSION})"
-                )
-            self._tenants: dict[str, dict] = document["tenants"]
-            self._loaded_signature = signature
+    def import_state(self, state: dict) -> None:
+        """Replace this vault's contents with *state* (migration/seeding path)."""
+        self._backend.import_state(state)
 
-    def _save(self) -> None:
-        with _stage_span("vault.save"):
-            _atomic_write_json(self._file, {"version": VAULT_VERSION, "tenants": self._tenants})
-            self._loaded_signature = self._stat_signature()
+
+def migrate_vault(source: "KeyVault", destination: "KeyVault") -> dict:
+    """Copy *source*'s full registry and audit chain into *destination*.
+
+    The audit chain is copied record by record through the destination's
+    linkage check, so a tampered source chain aborts the migration at the
+    exact broken index instead of laundering the damage into a fresh store.
+    A final ``migrate`` event seals the copy.  Returns summary counts.
+    """
+    state = source.export_state()
+    destination.import_state(state)
+    source_log = source.audit_log()
+    destination_log = destination.audit_log()
+    copied = 0
+    for record in source_log.entries():
+        destination_log.append_raw(dict(record))
+        copied += 1
+    destination_log.append(
+        "migrate",
+        None,
+        payload={
+            "source": source.root,
+            "from_backend": source.backend,
+            "to_backend": destination.backend,
+            "tenants": len(state.get("tenants", {})),
+            "copied_audit_records": copied,
+        },
+    )
+    return {
+        "tenants": len(state.get("tenants", {})),
+        "claims": sum(len(entries) for entries in state.get("claims", {}).values()),
+        "audit_records": copied + 1,
+        "backend": destination.backend,
+    }
 
 
 def _token_digest(token: str) -> str:
     return hashlib.sha256(token.encode("utf-8")).hexdigest()
-
-
-def _atomic_write_json(path: str, document: dict) -> None:
-    """Write *document* to *path* atomically (tmp file + ``os.replace``)."""
-    directory = os.path.dirname(path) or "."
-    tmp_path = path + ".tmp"
-    fd = os.open(tmp_path, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o600)
-    try:
-        with os.fdopen(fd, "w", encoding="utf-8") as handle:
-            json.dump(document, handle, indent=2, sort_keys=True)
-            handle.write("\n")
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp_path, path)
-    except BaseException:
-        try:
-            os.unlink(tmp_path)
-        except OSError:
-            pass
-        raise
-    # Make the rename itself durable where the platform allows it.
-    try:
-        dir_fd = os.open(directory, os.O_RDONLY)
-    except OSError:  # pragma: no cover - e.g. NT has no directory fds
-        return
-    try:
-        os.fsync(dir_fd)
-    finally:
-        os.close(dir_fd)

@@ -1,0 +1,15 @@
+"""Service-suite configuration: the registry backend under test.
+
+The whole service/HTTP suite runs unmodified against either registry
+backend — CI's ``registry-smoke`` job sets ``REPRO_VAULT_BACKEND=sqlite``
+and re-runs it, which is the backend-matrix acceptance gate.  A handful of
+tests assert *file-format* specifics (JSON document snapshots, hand-edited
+version fields); those carry a ``requires_file_backend`` skip marker
+(defined where used — this directory is not a package) and each has a
+sqlite counterpart in ``test_backends.py``.
+"""
+
+from repro.service.backends import backend_from_env
+
+#: The backend the suite is exercising (what fresh vaults will be created as).
+ACTIVE_BACKEND = backend_from_env() or "file"

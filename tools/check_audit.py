@@ -1,0 +1,199 @@
+#!/usr/bin/env python3
+"""Independently verify a repro audit chain (stdlib only, no repro imports).
+
+The audit log (docs/registry.md) is an append-only sequence of JSON records;
+record *i* carries ``prev`` = the sha256 digest of record *i-1* (64 zeros at
+genesis) and ``digest`` = sha256 over the canonical JSON (sorted keys, no
+whitespace) of the record without its ``digest`` key.  This script
+re-implements that paragraph from scratch — deliberately sharing no code
+with ``repro.service.audit`` — so an auditor handed nothing but the chain
+file can check it with a stock Python.
+
+Usage::
+
+    python tools/check_audit.py --verify VAULT_DIR            # auto-detect
+    python tools/check_audit.py --verify vault/audit.log      # JSONL chain
+    python tools/check_audit.py --verify vault/registry.db    # sqlite chain
+    python tools/check_audit.py --verify V --export chain.jsonl --json
+
+Exit codes: 0 = chain intact, 1 = chain broken (the exact failing record
+index is reported), 2 = operational error (no chain found, unreadable file).
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import sqlite3
+import sys
+
+GENESIS = "0" * 64
+RECORD_KEYS = frozenset({"index", "prev", "ts", "event", "tenant", "dataset", "payload", "digest"})
+AUDIT_LOG = "audit.log"
+REGISTRY_DB = "registry.db"
+
+
+class ChainBroken(Exception):
+    def __init__(self, index: int, reason: str) -> None:
+        super().__init__(reason)
+        self.index = index
+        self.reason = reason
+
+
+def canonical(document) -> str:
+    return json.dumps(document, sort_keys=True, separators=(",", ":"))
+
+
+def iter_jsonl(path: str):
+    """Parsed records from a JSONL chain file; raises ChainBroken with the line index."""
+    with open(path, "rb") as handle:
+        for index, raw in enumerate(handle):
+            try:
+                yield json.loads(raw.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError) as error:
+                raise ChainBroken(index, f"malformed record: {error}") from error
+
+
+def iter_sqlite(path: str):
+    """Records reconstructed from the ``audit`` table of a registry database."""
+    conn = sqlite3.connect(f"file:{path}?mode=ro", uri=True)
+    try:
+        rows = conn.execute(
+            "SELECT idx, prev, ts, event, tenant, dataset, payload, digest "
+            "FROM audit ORDER BY idx"
+        ).fetchall()
+    finally:
+        conn.close()
+    for position, row in enumerate(rows):
+        idx, prev, ts, event, tenant, dataset, payload, digest = row
+        try:
+            parsed = json.loads(payload)
+        except ValueError as error:
+            raise ChainBroken(position, f"malformed payload: {error}") from error
+        yield {
+            "index": idx,
+            "prev": prev,
+            "ts": ts,
+            "event": event,
+            "tenant": tenant,
+            "dataset": dataset,
+            "payload": parsed,
+            "digest": digest,
+        }
+
+
+def resolve_chain(path: str):
+    """(kind, concrete path) for *path*: a vault dir, a .db file, or JSONL."""
+    if os.path.isdir(path):
+        db = os.path.join(path, REGISTRY_DB)
+        log = os.path.join(path, AUDIT_LOG)
+        if os.path.exists(db):
+            return "sqlite", db
+        if os.path.exists(log):
+            return "file", log
+        raise FileNotFoundError(f"no audit chain in {path!r} (no {REGISTRY_DB} or {AUDIT_LOG})")
+    if not os.path.exists(path):
+        raise FileNotFoundError(f"no such chain: {path!r}")
+    with open(path, "rb") as handle:
+        magic = handle.read(16)
+    return ("sqlite", path) if magic.startswith(b"SQLite format 3") else ("file", path)
+
+
+def verify(records) -> tuple[int, str]:
+    """Walk *records*; return (count, head digest) or raise ChainBroken."""
+    prev = GENESIS
+    count = 0
+    for index, doc in enumerate(records):
+        if not isinstance(doc, dict):
+            raise ChainBroken(index, "record is not a JSON object")
+        if set(doc) != RECORD_KEYS:
+            missing = sorted(RECORD_KEYS - set(doc))
+            extra = sorted(set(doc) - RECORD_KEYS)
+            raise ChainBroken(
+                index,
+                "wrong keys"
+                + (f" (missing: {', '.join(missing)})" if missing else "")
+                + (f" (unexpected: {', '.join(extra)})" if extra else ""),
+            )
+        if doc["index"] != index:
+            raise ChainBroken(index, f"index discontinuity (found {doc['index']!r})")
+        if doc["prev"] != prev:
+            raise ChainBroken(index, "prev digest does not match the preceding record")
+        body = {key: value for key, value in doc.items() if key != "digest"}
+        recomputed = hashlib.sha256(canonical(body).encode("utf-8")).hexdigest()
+        if recomputed != doc["digest"]:
+            raise ChainBroken(index, "digest mismatch (record was modified)")
+        prev = doc["digest"]
+        count += 1
+    return count, prev
+
+
+def export_chain(records, destination: str) -> int:
+    """Write *records* as canonical JSONL (the CI artifact form); return count."""
+    written = 0
+    with open(destination, "w", encoding="utf-8") as handle:
+        for doc in records:
+            handle.write(canonical(doc) + "\n")
+            written += 1
+    return written
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="walk the chain recomputing every digest (the default and only action)",
+    )
+    parser.add_argument(
+        "path",
+        help=f"vault directory (auto-detects {REGISTRY_DB}/{AUDIT_LOG}), "
+        "a registry database, or a JSONL chain file",
+    )
+    parser.add_argument("--json", action="store_true", help="emit a JSON report on stdout")
+    parser.add_argument(
+        "--export",
+        metavar="FILE",
+        help="additionally write the chain as canonical JSONL (CI artifact) — "
+        "raw records, exported even when verification then fails",
+    )
+    args = parser.parse_args(argv)
+
+    def emit(payload: dict, line: str) -> None:
+        print(json.dumps(payload, indent=2, sort_keys=True) if args.json else line)
+
+    try:
+        kind, chain_path = resolve_chain(args.path)
+        records = list(iter_jsonl(chain_path) if kind == "file" else iter_sqlite(chain_path))
+    except ChainBroken as error:
+        emit(
+            {"ok": False, "failed_index": error.index, "error": error.reason},
+            f"audit chain BROKEN at record {error.index}: {error.reason}",
+        )
+        return 1
+    except (OSError, sqlite3.Error) as error:
+        emit({"error": str(error)}, f"error: {error}")
+        return 2
+
+    if args.export:
+        export_chain(records, args.export)
+
+    try:
+        count, head = verify(records)
+    except ChainBroken as error:
+        emit(
+            {"ok": False, "failed_index": error.index, "error": error.reason, "chain": chain_path},
+            f"audit chain BROKEN at record {error.index}: {error.reason}",
+        )
+        return 1
+    payload = {"ok": True, "records": count, "chain": chain_path, "backend": kind}
+    if count:
+        payload["head"] = head
+    emit(payload, f"audit chain OK: {count} records ({kind}: {chain_path})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
